@@ -1,0 +1,518 @@
+//! The batched (Spark-Streaming-style) runners: StreamApprox and its three
+//! baselines on the `sa-batched` engine.
+//!
+//! The architectural contrast the paper measures (§4.2.1) is *where*
+//! sampling happens:
+//!
+//! * **StreamApprox** samples items "on-the-fly ... before items are
+//!   transformed into RDDs": the per-batch OASRS pass runs on the raw
+//!   receiver-side items, and only the (small) sample enters the engine as
+//!   a dataset for the data-parallel query job.
+//! * **SRS** builds the full dataset, then runs distributed ScaSRS on it —
+//!   random keys for every item, a driver-side sort of the wait-list.
+//! * **STS** builds the full dataset, then `groupBy(strata)` (a full hash
+//!   shuffle with worker synchronization) and a per-stratum random sort.
+//! * **Native** builds the full dataset and aggregates everything.
+
+use crate::combine::{combine_window, PanePayload};
+use crate::cost::{CostPolicy, IntervalFeedback, SizingDirective};
+use crate::output::{RunOutput, WindowResult};
+use crate::query::Query;
+use crate::windowing::PaneWindower;
+use sa_batched::{Cluster, MicroBatch, MicroBatcher, Pds};
+use sa_estimate::{estimate_mean, StratumStats, Welford};
+use sa_sampling::{OasrsSampler, SizingPolicy};
+use sa_types::{StratumId, StreamItem};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Which batched system to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BatchedSystem {
+    /// Spark-based StreamApprox: OASRS before dataset formation.
+    StreamApprox,
+    /// Spark-based simple random sampling (`sample` via distributed
+    /// ScaSRS).
+    Srs,
+    /// Spark-based stratified sampling (`groupBy` + per-stratum random
+    /// sort).
+    Sts,
+    /// Native execution without sampling.
+    Native,
+}
+
+impl std::fmt::Display for BatchedSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchedSystem::StreamApprox => write!(f, "Spark-based StreamApprox"),
+            BatchedSystem::Srs => write!(f, "Spark-based SRS"),
+            BatchedSystem::Sts => write!(f, "Spark-based STS"),
+            BatchedSystem::Native => write!(f, "Native Spark"),
+        }
+    }
+}
+
+/// Configuration of the batched engine for one run.
+#[derive(Debug, Clone)]
+pub struct BatchedConfig {
+    /// The worker pool (topology decides shuffle locality).
+    pub cluster: Cluster,
+    /// Micro-batch interval in milliseconds (the paper sweeps 250–1000 ms,
+    /// Figure 4c).
+    pub batch_interval_ms: i64,
+    /// Dataset partitions per batch.
+    pub num_partitions: usize,
+    /// Parallel receiver-side sampling workers for StreamApprox.
+    pub sample_workers: usize,
+    /// RNG seed for every sampling decision in the run.
+    pub seed: u64,
+}
+
+impl BatchedConfig {
+    /// A small-machine default: 250 ms batches on the given cluster.
+    pub fn new(cluster: Cluster) -> Self {
+        let workers = cluster.num_workers();
+        BatchedConfig {
+            cluster,
+            batch_interval_ms: 250,
+            num_partitions: workers.max(2),
+            sample_workers: workers.max(1),
+            seed: 0x5A5A,
+        }
+    }
+
+    /// Sets the batch interval.
+    #[must_use]
+    pub fn with_batch_interval_ms(mut self, ms: i64) -> Self {
+        assert!(ms > 0, "batch interval must be positive");
+        self.batch_interval_ms = ms;
+        self
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Per-pane sampler state for StreamApprox (kept across panes so the
+/// fraction policy's capacity adaptation has history to work from).
+struct SamplerPool<R> {
+    directive: SizingDirective,
+    samplers: Vec<OasrsSampler<R>>,
+}
+
+fn sizing_policy_for(directive: SizingDirective, batch_len: usize, workers: usize) -> SizingPolicy {
+    match directive {
+        SizingDirective::Fraction(f) => SizingPolicy::FractionOfPrevious {
+            fraction: f,
+            // First-interval guess: spread the fraction over an assumed
+            // handful of strata; adapted from real counters afterwards.
+            initial: (((f * batch_len as f64) as usize / workers.max(1) / 4).max(16)),
+        },
+        SizingDirective::PerStratum(n) => SizingPolicy::PerStratum(n),
+        SizingDirective::SharedTotal(n) => SizingPolicy::SharedTotal(n),
+        SizingDirective::Everything => {
+            unreachable!("Everything is handled by the native pane path")
+        }
+    }
+}
+
+/// Splits a batch into `n` contiguous chunks for the sampling workers.
+fn chunks_of<T>(mut items: Vec<T>, n: usize) -> Vec<Vec<T>> {
+    let total = items.len();
+    let per = total.div_ceil(n.max(1)).max(1);
+    let mut out = Vec::with_capacity(n);
+    while items.len() > per {
+        let rest = items.split_off(per);
+        out.push(std::mem::replace(&mut items, rest));
+    }
+    out.push(items);
+    while out.len() < n {
+        out.push(Vec::new());
+    }
+    out
+}
+
+/// Runs one batched system over a recorded stream, returning the completed
+/// windows and run metrics.
+///
+/// # Panics
+///
+/// Panics if an SRS/STS baseline is driven by a non-fraction budget (the
+/// baselines are defined in terms of a sampling fraction; use
+/// [`crate::FixedFraction`]).
+pub fn run_batched<R>(
+    config: &BatchedConfig,
+    system: BatchedSystem,
+    query: &Query<R>,
+    policy: &mut dyn CostPolicy,
+    items: Vec<StreamItem<R>>,
+) -> RunOutput
+where
+    R: Send + Sync + Clone + 'static,
+{
+    let started = Instant::now();
+    let mut windower: PaneWindower<PanePayload> = PaneWindower::new(query.window());
+    let mut windows: Vec<WindowResult> = Vec::new();
+    let mut ingested = 0u64;
+    let mut aggregated = 0u64;
+    let mut pool: Option<SamplerPool<R>> = None;
+
+    for (pane_idx, batch) in MicroBatcher::new(items.into_iter(), config.batch_interval_ms).enumerate()
+    {
+        let directive = policy.interval_sizing();
+        let pane_started = Instant::now();
+        let batch_len = batch.items.len() as u64;
+        let pane_window = batch.window;
+        let payload = match (system, directive) {
+            (BatchedSystem::Native, _) | (_, SizingDirective::Everything) => {
+                native_pane(config, query, batch)
+            }
+            (BatchedSystem::StreamApprox, d) => {
+                streamapprox_pane(config, query, batch, d, &mut pool)
+            }
+            (BatchedSystem::Srs, SizingDirective::Fraction(f)) => {
+                srs_pane(config, query, batch, f, pane_idx as u64)
+            }
+            (BatchedSystem::Sts, SizingDirective::Fraction(f)) => {
+                sts_pane(config, query, batch, f, pane_idx as u64)
+            }
+            (BatchedSystem::Srs | BatchedSystem::Sts, d) => {
+                panic!("the {system} baseline needs a fraction budget, got {d:?}")
+            }
+        };
+        let process_nanos = pane_started.elapsed().as_nanos() as u64;
+        ingested += batch_len;
+        aggregated += payload.sampled();
+        let relative_error = match &payload {
+            PanePayload::Stratified(stats) if !stats.is_empty() => {
+                Some(estimate_mean(stats, query.confidence()).relative_error())
+            }
+            _ => None,
+        };
+        policy.observe(&IntervalFeedback {
+            items: batch_len,
+            sampled: payload.sampled(),
+            process_nanos,
+            relative_error,
+        });
+        windower.add_pane(pane_window, payload);
+        for (window, panes) in windower.advance(pane_window.end) {
+            windows.push(combine_window(window, panes, query.confidence()));
+        }
+    }
+    for (window, panes) in windower.finish() {
+        windows.push(combine_window(window, panes, query.confidence()));
+    }
+    RunOutput {
+        windows,
+        items_ingested: ingested,
+        items_aggregated: aggregated,
+        elapsed: started.elapsed(),
+    }
+}
+
+/// StreamApprox pane: distributed OASRS on raw items, then a data-parallel
+/// stats job over the sampled strata.
+fn streamapprox_pane<R>(
+    config: &BatchedConfig,
+    query: &Query<R>,
+    batch: MicroBatch<R>,
+    directive: SizingDirective,
+    pool: &mut Option<SamplerPool<R>>,
+) -> PanePayload
+where
+    R: Send + Sync + Clone + 'static,
+{
+    let w = config.sample_workers.max(1);
+    // (Re)build the sampler pool if the policy changed its directive.
+    let rebuild = match pool {
+        Some(p) => p.directive != directive,
+        None => true,
+    };
+    if rebuild {
+        let sizing = sizing_policy_for(directive, batch.items.len(), w);
+        *pool = Some(SamplerPool {
+            directive,
+            samplers: (0..w)
+                .map(|i| OasrsSampler::for_worker(sizing, config.seed, i, w))
+                .collect(),
+        });
+    }
+    let p = pool.as_mut().expect("pool just ensured");
+    // Receiver-side sampling: each worker folds its chunk through its own
+    // sampler — no synchronization, items never form a dataset.
+    let samplers = std::mem::take(&mut p.samplers);
+    let inputs: Vec<(OasrsSampler<R>, Vec<StreamItem<R>>)> = samplers
+        .into_iter()
+        .zip(chunks_of(batch.items, w))
+        .collect();
+    let results = config.cluster.run(inputs, |_, (mut sampler, chunk)| {
+        for item in chunk {
+            sampler.observe(item.stratum, item.value);
+        }
+        let sample = sampler.finish_interval();
+        (sampler, sample)
+    });
+    let mut union: Option<sa_types::StratifiedSample<R>> = None;
+    for (sampler, sample) in results {
+        p.samplers.push(sampler);
+        match &mut union {
+            None => union = Some(sample),
+            Some(u) => u.union(sample),
+        }
+    }
+    let sample = union.expect("at least one sampling worker");
+    // The data-parallel query job over the selected sample.
+    let proj = query.projection();
+    let stats = config.cluster.run(sample.into_strata(), move |_, stratum| {
+        StratumStats::from_sample(&stratum, |r| proj(r))
+    });
+    PanePayload::Stratified(stats)
+}
+
+/// Native pane: full dataset, exact per-stratum statistics.
+fn native_pane<R>(config: &BatchedConfig, query: &Query<R>, batch: MicroBatch<R>) -> PanePayload
+where
+    R: Send + Sync + Clone + 'static,
+{
+    let proj = query.projection();
+    let partials = Pds::from_vec(batch.items, config.num_partitions).map_partitions(
+        &config.cluster,
+        move |_, part: Vec<StreamItem<R>>| {
+            let mut local: BTreeMap<StratumId, Welford> = BTreeMap::new();
+            for item in part {
+                local.entry(item.stratum).or_default().push(proj(&item.value));
+            }
+            local.into_iter().collect::<Vec<(StratumId, Welford)>>()
+        },
+    );
+    let mut merged: BTreeMap<StratumId, Welford> = BTreeMap::new();
+    for (stratum, acc) in partials.collect() {
+        merged.entry(stratum).or_default().merge(&acc);
+    }
+    PanePayload::Stratified(
+        merged
+            .into_iter()
+            .map(|(stratum, acc)| StratumStats::from_parts(stratum, acc.count(), acc))
+            .collect(),
+    )
+}
+
+/// SRS pane: full dataset, distributed ScaSRS, project the sample.
+fn srs_pane<R>(
+    config: &BatchedConfig,
+    query: &Query<R>,
+    batch: MicroBatch<R>,
+    fraction: f64,
+    pane_idx: u64,
+) -> PanePayload
+where
+    R: Send + Sync + Clone + 'static,
+{
+    let n = batch.items.len();
+    let k = ((n as f64 * fraction).ceil() as usize).min(n);
+    let proj = query.projection();
+    let samples: Vec<(StratumId, f64)> = Pds::from_vec(batch.items, config.num_partitions)
+        .sample_exact(&config.cluster, k, config.seed ^ pane_idx.wrapping_mul(0x5125))
+        .map(&config.cluster, move |item: StreamItem<R>| {
+            (item.stratum, proj(&item.value))
+        })
+        .collect();
+    PanePayload::Srs {
+        samples,
+        population: n as u64,
+    }
+}
+
+/// STS pane: full dataset, key by stratum, groupBy shuffle, per-stratum
+/// random-sort sampling, then the stats job.
+fn sts_pane<R>(
+    config: &BatchedConfig,
+    query: &Query<R>,
+    batch: MicroBatch<R>,
+    fraction: f64,
+    pane_idx: u64,
+) -> PanePayload
+where
+    R: Send + Sync + Clone + 'static,
+{
+    let keyed = Pds::from_vec(batch.items, config.num_partitions).map(
+        &config.cluster,
+        |item: StreamItem<R>| (item.stratum, item.value),
+    );
+    let sample = keyed.sample_stratified_exact(
+        &config.cluster,
+        fraction,
+        config.seed ^ pane_idx.wrapping_mul(0x575),
+    );
+    let proj = query.projection();
+    let stats = config.cluster.run(sample.into_strata(), move |_, stratum| {
+        StratumStats::from_sample(&stratum, |r| proj(r))
+    });
+    PanePayload::Stratified(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::FixedFraction;
+    use sa_types::{EventTime, WindowSpec};
+
+    fn stream(per_stratum: &[(u32, usize)], duration_ms: i64) -> Vec<StreamItem<f64>> {
+        // Deterministic values: stratum s item i has value s*1000 + (i%10).
+        let parts: Vec<Vec<StreamItem<f64>>> = per_stratum
+            .iter()
+            .map(|&(s, n)| {
+                let spacing = duration_ms as f64 / n as f64;
+                (0..n)
+                    .map(|i| {
+                        StreamItem::new(
+                            StratumId(s),
+                            EventTime::from_millis((i as f64 * spacing) as i64),
+                            f64::from(s) * 1_000.0 + (i % 10) as f64,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        sa_aggregator::merge_by_time(parts)
+    }
+
+    fn config() -> BatchedConfig {
+        BatchedConfig::new(Cluster::new(2)).with_batch_interval_ms(250)
+    }
+
+    fn query() -> Query<f64> {
+        Query::new(|v: &f64| *v).with_window(WindowSpec::tumbling_millis(1_000))
+    }
+
+    #[test]
+    fn native_is_exact() {
+        let items = stream(&[(0, 1_000), (1, 100)], 2_000);
+        let true_sum_w0: f64 = items
+            .iter()
+            .filter(|i| i.time < EventTime::from_millis(1_000))
+            .map(|i| i.value)
+            .sum();
+        let out = run_batched(
+            &config(),
+            BatchedSystem::Native,
+            &query(),
+            &mut FixedFraction(1.0),
+            items,
+        );
+        assert_eq!(out.items_ingested, 1_100);
+        assert_eq!(out.items_aggregated, 1_100);
+        let w0 = &out.windows[0];
+        assert!((w0.sum.value - true_sum_w0).abs() < 1e-9);
+        assert_eq!(w0.sum.bound.margin(), 0.0);
+    }
+
+    #[test]
+    fn streamapprox_approximates_within_bounds() {
+        let items = stream(&[(0, 2_000), (1, 200), (2, 20)], 2_000);
+        let exact = run_batched(
+            &config(),
+            BatchedSystem::Native,
+            &query(),
+            &mut FixedFraction(1.0),
+            items.clone(),
+        );
+        let approx = run_batched(
+            &config(),
+            BatchedSystem::StreamApprox,
+            &query(),
+            &mut FixedFraction(0.5),
+            items,
+        );
+        assert!(approx.items_aggregated < approx.items_ingested);
+        assert_eq!(approx.windows.len(), exact.windows.len());
+        for (a, e) in approx.windows.iter().zip(&exact.windows) {
+            assert_eq!(a.window, e.window);
+            let loss = sa_estimate::accuracy_loss(a.mean.value, e.mean.value);
+            assert!(loss < 0.25, "window {}: loss {loss}", a.window);
+            // No stratum lost.
+            assert_eq!(a.mean_by_stratum.len(), e.mean_by_stratum.len());
+        }
+    }
+
+    #[test]
+    fn sts_matches_population_counts() {
+        let items = stream(&[(0, 1_000), (1, 50)], 1_000);
+        let out = run_batched(
+            &config(),
+            BatchedSystem::Sts,
+            &query(),
+            &mut FixedFraction(0.4),
+            items,
+        );
+        let w = &out.windows[0];
+        assert_eq!(w.sum.population_size, 1_050);
+        // STS samples proportionally: ~40% of each stratum.
+        assert!(w.sum.sample_size >= 400);
+    }
+
+    #[test]
+    fn srs_estimates_total_reasonably() {
+        let items = stream(&[(0, 5_000)], 1_000);
+        let exact: f64 = (0..5_000).map(|i| (i % 10) as f64).sum();
+        let out = run_batched(
+            &config(),
+            BatchedSystem::Srs,
+            &query(),
+            &mut FixedFraction(0.5),
+            items,
+        );
+        let w = &out.windows[0];
+        assert!(
+            sa_estimate::accuracy_loss(w.sum.value, exact) < 0.05,
+            "sum {} vs {exact}",
+            w.sum.value
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a fraction budget")]
+    fn srs_rejects_size_budgets() {
+        let items = stream(&[(0, 100)], 500);
+        let _ = run_batched(
+            &config(),
+            BatchedSystem::Srs,
+            &query(),
+            &mut crate::cost::FixedPerStratum(10),
+            items,
+        );
+    }
+
+    #[test]
+    fn chunks_cover_everything() {
+        let c = chunks_of((0..10).collect::<Vec<i32>>(), 3);
+        assert_eq!(c.len(), 3);
+        let flat: Vec<i32> = c.into_iter().flatten().collect();
+        assert_eq!(flat, (0..10).collect::<Vec<_>>());
+        let single = chunks_of(vec![1], 4);
+        assert_eq!(single.len(), 4);
+        assert_eq!(single.iter().map(Vec::len).sum::<usize>(), 1);
+    }
+
+    #[test]
+    fn sliding_windows_combine_batches() {
+        let items = stream(&[(0, 4_000)], 4_000);
+        let q = Query::new(|v: &f64| *v).with_window(WindowSpec::sliding_millis(2_000, 1_000));
+        let out = run_batched(
+            &config(),
+            BatchedSystem::Native,
+            &q,
+            &mut FixedFraction(1.0),
+            items,
+        );
+        // Windows: [0,2) [1,3) [2,4) plus the trailing flush [3,5).
+        assert!(out.windows.len() >= 3);
+        let w = &out.windows[0];
+        assert_eq!(w.sum.population_size, 2_000);
+    }
+}

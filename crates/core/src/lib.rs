@@ -1,0 +1,93 @@
+//! **StreamApprox** — approximate computing for stream analytics.
+//!
+//! A faithful Rust reproduction of *"StreamApprox: Approximate Computing
+//! for Stream Analytics"* (Quoc, Chen, Bhatotia, Fetzer, Hilt, Strufe —
+//! ACM/IFIP/USENIX Middleware 2017), complete with every substrate the
+//! paper runs on: a batched stream engine (Spark Streaming analogue), a
+//! pipelined stream engine (Flink analogue), a stream aggregator (Kafka
+//! analogue), the sampling baselines from Spark MLib, and the evaluation's
+//! workloads.
+//!
+//! The core idea: instead of processing every item of an unbounded stream,
+//! sample it **online** with *Online Adaptive Stratified Reservoir
+//! Sampling* (OASRS) — one fixed-size reservoir and one counter per
+//! sub-stream — and answer linear queries (sum, mean, count, histogram)
+//! from the weighted sample with rigorous error bounds, trading accuracy
+//! for throughput under a user-specified budget.
+//!
+//! # Quick start
+//!
+//! ```
+//! use streamapprox::{
+//!     run_batched, BatchedConfig, BatchedSystem, FixedFraction, Query,
+//! };
+//! use sa_batched::Cluster;
+//! use sa_types::{EventTime, StratumId, StreamItem, WindowSpec};
+//!
+//! // A stream with two sub-streams of very different sizes.
+//! let items: Vec<StreamItem<f64>> = (0..10_000)
+//!     .map(|i| {
+//!         let stratum = if i % 100 == 0 { StratumId(1) } else { StratumId(0) };
+//!         StreamItem::new(stratum, EventTime::from_millis(i), f64::from(i as u32 % 50))
+//!     })
+//!     .collect();
+//!
+//! let config = BatchedConfig::new(Cluster::new(2));
+//! let query = Query::new(|v: &f64| *v).with_window(WindowSpec::tumbling_millis(2_000));
+//!
+//! // Sample 30% of the stream; answers come with error bounds.
+//! let out = run_batched(
+//!     &config,
+//!     BatchedSystem::StreamApprox,
+//!     &query,
+//!     &mut FixedFraction(0.3),
+//!     items,
+//! );
+//! assert!(out.items_aggregated < out.items_ingested);
+//! for window in &out.windows {
+//!     let (lo, hi) = window.mean.interval();
+//!     assert!(lo <= hi);
+//! }
+//! ```
+//!
+//! # Map of the crate
+//!
+//! * [`Query`] — what to aggregate, over which sliding window, at which
+//!   confidence.
+//! * [`CostPolicy`] and its implementations ([`FixedFraction`],
+//!   [`FixedPerStratum`], [`AccuracyPolicy`], [`LatencyPolicy`],
+//!   [`TokenPolicy`]) — the paper's "virtual cost function" (§7) mapping a
+//!   [`sa_types::QueryBudget`] to per-interval sample sizes;
+//!   [`policy_for_budget`] builds one from a budget.
+//! * [`run_batched`] with [`BatchedSystem`] — Spark-style execution:
+//!   StreamApprox plus the SRS/STS/native baselines.
+//! * [`run_pipelined`] with [`PipelinedSystem`] — Flink-style execution:
+//!   StreamApprox plus native.
+//! * [`WindowResult`] / [`RunOutput`] — per-window `output ± error bound`
+//!   answers and run metrics.
+//! * [`PaneWindower`] / [`combine_window`] — pane-based window assembly,
+//!   shared by both engines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batched;
+mod combine;
+mod cost;
+mod output;
+mod pipelined;
+mod query;
+mod stratify;
+mod windowing;
+
+pub use batched::{run_batched, BatchedConfig, BatchedSystem};
+pub use combine::{combine_window, PanePayload};
+pub use cost::{
+    confidence_for_budget, policy_for_budget, AccuracyPolicy, CostPolicy, FixedFraction,
+    FixedPerStratum, IntervalFeedback, LatencyPolicy, SizingDirective, TokenPolicy,
+};
+pub use output::{RunOutput, WindowResult};
+pub use pipelined::{run_pipelined, PipelinedConfig, PipelinedSystem};
+pub use query::Query;
+pub use stratify::{restratify, QuantileStratifier};
+pub use windowing::PaneWindower;

@@ -1,0 +1,504 @@
+//! The pipelined (Flink-style) runners: StreamApprox and native execution
+//! on the `sa-pipelined` engine.
+//!
+//! Topology: `source → sampling/stats stage (w instances, rebalanced) →
+//! window estimator (1 instance) → sink`. The sampling operator implements
+//! §4.2.2: it samples "on-the-fly and in an adaptive manner", closing one
+//! OASRS interval per *slide interval* (§5.5) and shipping per-stratum
+//! statistics — not items — downstream. Vanilla Flink has no sampling
+//! operator (§4.1.2), so the only baseline here is native execution, as in
+//! the paper.
+
+use crate::combine::{combine_window, PanePayload};
+use crate::cost::{CostPolicy, SizingDirective};
+use crate::output::{RunOutput, WindowResult};
+use crate::query::Query;
+use crate::windowing::PaneWindower;
+use sa_estimate::{StratumStats, Welford};
+use sa_pipelined::{Exchange, Flow, Operator};
+use sa_sampling::{OasrsSampler, SizingPolicy};
+use sa_types::{EventTime, StratumId, StreamItem, Window};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Which pipelined system to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PipelinedSystem {
+    /// Flink-based StreamApprox: an OASRS sampling operator in the
+    /// pipeline.
+    StreamApprox,
+    /// Native Flink execution without sampling.
+    Native,
+}
+
+impl std::fmt::Display for PipelinedSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelinedSystem::StreamApprox => write!(f, "Flink-based StreamApprox"),
+            PipelinedSystem::Native => write!(f, "Native Flink"),
+        }
+    }
+}
+
+/// Configuration of the pipelined engine for one run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelinedConfig {
+    /// Parallel instances of the sampling/stats stage.
+    pub sample_workers: usize,
+    /// RNG seed for sampling decisions.
+    pub seed: u64,
+    /// How often the source advances the watermark (event-time ms).
+    pub watermark_interval_ms: i64,
+}
+
+impl PipelinedConfig {
+    /// A default sized for small machines: 2 sampling workers, 100 ms
+    /// watermarks.
+    pub fn new() -> Self {
+        PipelinedConfig {
+            sample_workers: 2,
+            seed: 0x5A5A,
+            watermark_interval_ms: 100,
+        }
+    }
+
+    /// Sets the number of sampling workers.
+    #[must_use]
+    pub fn with_sample_workers(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "need at least one sampling worker");
+        self.sample_workers = workers;
+        self
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for PipelinedConfig {
+    fn default() -> Self {
+        PipelinedConfig::new()
+    }
+}
+
+/// Output of the sampling/stats stage.
+#[derive(Debug, Clone)]
+enum StageOut {
+    /// One pane's per-stratum statistics from one worker.
+    Pane {
+        pane: Window,
+        stats: Vec<StratumStats>,
+    },
+    /// End-of-stream counters from one worker.
+    Done { ingested: u64, sampled: u64 },
+}
+
+/// Output of the window-estimation stage.
+#[derive(Debug, Clone)]
+enum RunnerOut {
+    Window(Box<WindowResult>),
+    Done { ingested: u64, sampled: u64 },
+}
+
+/// The pane-sampling / pane-stats operator (one instance per worker).
+///
+/// Panes are slide-interval-sized. A pane closes when either an item of a
+/// later pane arrives (items are in order within an instance) or the
+/// watermark passes its end — the watermark path runs *before* the runtime
+/// forwards the watermark downstream, so pane results always precede the
+/// watermark that completes their windows.
+struct PaneStage<R> {
+    kind: PaneKind<R>,
+    pane_ms: i64,
+    current_pane_start: Option<i64>,
+    proj: Arc<dyn Fn(&R) -> f64 + Send + Sync>,
+    ingested: u64,
+    sampled: u64,
+}
+
+enum PaneKind<R> {
+    Sampling(OasrsSampler<R>),
+    Exact(BTreeMap<StratumId, Welford>),
+}
+
+impl<R: Send + 'static> PaneStage<R> {
+    fn sampling(
+        sizing: SizingPolicy,
+        seed: u64,
+        worker: usize,
+        num_workers: usize,
+        pane_ms: i64,
+        proj: Arc<dyn Fn(&R) -> f64 + Send + Sync>,
+    ) -> Self {
+        PaneStage {
+            kind: PaneKind::Sampling(OasrsSampler::for_worker(sizing, seed, worker, num_workers)),
+            pane_ms,
+            current_pane_start: None,
+            proj,
+            ingested: 0,
+            sampled: 0,
+        }
+    }
+
+    fn exact(pane_ms: i64, proj: Arc<dyn Fn(&R) -> f64 + Send + Sync>) -> Self {
+        PaneStage {
+            kind: PaneKind::Exact(BTreeMap::new()),
+            pane_ms,
+            current_pane_start: None,
+            proj,
+            ingested: 0,
+            sampled: 0,
+        }
+    }
+
+    fn flush_pane(&mut self, out: &mut dyn FnMut(StreamItem<StageOut>)) {
+        let Some(start) = self.current_pane_start.take() else {
+            return;
+        };
+        let pane = Window::new(
+            EventTime::from_millis(start),
+            EventTime::from_millis(start + self.pane_ms),
+        );
+        let stats: Vec<StratumStats> = match &mut self.kind {
+            PaneKind::Sampling(sampler) => {
+                let sample = sampler.finish_interval();
+                let proj = &self.proj;
+                sample
+                    .iter()
+                    .map(|stratum| StratumStats::from_sample(stratum, |r| proj(r)))
+                    .collect()
+            }
+            PaneKind::Exact(accs) => std::mem::take(accs)
+                .into_iter()
+                .map(|(stratum, acc)| StratumStats::from_parts(stratum, acc.count(), acc))
+                .collect(),
+        };
+        self.sampled += stats.iter().map(|s| s.sample_size()).sum::<u64>();
+        out(StreamItem::new(
+            StratumId(0),
+            pane.end,
+            StageOut::Pane { pane, stats },
+        ));
+    }
+}
+
+impl<R: Send + 'static> Operator<R, StageOut> for PaneStage<R> {
+    fn on_item(&mut self, item: StreamItem<R>, out: &mut dyn FnMut(StreamItem<StageOut>)) {
+        let pane = item.time.as_millis().div_euclid(self.pane_ms) * self.pane_ms;
+        match self.current_pane_start {
+            None => self.current_pane_start = Some(pane),
+            Some(current) if pane > current => {
+                self.flush_pane(out);
+                self.current_pane_start = Some(pane);
+            }
+            _ => {}
+        }
+        self.ingested += 1;
+        match &mut self.kind {
+            PaneKind::Sampling(sampler) => sampler.observe(item.stratum, item.value),
+            PaneKind::Exact(accs) => {
+                let v = (self.proj)(&item.value);
+                accs.entry(item.stratum).or_default().push(v);
+            }
+        }
+    }
+
+    fn on_watermark(&mut self, wm: EventTime, out: &mut dyn FnMut(StreamItem<StageOut>)) {
+        if let Some(start) = self.current_pane_start {
+            if wm.as_millis() >= start + self.pane_ms {
+                self.flush_pane(out);
+            }
+        }
+    }
+
+    fn on_end(&mut self, out: &mut dyn FnMut(StreamItem<StageOut>)) {
+        self.flush_pane(out);
+        out(StreamItem::new(
+            StratumId(0),
+            EventTime::MAX,
+            StageOut::Done {
+                ingested: self.ingested,
+                sampled: self.sampled,
+            },
+        ));
+    }
+}
+
+/// The window-estimation operator: assembles panes into sliding windows
+/// and emits `output ± error bound` results as the watermark closes them.
+struct WindowEstimator {
+    windower: PaneWindower<PanePayload>,
+    confidence: sa_types::Confidence,
+    ingested: u64,
+    sampled: u64,
+}
+
+impl WindowEstimator {
+    fn emit_windows(
+        &mut self,
+        done: Vec<(Window, Vec<PanePayload>)>,
+        out: &mut dyn FnMut(StreamItem<RunnerOut>),
+    ) {
+        for (window, panes) in done {
+            let result = combine_window(window, panes, self.confidence);
+            out(StreamItem::new(
+                StratumId(0),
+                window.end,
+                RunnerOut::Window(Box::new(result)),
+            ));
+        }
+    }
+}
+
+impl Operator<StageOut, RunnerOut> for WindowEstimator {
+    fn on_item(&mut self, item: StreamItem<StageOut>, _out: &mut dyn FnMut(StreamItem<RunnerOut>)) {
+        match item.value {
+            StageOut::Pane { pane, stats } => {
+                self.windower.add_pane(pane, PanePayload::Stratified(stats));
+            }
+            StageOut::Done { ingested, sampled } => {
+                self.ingested += ingested;
+                self.sampled += sampled;
+            }
+        }
+    }
+
+    fn on_watermark(&mut self, wm: EventTime, out: &mut dyn FnMut(StreamItem<RunnerOut>)) {
+        let done = if wm == EventTime::MAX {
+            self.windower.finish()
+        } else {
+            self.windower.advance(wm)
+        };
+        self.emit_windows(done, out);
+    }
+
+    fn on_end(&mut self, out: &mut dyn FnMut(StreamItem<RunnerOut>)) {
+        let done = self.windower.finish();
+        self.emit_windows(done, out);
+        out(StreamItem::new(
+            StratumId(0),
+            EventTime::MAX,
+            RunnerOut::Done {
+                ingested: self.ingested,
+                sampled: self.sampled,
+            },
+        ));
+    }
+}
+
+/// Runs one pipelined system over a recorded stream.
+///
+/// The cost policy is consulted once at startup for its sizing directive;
+/// within the run, OASRS's own per-interval adaptation (capacity follows
+/// `fraction × previous arrivals`) provides the adaptivity of §4.2.2.
+pub fn run_pipelined<R>(
+    config: &PipelinedConfig,
+    system: PipelinedSystem,
+    query: &Query<R>,
+    policy: &mut dyn CostPolicy,
+    items: Vec<StreamItem<R>>,
+) -> RunOutput
+where
+    R: Send + Sync + 'static,
+{
+    let started = Instant::now();
+    let directive = policy.interval_sizing();
+    let pane_ms = query.window().slide_millis();
+    let w = config.sample_workers.max(1);
+    let proj = query.projection();
+    let seed = config.seed;
+    let confidence = query.confidence();
+    let window_spec = query.window();
+    // Estimate pane volume for the fraction policy's first interval.
+    let first_pane_guess = items
+        .iter()
+        .take_while(|i| i.time.as_millis() < pane_ms)
+        .count();
+
+    let exact = matches!(system, PipelinedSystem::Native)
+        || matches!(directive, SizingDirective::Everything);
+    let sizing = if exact {
+        None
+    } else {
+        Some(match directive {
+            SizingDirective::Fraction(f) => SizingPolicy::FractionOfPrevious {
+                fraction: f,
+                initial: ((f * first_pane_guess as f64) as usize / w.max(1) / 4).max(16),
+            },
+            SizingDirective::PerStratum(n) => SizingPolicy::PerStratum(n),
+            SizingDirective::SharedTotal(n) => SizingPolicy::SharedTotal(n),
+            SizingDirective::Everything => unreachable!("handled by the exact path"),
+        })
+    };
+
+    let collected = Flow::source(items, config.watermark_interval_ms)
+        .then(w, Exchange::Rebalance, move |i| {
+            let proj = Arc::clone(&proj);
+            match sizing {
+                Some(sizing) => PaneStage::sampling(sizing, seed, i, w, pane_ms, proj),
+                None => PaneStage::exact(pane_ms, proj),
+            }
+        })
+        .then(1, Exchange::Rebalance, move |_| WindowEstimator {
+            windower: PaneWindower::new(window_spec),
+            confidence,
+            ingested: 0,
+            sampled: 0,
+        })
+        .collect();
+
+    let mut windows = Vec::new();
+    let mut ingested = 0u64;
+    let mut aggregated = 0u64;
+    for item in collected {
+        match item.value {
+            RunnerOut::Window(result) => windows.push(*result),
+            RunnerOut::Done {
+                ingested: i,
+                sampled: s,
+            } => {
+                ingested += i;
+                aggregated += s;
+            }
+        }
+    }
+    windows.sort_by_key(|w| (w.window.end, w.window.start));
+    RunOutput {
+        windows,
+        items_ingested: ingested,
+        items_aggregated: aggregated,
+        elapsed: started.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::FixedFraction;
+    use sa_types::WindowSpec;
+
+    fn stream(per_stratum: &[(u32, usize)], duration_ms: i64) -> Vec<StreamItem<f64>> {
+        let parts: Vec<Vec<StreamItem<f64>>> = per_stratum
+            .iter()
+            .map(|&(s, n)| {
+                let spacing = duration_ms as f64 / n as f64;
+                (0..n)
+                    .map(|i| {
+                        StreamItem::new(
+                            StratumId(s),
+                            EventTime::from_millis((i as f64 * spacing) as i64),
+                            f64::from(s) * 100.0 + (i % 10) as f64,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        sa_aggregator::merge_by_time(parts)
+    }
+
+    fn query() -> Query<f64> {
+        Query::new(|v: &f64| *v).with_window(WindowSpec::tumbling_millis(1_000))
+    }
+
+    #[test]
+    fn native_pipelined_is_exact() {
+        let items = stream(&[(0, 1_000), (1, 100)], 2_000);
+        let exact_w0: f64 = items
+            .iter()
+            .filter(|i| i.time < EventTime::from_millis(1_000))
+            .map(|i| i.value)
+            .sum();
+        let out = run_pipelined(
+            &PipelinedConfig::new(),
+            PipelinedSystem::Native,
+            &query(),
+            &mut FixedFraction(1.0),
+            items,
+        );
+        assert_eq!(out.items_ingested, 1_100);
+        assert_eq!(out.items_aggregated, 1_100);
+        let w0 = &out.windows[0];
+        assert!((w0.sum.value - exact_w0).abs() < 1e-9, "{}", w0.sum.value);
+        assert_eq!(w0.sum.bound.margin(), 0.0);
+    }
+
+    #[test]
+    fn streamapprox_pipelined_tracks_native() {
+        let items = stream(&[(0, 3_000), (1, 300), (2, 30)], 3_000);
+        let exact = run_pipelined(
+            &PipelinedConfig::new(),
+            PipelinedSystem::Native,
+            &query(),
+            &mut FixedFraction(1.0),
+            items.clone(),
+        );
+        let approx = run_pipelined(
+            &PipelinedConfig::new(),
+            PipelinedSystem::StreamApprox,
+            &query(),
+            &mut FixedFraction(0.5),
+            items,
+        );
+        assert!(approx.items_aggregated < approx.items_ingested);
+        assert_eq!(approx.windows.len(), exact.windows.len());
+        for (a, e) in approx.windows.iter().zip(&exact.windows) {
+            assert_eq!(a.window, e.window);
+            let loss = sa_estimate::accuracy_loss(a.mean.value, e.mean.value);
+            assert!(loss < 0.25, "window {}: loss {loss}", a.window);
+        }
+    }
+
+    #[test]
+    fn sliding_windows_assemble_from_slide_panes() {
+        let items = stream(&[(0, 4_000)], 4_000);
+        let q = Query::new(|v: &f64| *v).with_window(WindowSpec::sliding_millis(2_000, 1_000));
+        let out = run_pipelined(
+            &PipelinedConfig::new(),
+            PipelinedSystem::Native,
+            &q,
+            &mut FixedFraction(1.0),
+            items,
+        );
+        assert!(out.windows.len() >= 3);
+        let w0 = &out.windows[0];
+        assert_eq!(w0.window.len_millis(), 2_000);
+        assert_eq!(w0.sum.population_size, 2_000);
+    }
+
+    #[test]
+    fn minority_stratum_survives_sampling() {
+        // 10,000 vs 10 items; the sampler must keep stratum 1 in every
+        // window.
+        let items = stream(&[(0, 10_000), (1, 10)], 1_000);
+        let out = run_pipelined(
+            &PipelinedConfig::new(),
+            PipelinedSystem::StreamApprox,
+            &query(),
+            &mut FixedFraction(0.1),
+            items,
+        );
+        let w0 = &out.windows[0];
+        assert!(
+            w0.stratum_mean(StratumId(1)).is_some(),
+            "minority stratum lost"
+        );
+    }
+
+    #[test]
+    fn parallel_workers_union_correctly() {
+        let items = stream(&[(0, 2_000)], 1_000);
+        let out = run_pipelined(
+            &PipelinedConfig::new().with_sample_workers(4),
+            PipelinedSystem::Native,
+            &query(),
+            &mut FixedFraction(1.0),
+            items,
+        );
+        // All 2,000 items counted exactly once across the 4 workers.
+        assert_eq!(out.windows[0].sum.population_size, 2_000);
+    }
+}

@@ -1,0 +1,118 @@
+//! Streaming-query descriptors.
+
+use sa_types::{Confidence, WindowSpec};
+use std::fmt;
+use std::sync::Arc;
+
+/// A streaming query over records of type `R`: a numeric projection
+/// (what to aggregate), a sliding window, and the confidence level for
+/// error bounds.
+///
+/// The projection is where per-record work happens — for the case studies
+/// it includes parsing the serialized record, exactly the work a deployment
+/// pays per item it aggregates. StreamApprox's advantage comes from paying
+/// it only for sampled items.
+///
+/// # Example
+///
+/// ```
+/// use streamapprox::Query;
+/// use sa_types::{WindowSpec, Confidence};
+///
+/// let query: Query<String> = Query::new(|line: &String| line.len() as f64)
+///     .with_window(WindowSpec::sliding_secs(10, 5))
+///     .with_confidence(Confidence::P95);
+/// assert_eq!(query.project(&"abcd".to_string()), 4.0);
+/// ```
+#[derive(Clone)]
+pub struct Query<R> {
+    projection: Arc<dyn Fn(&R) -> f64 + Send + Sync>,
+    window: WindowSpec,
+    confidence: Confidence,
+}
+
+impl<R> Query<R> {
+    /// Creates a query aggregating `projection(record)` values under the
+    /// paper's default window (10 s sliding by 5 s) at 95% confidence.
+    pub fn new(projection: impl Fn(&R) -> f64 + Send + Sync + 'static) -> Self {
+        Query {
+            projection: Arc::new(projection),
+            window: WindowSpec::default(),
+            confidence: Confidence::P95,
+        }
+    }
+
+    /// Sets the sliding-window specification.
+    #[must_use]
+    pub fn with_window(mut self, window: WindowSpec) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Sets the confidence level of reported error bounds.
+    #[must_use]
+    pub fn with_confidence(mut self, confidence: Confidence) -> Self {
+        self.confidence = confidence;
+        self
+    }
+
+    /// The window specification.
+    pub fn window(&self) -> WindowSpec {
+        self.window
+    }
+
+    /// The confidence level.
+    pub fn confidence(&self) -> Confidence {
+        self.confidence
+    }
+
+    /// Applies the projection to one record.
+    #[inline]
+    pub fn project(&self, record: &R) -> f64 {
+        (self.projection)(record)
+    }
+
+    /// A shareable handle to the projection (runners move it into parallel
+    /// stages).
+    pub fn projection(&self) -> Arc<dyn Fn(&R) -> f64 + Send + Sync> {
+        Arc::clone(&self.projection)
+    }
+}
+
+impl<R> fmt::Debug for Query<R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Query")
+            .field("window", &self.window)
+            .field("confidence", &self.confidence)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let q: Query<f64> = Query::new(|v| *v);
+        assert_eq!(q.window(), WindowSpec::sliding_secs(10, 5));
+        assert_eq!(q.confidence(), Confidence::P95);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let q: Query<f64> = Query::new(|v| *v * 2.0)
+            .with_window(WindowSpec::tumbling_millis(500))
+            .with_confidence(Confidence::P997);
+        assert_eq!(q.window().slide_millis(), 500);
+        assert_eq!(q.confidence(), Confidence::P997);
+        assert_eq!(q.project(&3.0), 6.0);
+    }
+
+    #[test]
+    fn projection_handle_shares_closure() {
+        let q: Query<u32> = Query::new(|v| f64::from(*v));
+        let p = q.projection();
+        assert_eq!(p(&7), 7.0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Stratifying streams that do not arrive pre-stratified (§7-II).
+//!
+//! The design assumes the input is stratified by source (§2.3); §7-II
+//! sketches what to do otherwise: "in more complex cases where we cannot
+//! classify strata based on the sources, we need a pre-processing step to
+//! stratify the input data stream", citing bootstrap estimation over a
+//! sample of the stream. This module implements that pre-processing step:
+//!
+//! * [`QuantileStratifier`] — trains value-quantile cut points on a
+//!   warm-up sample (the bootstrap estimate of the distribution) and then
+//!   buckets arriving items in O(log k); items with similar magnitudes
+//!   share a stratum, which is what stratified estimation needs for
+//!   variance reduction.
+//! * [`restratify`] — rewrites a stream's stratum ids using any
+//!   classifier, leaving payloads and timestamps untouched.
+
+use sa_types::{StratumId, StreamItem};
+
+/// Assigns strata by value quantiles learned from a warm-up sample.
+///
+/// # Example
+///
+/// ```
+/// use streamapprox::QuantileStratifier;
+///
+/// // Learn terciles from a warm-up sample.
+/// let warmup: Vec<f64> = (0..300).map(f64::from).collect();
+/// let stratifier = QuantileStratifier::train(&warmup, 3);
+/// assert_eq!(stratifier.num_strata(), 3);
+/// assert_eq!(stratifier.stratum_of(5.0).0, 0);
+/// assert_eq!(stratifier.stratum_of(150.0).0, 1);
+/// assert_eq!(stratifier.stratum_of(299.0).0, 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileStratifier {
+    /// Upper cut point of each stratum except the last (sorted).
+    cuts: Vec<f64>,
+}
+
+impl QuantileStratifier {
+    /// Learns `strata` equal-mass buckets from a warm-up sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the warm-up sample is empty or `strata` is zero.
+    pub fn train(warmup: &[f64], strata: usize) -> Self {
+        assert!(!warmup.is_empty(), "warm-up sample must be non-empty");
+        assert!(strata > 0, "need at least one stratum");
+        let mut sorted: Vec<f64> = warmup
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .collect();
+        assert!(!sorted.is_empty(), "warm-up sample must contain finite values");
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let n = sorted.len();
+        let cuts = (1..strata)
+            .map(|k| {
+                let idx = (k * n / strata).min(n - 1);
+                sorted[idx]
+            })
+            .collect();
+        QuantileStratifier { cuts }
+    }
+
+    /// Number of strata this classifier produces.
+    pub fn num_strata(&self) -> usize {
+        self.cuts.len() + 1
+    }
+
+    /// The stratum a value belongs to.
+    pub fn stratum_of(&self, value: f64) -> StratumId {
+        // partition_point gives the count of cuts <= value, i.e. the bucket.
+        let bucket = self.cuts.partition_point(|c| *c <= value);
+        StratumId(bucket as u32)
+    }
+}
+
+/// Rewrites every item's stratum id using `classify` over a projected
+/// feature, preserving payloads and event times — the pre-processing step
+/// that turns an unlabeled stream into OASRS-ready input.
+pub fn restratify<R, F, C>(
+    items: Vec<StreamItem<R>>,
+    mut feature: F,
+    mut classify: C,
+) -> Vec<StreamItem<R>>
+where
+    F: FnMut(&R) -> f64,
+    C: FnMut(f64) -> StratumId,
+{
+    items
+        .into_iter()
+        .map(|item| {
+            let stratum = classify(feature(&item.value));
+            StreamItem::new(stratum, item.time, item.value)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use sa_estimate::{accuracy_loss, estimate_sum, stats_of};
+    use sa_sampling::{OasrsSampler, SizingPolicy};
+    use sa_types::{Confidence, EventTime};
+
+    #[test]
+    fn quantile_buckets_are_balanced() {
+        let warmup: Vec<f64> = (0..1_000).map(f64::from).collect();
+        let s = QuantileStratifier::train(&warmup, 4);
+        let mut counts = [0usize; 4];
+        for v in 0..1_000 {
+            counts[s.stratum_of(f64::from(v)).index()] += 1;
+        }
+        for (k, &c) in counts.iter().enumerate() {
+            assert!((c as i64 - 250).abs() <= 1, "bucket {k}: {c}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_values_clamp_to_edge_buckets() {
+        let s = QuantileStratifier::train(&[1.0, 2.0, 3.0, 4.0], 2);
+        assert_eq!(s.stratum_of(-100.0).0, 0);
+        assert_eq!(s.stratum_of(100.0).0, 1);
+    }
+
+    #[test]
+    fn single_stratum_maps_everything_to_zero() {
+        let s = QuantileStratifier::train(&[5.0], 1);
+        assert_eq!(s.num_strata(), 1);
+        assert_eq!(s.stratum_of(f64::MIN).0, 0);
+        assert_eq!(s.stratum_of(f64::MAX).0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "warm-up sample must be non-empty")]
+    fn empty_warmup_rejected() {
+        let _ = QuantileStratifier::train(&[], 3);
+    }
+
+    #[test]
+    fn restratify_preserves_payload_and_time() {
+        let items = vec![
+            StreamItem::new(StratumId(0), EventTime::from_millis(5), 10.0),
+            StreamItem::new(StratumId(0), EventTime::from_millis(6), 99.0),
+        ];
+        let s = QuantileStratifier::train(&[0.0, 50.0, 100.0], 2);
+        let out = restratify(items, |v| *v, |f| s.stratum_of(f));
+        assert_eq!(out[0].stratum.0, 0);
+        assert_eq!(out[1].stratum.0, 1);
+        assert_eq!(out[0].value, 10.0);
+        assert_eq!(out[1].time, EventTime::from_millis(6));
+    }
+
+    /// The point of §7-II: on a heavy-tailed *unlabeled* stream, quantile
+    /// stratification + OASRS beats unstratified reservoir sampling at the
+    /// same budget.
+    #[test]
+    fn stratification_reduces_error_on_unlabeled_mixture() {
+        let mut rng = SmallRng::seed_from_u64(77);
+        // Unlabeled mixture: 95% small values, 5% huge ones.
+        let raw: Vec<StreamItem<f64>> = (0..20_000)
+            .map(|i| {
+                let v = if rng.gen::<f64>() < 0.95 {
+                    rng.gen_range(0.0..10.0)
+                } else {
+                    rng.gen_range(5_000.0..15_000.0)
+                };
+                StreamItem::new(StratumId(0), EventTime::from_millis(i), v)
+            })
+            .collect();
+        let true_sum: f64 = raw.iter().map(|i| i.value).sum();
+        let warmup: Vec<f64> = raw.iter().take(2_000).map(|i| i.value).collect();
+        let stratifier = QuantileStratifier::train(&warmup, 8);
+        let stratified = restratify(raw.clone(), |v| *v, |f| stratifier.stratum_of(f));
+
+        const TRIALS: u64 = 40;
+        const BUDGET: usize = 400;
+        let mut flat_err = 0.0;
+        let mut strat_err = 0.0;
+        for seed in 0..TRIALS {
+            let mut flat = OasrsSampler::new(SizingPolicy::SharedTotal(BUDGET), seed);
+            for item in &raw {
+                flat.observe(item.stratum, item.value);
+            }
+            let sample = flat.finish_interval();
+            let est = estimate_sum(&stats_of(&sample, |v| *v), Confidence::P95);
+            flat_err += accuracy_loss(est.value, true_sum);
+
+            let mut strat = OasrsSampler::new(SizingPolicy::SharedTotal(BUDGET), seed);
+            for item in &stratified {
+                strat.observe(item.stratum, item.value);
+            }
+            let sample = strat.finish_interval();
+            let est = estimate_sum(&stats_of(&sample, |v| *v), Confidence::P95);
+            strat_err += accuracy_loss(est.value, true_sum);
+        }
+        assert!(
+            strat_err < flat_err,
+            "stratified error {} not below flat error {}",
+            strat_err / TRIALS as f64,
+            flat_err / TRIALS as f64
+        );
+    }
+}

@@ -1,0 +1,295 @@
+//! Producer and consumer clients over a [`Topic`].
+
+use crate::log::{Message, Topic};
+use sa_types::{StratumId, StreamItem};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// How a producer maps items to partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Partitioner {
+    /// Messages rotate over partitions round-robin — the aggregator's role
+    /// in the paper is to *combine* disjoint sub-streams into one stream,
+    /// so by default strata are mixed together.
+    RoundRobin,
+    /// Items are split by stratum hash, keeping each sub-stream on a single
+    /// partition (useful when downstream operators want partition-locality
+    /// per stratum).
+    ByStratum,
+}
+
+/// Publishes item batches to a topic.
+///
+/// # Example
+///
+/// ```
+/// use sa_aggregator::{Producer, Partitioner, Topic};
+/// use sa_types::{StreamItem, StratumId, EventTime};
+///
+/// let topic = Topic::new("in", 2);
+/// let mut producer = Producer::new(topic.clone(), Partitioner::RoundRobin);
+/// producer.send(vec![StreamItem::new(StratumId(0), EventTime::from_millis(0), 1u32)]);
+/// producer.send(vec![StreamItem::new(StratumId(0), EventTime::from_millis(1), 2u32)]);
+/// assert_eq!(topic.high_watermark(0) + topic.high_watermark(1), 2);
+/// ```
+#[derive(Debug)]
+pub struct Producer<T> {
+    topic: Arc<Topic<T>>,
+    partitioner: Partitioner,
+    next_round_robin: usize,
+}
+
+impl<T> Producer<T> {
+    /// Creates a producer for `topic`.
+    pub fn new(topic: Arc<Topic<T>>, partitioner: Partitioner) -> Self {
+        Producer {
+            topic,
+            partitioner,
+            next_round_robin: 0,
+        }
+    }
+
+    fn partition_for(&mut self, items: &[StreamItem<T>]) -> usize {
+        let n = self.topic.num_partitions();
+        match self.partitioner {
+            Partitioner::RoundRobin => {
+                let p = self.next_round_robin;
+                self.next_round_robin = (self.next_round_robin + 1) % n;
+                p
+            }
+            Partitioner::ByStratum => {
+                let stratum = items.first().map(|i| i.stratum).unwrap_or(StratumId(0));
+                let mut h = DefaultHasher::new();
+                stratum.hash(&mut h);
+                (h.finish() % n as u64) as usize
+            }
+        }
+    }
+
+    /// Publishes one message (a batch of items), returning `(partition,
+    /// offset)`. Empty batches are dropped and reported as `None`.
+    pub fn send(&mut self, items: Vec<StreamItem<T>>) -> Option<(usize, u64)> {
+        if items.is_empty() {
+            return None;
+        }
+        let p = self.partition_for(&items);
+        let offset = self.topic.append(p, items);
+        Some((p, offset))
+    }
+}
+
+/// A consumer reading an assigned set of partitions with its own offsets.
+///
+/// Consumers in the same group split the topic's partitions among
+/// themselves via [`Consumer::group`], Kafka-style: partition `i` goes to
+/// group member `i % group_size`.
+///
+/// # Example
+///
+/// ```
+/// use sa_aggregator::{Consumer, Producer, Partitioner, Topic};
+/// use sa_types::{StreamItem, StratumId, EventTime};
+///
+/// let topic = Topic::new("in", 1);
+/// let mut producer = Producer::new(topic.clone(), Partitioner::RoundRobin);
+/// producer.send(vec![StreamItem::new(StratumId(0), EventTime::from_millis(0), 7u32)]);
+///
+/// let mut consumer = Consumer::whole_topic(topic);
+/// let items = consumer.poll_items(100);
+/// assert_eq!(items.len(), 1);
+/// assert_eq!(items[0].value, 7);
+/// assert!(consumer.poll_items(100).is_empty());
+/// ```
+#[derive(Debug)]
+pub struct Consumer<T> {
+    topic: Arc<Topic<T>>,
+    /// `(partition, next_offset)` pairs this consumer owns.
+    assignments: Vec<(usize, u64)>,
+    next_poll_slot: usize,
+}
+
+impl<T> Consumer<T> {
+    /// A consumer owning every partition of the topic.
+    pub fn whole_topic(topic: Arc<Topic<T>>) -> Self {
+        let assignments = (0..topic.num_partitions()).map(|p| (p, 0)).collect();
+        Consumer {
+            topic,
+            assignments,
+            next_poll_slot: 0,
+        }
+    }
+
+    /// Member `member` of a consumer group of size `group_size`: owns the
+    /// partitions `p` with `p % group_size == member`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group_size` is zero or `member >= group_size`.
+    pub fn group(topic: Arc<Topic<T>>, member: usize, group_size: usize) -> Self {
+        assert!(group_size > 0, "group size must be positive");
+        assert!(member < group_size, "member index out of range");
+        let assignments = (0..topic.num_partitions())
+            .filter(|p| p % group_size == member)
+            .map(|p| (p, 0))
+            .collect();
+        Consumer {
+            topic,
+            assignments,
+            next_poll_slot: 0,
+        }
+    }
+
+    /// The partitions this consumer owns.
+    pub fn partitions(&self) -> Vec<usize> {
+        self.assignments.iter().map(|&(p, _)| p).collect()
+    }
+
+    /// Polls up to `max_messages` messages, rotating fairly over the owned
+    /// partitions, and advances the offsets.
+    pub fn poll(&mut self, max_messages: usize) -> Vec<Arc<Message<T>>> {
+        let mut out = Vec::new();
+        if self.assignments.is_empty() {
+            return out;
+        }
+        let slots = self.assignments.len();
+        let mut exhausted = 0usize;
+        while out.len() < max_messages && exhausted < slots {
+            let slot = self.next_poll_slot % slots;
+            self.next_poll_slot = (self.next_poll_slot + 1) % slots;
+            let (partition, ref mut offset) = self.assignments[slot];
+            let batch = self
+                .topic
+                .read_from(partition, *offset, max_messages - out.len());
+            if batch.is_empty() {
+                exhausted += 1;
+            } else {
+                exhausted = 0;
+                *offset += batch.len() as u64;
+                out.extend(batch);
+            }
+        }
+        out
+    }
+
+    /// Polls messages and flattens them into items (clones the payload out
+    /// of the shared log).
+    pub fn poll_items(&mut self, max_messages: usize) -> Vec<StreamItem<T>>
+    where
+        T: Clone,
+    {
+        self.poll(max_messages)
+            .iter()
+            .flat_map(|m| m.items.iter().cloned())
+            .collect()
+    }
+
+    /// Whether the consumer has read everything currently published.
+    pub fn is_caught_up(&self) -> bool {
+        self.assignments
+            .iter()
+            .all(|&(p, o)| o >= self.topic.high_watermark(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_types::EventTime;
+
+    fn item(stratum: u32, v: u64) -> StreamItem<u64> {
+        StreamItem::new(StratumId(stratum), EventTime::from_millis(v as i64), v)
+    }
+
+    #[test]
+    fn round_robin_spreads_messages() {
+        let topic = Topic::new("t", 3);
+        let mut producer = Producer::new(topic.clone(), Partitioner::RoundRobin);
+        for v in 0..6 {
+            producer.send(vec![item(0, v)]);
+        }
+        for p in 0..3 {
+            assert_eq!(topic.high_watermark(p), 2, "partition {p}");
+        }
+    }
+
+    #[test]
+    fn by_stratum_keeps_stratum_on_one_partition() {
+        let topic = Topic::new("t", 4);
+        let mut producer = Producer::new(topic.clone(), Partitioner::ByStratum);
+        for v in 0..8 {
+            producer.send(vec![item(5, v)]);
+        }
+        let nonempty: Vec<usize> = (0..4).filter(|&p| topic.high_watermark(p) > 0).collect();
+        assert_eq!(nonempty.len(), 1);
+        assert_eq!(topic.high_watermark(nonempty[0]), 8);
+    }
+
+    #[test]
+    fn empty_sends_are_dropped() {
+        let topic = Topic::<u64>::new("t", 1);
+        let mut producer = Producer::new(topic, Partitioner::RoundRobin);
+        assert_eq!(producer.send(vec![]), None);
+    }
+
+    #[test]
+    fn consumer_reads_everything_once() {
+        let topic = Topic::new("t", 3);
+        let mut producer = Producer::new(topic.clone(), Partitioner::RoundRobin);
+        for v in 0..30 {
+            producer.send(vec![item(0, v)]);
+        }
+        let mut consumer = Consumer::whole_topic(topic);
+        let mut values: Vec<u64> = consumer
+            .poll_items(1_000)
+            .into_iter()
+            .map(|i| i.value)
+            .collect();
+        values.sort_unstable();
+        assert_eq!(values, (0..30).collect::<Vec<_>>());
+        assert!(consumer.is_caught_up());
+        assert!(consumer.poll(10).is_empty());
+    }
+
+    #[test]
+    fn group_members_partition_the_work() {
+        let topic = Topic::new("t", 4);
+        let mut producer = Producer::new(topic.clone(), Partitioner::RoundRobin);
+        for v in 0..40 {
+            producer.send(vec![item(0, v)]);
+        }
+        let mut a = Consumer::group(topic.clone(), 0, 2);
+        let mut b = Consumer::group(topic.clone(), 1, 2);
+        assert_eq!(a.partitions(), vec![0, 2]);
+        assert_eq!(b.partitions(), vec![1, 3]);
+        let mut all: Vec<u64> = a
+            .poll_items(1_000)
+            .into_iter()
+            .chain(b.poll_items(1_000))
+            .map(|i| i.value)
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn poll_respects_max_and_resumes() {
+        let topic = Topic::new("t", 1);
+        let mut producer = Producer::new(topic.clone(), Partitioner::RoundRobin);
+        for v in 0..10 {
+            producer.send(vec![item(0, v)]);
+        }
+        let mut consumer = Consumer::whole_topic(topic);
+        assert_eq!(consumer.poll(4).len(), 4);
+        assert_eq!(consumer.poll(4).len(), 4);
+        assert_eq!(consumer.poll(4).len(), 2);
+        assert!(consumer.poll(4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "member index out of range")]
+    fn bad_group_member_rejected() {
+        let topic = Topic::<u64>::new("t", 1);
+        let _ = Consumer::group(topic, 3, 2);
+    }
+}

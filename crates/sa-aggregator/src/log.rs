@@ -1,0 +1,188 @@
+//! Partitioned, append-only topic logs — the storage core of the stream
+//! aggregator.
+
+use parking_lot::RwLock;
+use sa_types::StreamItem;
+use std::sync::Arc;
+
+/// A batch of stream items published as one unit, mirroring the paper's
+/// replay methodology ("each message contained 200 data items", §6.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Message<T> {
+    /// Offset of this message within its partition.
+    pub offset: u64,
+    /// The payload items.
+    pub items: Vec<StreamItem<T>>,
+}
+
+/// One partition: an append-only log of messages.
+#[derive(Debug)]
+pub(crate) struct Partition<T> {
+    log: RwLock<Vec<Arc<Message<T>>>>,
+}
+
+impl<T> Partition<T> {
+    fn new() -> Self {
+        Partition {
+            log: RwLock::new(Vec::new()),
+        }
+    }
+
+    fn append(&self, items: Vec<StreamItem<T>>) -> u64 {
+        let mut log = self.log.write();
+        let offset = log.len() as u64;
+        log.push(Arc::new(Message { offset, items }));
+        offset
+    }
+
+    fn read_from(&self, offset: u64, max: usize) -> Vec<Arc<Message<T>>> {
+        let log = self.log.read();
+        log.iter()
+            .skip(offset as usize)
+            .take(max)
+            .cloned()
+            .collect()
+    }
+
+    fn high_watermark(&self) -> u64 {
+        self.log.read().len() as u64
+    }
+}
+
+/// A named, partitioned topic: the unit of publication and subscription.
+///
+/// # Example
+///
+/// ```
+/// use sa_aggregator::Topic;
+/// use sa_types::{StreamItem, StratumId, EventTime};
+///
+/// let topic = Topic::new("traffic", 4);
+/// let item = StreamItem::new(StratumId(0), EventTime::from_millis(1), 10u64);
+/// topic.append(0, vec![item]);
+/// assert_eq!(topic.high_watermark(0), 1);
+/// assert_eq!(topic.num_partitions(), 4);
+/// ```
+#[derive(Debug)]
+pub struct Topic<T> {
+    name: String,
+    partitions: Vec<Partition<T>>,
+}
+
+impl<T> Topic<T> {
+    /// Creates a topic with `num_partitions` empty partitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_partitions` is zero.
+    pub fn new(name: impl Into<String>, num_partitions: usize) -> Arc<Self> {
+        assert!(num_partitions > 0, "topic needs at least one partition");
+        Arc::new(Topic {
+            name: name.into(),
+            partitions: (0..num_partitions).map(|_| Partition::new()).collect(),
+        })
+    }
+
+    /// The topic's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Appends a message to `partition`, returning its offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partition` is out of range.
+    pub fn append(&self, partition: usize, items: Vec<StreamItem<T>>) -> u64 {
+        self.partitions[partition].append(items)
+    }
+
+    /// Reads up to `max` messages from `partition` starting at `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partition` is out of range.
+    pub fn read_from(&self, partition: usize, offset: u64, max: usize) -> Vec<Arc<Message<T>>> {
+        self.partitions[partition].read_from(offset, max)
+    }
+
+    /// The next offset that will be assigned in `partition` (i.e. the
+    /// number of messages currently stored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partition` is out of range.
+    pub fn high_watermark(&self, partition: usize) -> u64 {
+        self.partitions[partition].high_watermark()
+    }
+
+    /// Total number of items stored across all partitions.
+    pub fn total_items(&self) -> u64 {
+        self.partitions
+            .iter()
+            .map(|p| {
+                p.log
+                    .read()
+                    .iter()
+                    .map(|m| m.items.len() as u64)
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_types::{EventTime, StratumId};
+
+    fn item(v: u64) -> StreamItem<u64> {
+        StreamItem::new(StratumId(0), EventTime::from_millis(v as i64), v)
+    }
+
+    #[test]
+    fn offsets_are_sequential_per_partition() {
+        let topic = Topic::new("t", 2);
+        assert_eq!(topic.append(0, vec![item(1)]), 0);
+        assert_eq!(topic.append(0, vec![item(2)]), 1);
+        assert_eq!(topic.append(1, vec![item(3)]), 0);
+        assert_eq!(topic.high_watermark(0), 2);
+        assert_eq!(topic.high_watermark(1), 1);
+    }
+
+    #[test]
+    fn read_from_respects_offset_and_max() {
+        let topic = Topic::new("t", 1);
+        for v in 0..10 {
+            topic.append(0, vec![item(v)]);
+        }
+        let msgs = topic.read_from(0, 4, 3);
+        let offsets: Vec<u64> = msgs.iter().map(|m| m.offset).collect();
+        assert_eq!(offsets, vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn read_past_end_is_empty() {
+        let topic = Topic::<u64>::new("t", 1);
+        assert!(topic.read_from(0, 5, 10).is_empty());
+    }
+
+    #[test]
+    fn total_items_counts_across_partitions() {
+        let topic = Topic::new("t", 3);
+        topic.append(0, vec![item(1), item(2)]);
+        topic.append(2, vec![item(3)]);
+        assert_eq!(topic.total_items(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn zero_partitions_rejected() {
+        let _ = Topic::<u64>::new("t", 0);
+    }
+}

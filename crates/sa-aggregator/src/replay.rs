@@ -1,0 +1,169 @@
+//! The replay tool: merges per-sub-stream recordings into one time-ordered
+//! stream and publishes it in fixed-size messages, mirroring the paper's
+//! methodology ("we built a tool to efficiently replay the case-study
+//! dataset as the input data stream ... each message contained 200 data
+//! items", §6.1).
+
+use crate::client::Producer;
+use sa_types::StreamItem;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Number of items per replayed message in the paper's setup.
+pub const DEFAULT_MESSAGE_SIZE: usize = 200;
+
+/// Merges several individually time-ordered sub-streams into one stream
+/// ordered by event time (ties broken by sub-stream index, then position).
+///
+/// # Example
+///
+/// ```
+/// use sa_aggregator::merge_by_time;
+/// use sa_types::{StreamItem, StratumId, EventTime};
+///
+/// let a = vec![
+///     StreamItem::new(StratumId(0), EventTime::from_millis(0), 'a'),
+///     StreamItem::new(StratumId(0), EventTime::from_millis(10), 'b'),
+/// ];
+/// let b = vec![StreamItem::new(StratumId(1), EventTime::from_millis(5), 'c')];
+/// let merged = merge_by_time(vec![a, b]);
+/// let values: Vec<char> = merged.iter().map(|i| i.value).collect();
+/// assert_eq!(values, vec!['a', 'c', 'b']);
+/// ```
+pub fn merge_by_time<T>(substreams: Vec<Vec<StreamItem<T>>>) -> Vec<StreamItem<T>> {
+    let total: usize = substreams.iter().map(Vec::len).sum();
+    let mut iters: Vec<std::vec::IntoIter<StreamItem<T>>> =
+        substreams.into_iter().map(Vec::into_iter).collect();
+    // Heap of (Reverse(time), substream index); pop the earliest head.
+    let mut heap: BinaryHeap<(Reverse<sa_types::EventTime>, Reverse<usize>)> = BinaryHeap::new();
+    let mut heads: Vec<Option<StreamItem<T>>> = Vec::with_capacity(iters.len());
+    for (idx, it) in iters.iter_mut().enumerate() {
+        let head = it.next();
+        if let Some(h) = &head {
+            heap.push((Reverse(h.time), Reverse(idx)));
+        }
+        heads.push(head);
+    }
+    let mut out = Vec::with_capacity(total);
+    while let Some((_, Reverse(idx))) = heap.pop() {
+        let item = heads[idx].take().expect("head present for queued index");
+        out.push(item);
+        if let Some(next) = iters[idx].next() {
+            heap.push((Reverse(next.time), Reverse(idx)));
+            heads[idx] = Some(next);
+        }
+    }
+    out
+}
+
+/// Replays a merged stream into a topic via `producer`, framing it into
+/// messages of `message_size` items. Returns the number of messages sent.
+///
+/// # Panics
+///
+/// Panics if `message_size` is zero.
+pub fn replay_into<T>(
+    stream: Vec<StreamItem<T>>,
+    producer: &mut Producer<T>,
+    message_size: usize,
+) -> u64 {
+    assert!(message_size > 0, "message size must be positive");
+    let mut sent = 0u64;
+    let mut buffer = Vec::with_capacity(message_size);
+    for item in stream {
+        buffer.push(item);
+        if buffer.len() == message_size {
+            producer.send(std::mem::replace(
+                &mut buffer,
+                Vec::with_capacity(message_size),
+            ));
+            sent += 1;
+        }
+    }
+    if !buffer.is_empty() {
+        producer.send(buffer);
+        sent += 1;
+    }
+    sent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{Consumer, Partitioner};
+    use crate::log::Topic;
+    use sa_types::{EventTime, StratumId};
+
+    fn item(stratum: u32, ms: i64) -> StreamItem<i64> {
+        StreamItem::new(StratumId(stratum), EventTime::from_millis(ms), ms)
+    }
+
+    #[test]
+    fn merge_produces_global_time_order() {
+        let a: Vec<_> = (0..50).map(|i| item(0, i * 3)).collect();
+        let b: Vec<_> = (0..30).map(|i| item(1, i * 5)).collect();
+        let c: Vec<_> = (0..10).map(|i| item(2, i * 17)).collect();
+        let merged = merge_by_time(vec![a, b, c]);
+        assert_eq!(merged.len(), 90);
+        for w in merged.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+    }
+
+    #[test]
+    fn merge_handles_empty_substreams() {
+        let merged = merge_by_time(vec![vec![], vec![item(0, 1)], vec![]]);
+        assert_eq!(merged.len(), 1);
+        assert!(merge_by_time::<i64>(vec![]).is_empty());
+    }
+
+    #[test]
+    fn merge_ties_break_by_substream_index() {
+        let a = vec![item(0, 5)];
+        let b = vec![item(1, 5)];
+        let merged = merge_by_time(vec![a, b]);
+        assert_eq!(merged[0].stratum, StratumId(0));
+        assert_eq!(merged[1].stratum, StratumId(1));
+    }
+
+    #[test]
+    fn replay_frames_messages_of_exact_size() {
+        let topic = Topic::new("in", 1);
+        let mut producer = Producer::new(topic.clone(), Partitioner::RoundRobin);
+        let stream: Vec<_> = (0..450).map(|i| item(0, i)).collect();
+        let sent = replay_into(stream, &mut producer, 200);
+        assert_eq!(sent, 3); // 200 + 200 + 50
+        let mut consumer = Consumer::whole_topic(topic);
+        let msgs = consumer.poll(10);
+        assert_eq!(msgs[0].items.len(), 200);
+        assert_eq!(msgs[1].items.len(), 200);
+        assert_eq!(msgs[2].items.len(), 50);
+    }
+
+    #[test]
+    fn replay_roundtrip_preserves_items_and_order() {
+        let topic = Topic::new("in", 1);
+        let mut producer = Producer::new(topic.clone(), Partitioner::RoundRobin);
+        let sub_a: Vec<_> = (0..100).map(|i| item(0, i * 2)).collect();
+        let sub_b: Vec<_> = (0..100).map(|i| item(1, i * 2 + 1)).collect();
+        replay_into(
+            merge_by_time(vec![sub_a, sub_b]),
+            &mut producer,
+            DEFAULT_MESSAGE_SIZE,
+        );
+        let mut consumer = Consumer::whole_topic(topic);
+        let items = consumer.poll_items(1_000);
+        assert_eq!(items.len(), 200);
+        for w in items.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "message size must be positive")]
+    fn zero_message_size_rejected() {
+        let topic = Topic::<i64>::new("in", 1);
+        let mut producer = Producer::new(topic, Partitioner::RoundRobin);
+        let _ = replay_into(vec![], &mut producer, 0);
+    }
+}

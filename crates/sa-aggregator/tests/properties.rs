@@ -1,0 +1,132 @@
+//! Property-based tests for the aggregator: log/offset semantics, consumer
+//! group coverage, and replay framing for arbitrary stream shapes.
+
+use proptest::prelude::*;
+use sa_aggregator::{merge_by_time, replay_into, Consumer, Partitioner, Producer, Topic};
+use sa_types::{EventTime, StratumId, StreamItem};
+
+fn items(spec: &[(u32, i64)]) -> Vec<StreamItem<u32>> {
+    let mut t = 0i64;
+    spec.iter()
+        .enumerate()
+        .map(|(i, &(s, gap))| {
+            t += gap;
+            StreamItem::new(StratumId(s), EventTime::from_millis(t), i as u32)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// merge_by_time produces a time-ordered interleaving containing every
+    /// input item exactly once, preserving per-substream order.
+    #[test]
+    fn merge_is_an_order_preserving_interleaving(
+        subs in proptest::collection::vec(
+            proptest::collection::vec((0u32..4, 0i64..100), 0..100),
+            0..5,
+        ),
+    ) {
+        let parts: Vec<Vec<StreamItem<u32>>> = subs.iter().map(|s| items(s)).collect();
+        let sizes: Vec<usize> = parts.iter().map(Vec::len).collect();
+        let tagged: Vec<Vec<StreamItem<(usize, u32)>>> = parts
+            .into_iter()
+            .enumerate()
+            .map(|(k, part)| {
+                part.into_iter()
+                    .map(|i| StreamItem::new(i.stratum, i.time, (k, i.value)))
+                    .collect()
+            })
+            .collect();
+        let merged = merge_by_time(tagged);
+        prop_assert_eq!(merged.len(), sizes.iter().sum::<usize>());
+        // Global time order.
+        for w in merged.windows(2) {
+            prop_assert!(w[0].time <= w[1].time);
+        }
+        // Per-substream order preserved.
+        for (k, &n) in sizes.iter().enumerate() {
+            let vals: Vec<u32> = merged
+                .iter()
+                .filter(|i| i.value.0 == k)
+                .map(|i| i.value.1)
+                .collect();
+            prop_assert_eq!(vals.len(), n);
+            for w in vals.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+        }
+    }
+
+    /// Replay frames the stream into ceil(n / size) messages whose items
+    /// concatenate back to the input.
+    #[test]
+    fn replay_framing_roundtrip(
+        spec in proptest::collection::vec((0u32..4, 0i64..50), 0..500),
+        message_size in 1usize..300,
+        partitions in 1usize..6,
+    ) {
+        let stream = items(&spec);
+        let n = stream.len();
+        let topic = Topic::new("t", partitions);
+        let mut producer = Producer::new(topic.clone(), Partitioner::RoundRobin);
+        let sent = replay_into(stream.clone(), &mut producer, message_size);
+        prop_assert_eq!(sent as usize, n.div_ceil(message_size));
+        prop_assert_eq!(topic.total_items(), n as u64);
+
+        let mut consumer = Consumer::whole_topic(topic);
+        let mut got = consumer.poll_items(usize::MAX);
+        prop_assert_eq!(got.len(), n);
+        got.sort_by_key(|i| i.value);
+        let mut want = stream;
+        want.sort_by_key(|i| i.value);
+        prop_assert_eq!(got, want);
+    }
+
+    /// Consumer groups of any size cover all partitions exactly once.
+    #[test]
+    fn groups_partition_without_overlap(
+        partitions in 1usize..12,
+        group_size in 1usize..6,
+    ) {
+        let topic = Topic::<u32>::new("t", partitions);
+        let mut seen: Vec<usize> = Vec::new();
+        for member in 0..group_size {
+            let consumer = Consumer::group(topic.clone(), member, group_size);
+            seen.extend(consumer.partitions());
+        }
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..partitions).collect::<Vec<_>>());
+    }
+
+    /// Poll with any max never yields a message twice and eventually
+    /// drains the topic.
+    #[test]
+    fn polling_is_exactly_once(
+        spec in proptest::collection::vec((0u32..4, 0i64..50), 0..300),
+        message_size in 1usize..64,
+        max_poll in 1usize..16,
+    ) {
+        let stream = items(&spec);
+        let n = stream.len();
+        let topic = Topic::new("t", 3);
+        let mut producer = Producer::new(topic.clone(), Partitioner::RoundRobin);
+        replay_into(stream, &mut producer, message_size);
+        let mut consumer = Consumer::whole_topic(topic);
+        let mut total = 0usize;
+        let mut rounds = 0usize;
+        loop {
+            let batch = consumer.poll(max_poll);
+            if batch.is_empty() {
+                break;
+            }
+            prop_assert!(batch.len() <= max_poll);
+            total += batch.iter().map(|m| m.items.len()).sum::<usize>();
+            rounds += 1;
+            prop_assert!(rounds < 10_000, "poll loop did not terminate");
+        }
+        prop_assert_eq!(total, n);
+        prop_assert!(consumer.is_caught_up());
+    }
+}

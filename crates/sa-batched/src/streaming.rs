@@ -1,0 +1,243 @@
+//! Micro-batch formation: the batched stream-processing model (§2.2).
+//!
+//! "An input data stream is divided into small batches using a pre-defined
+//! batch interval, and each such batch is processed via a distributed
+//! data-parallel job." [`MicroBatcher`] performs the division by event time;
+//! what job runs per batch is the caller's business (the StreamApprox
+//! runners sample *before* forming the dataset, the baselines after).
+
+use sa_types::{EventTime, StreamItem, Window, WindowSpec};
+
+/// One micro-batch: the items whose event times fall in `[window.start,
+/// window.end)` for a batch-interval-sized window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MicroBatch<T> {
+    /// The batch's time span (length = batch interval).
+    pub window: Window,
+    /// Items in event-time order.
+    pub items: Vec<StreamItem<T>>,
+}
+
+impl<T> MicroBatch<T> {
+    /// Number of items in the batch.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the interval saw no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Splits a time-ordered item stream into contiguous micro-batches of
+/// `batch_interval_ms`, emitting empty batches for quiet intervals so
+/// downstream window bookkeeping sees every pane.
+///
+/// # Example
+///
+/// ```
+/// use sa_batched::MicroBatcher;
+/// use sa_types::{StreamItem, StratumId, EventTime};
+///
+/// let items = vec![
+///     StreamItem::new(StratumId(0), EventTime::from_millis(100), 1u32),
+///     StreamItem::new(StratumId(0), EventTime::from_millis(1_200), 2u32),
+/// ];
+/// let batches: Vec<_> = MicroBatcher::new(items.into_iter(), 500).collect();
+/// // Batches [0,500) [500,1000) [1000,1500): the middle one is empty.
+/// assert_eq!(batches.len(), 3);
+/// assert_eq!(batches[0].len(), 1);
+/// assert!(batches[1].is_empty());
+/// assert_eq!(batches[2].len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct MicroBatcher<T, I: Iterator<Item = StreamItem<T>>> {
+    input: std::iter::Peekable<I>,
+    batch_interval_ms: i64,
+    next_start: Option<EventTime>,
+}
+
+impl<T, I: Iterator<Item = StreamItem<T>>> MicroBatcher<T, I> {
+    /// Creates a batcher over a time-ordered input stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_interval_ms` is not positive.
+    pub fn new(input: I, batch_interval_ms: i64) -> Self {
+        assert!(batch_interval_ms > 0, "batch interval must be positive");
+        MicroBatcher {
+            input: input.peekable(),
+            batch_interval_ms,
+            next_start: None,
+        }
+    }
+
+    /// The batch interval in milliseconds.
+    pub fn batch_interval_ms(&self) -> i64 {
+        self.batch_interval_ms
+    }
+
+    fn batch_start_for(&self, t: EventTime) -> EventTime {
+        let ms = t.as_millis().div_euclid(self.batch_interval_ms) * self.batch_interval_ms;
+        EventTime::from_millis(ms)
+    }
+}
+
+impl<T, I: Iterator<Item = StreamItem<T>>> Iterator for MicroBatcher<T, I> {
+    type Item = MicroBatch<T>;
+
+    fn next(&mut self) -> Option<MicroBatch<T>> {
+        let start = match self.next_start {
+            Some(s) => s,
+            None => {
+                // Align the first batch to the first item's interval.
+                let first_time = self.input.peek()?.time;
+                let s = self.batch_start_for(first_time);
+                self.next_start = Some(s);
+                s
+            }
+        };
+        // If the input is exhausted and no batch is pending, stop.
+        self.input.peek()?;
+        let end = start + self.batch_interval_ms;
+        let window = Window::new(start, end);
+        let mut items = Vec::new();
+        while let Some(peeked) = self.input.peek() {
+            debug_assert!(
+                peeked.time >= start,
+                "input items must be in event-time order"
+            );
+            if peeked.time < end {
+                items.push(self.input.next().expect("peeked item"));
+            } else {
+                break;
+            }
+        }
+        self.next_start = Some(end);
+        Some(MicroBatch { window, items })
+    }
+}
+
+/// Enumerates the sliding windows of `spec` that are *complete* once every
+/// batch up to `watermark` has been processed — i.e. windows whose end is
+/// at or before the watermark and after `previous_watermark`.
+pub fn completed_windows(
+    spec: WindowSpec,
+    previous_watermark: EventTime,
+    watermark: EventTime,
+) -> Vec<Window> {
+    let slide = spec.slide_millis();
+    let size = spec.size_millis();
+    let mut out = Vec::new();
+    // Window ends are at start + size where start is a multiple of slide.
+    let first_end = {
+        let prev = previous_watermark.as_millis();
+        // Smallest end > prev.
+        let k = (prev - size).div_euclid(slide) + 1;
+        k.max(0) * slide + size
+    };
+    let mut end = first_end;
+    while end <= watermark.as_millis() {
+        let start = end - size;
+        if start >= 0 {
+            out.push(Window::new(
+                EventTime::from_millis(start),
+                EventTime::from_millis(end),
+            ));
+        }
+        end += slide;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_types::StratumId;
+
+    fn item(ms: i64) -> StreamItem<u32> {
+        StreamItem::new(StratumId(0), EventTime::from_millis(ms), ms as u32)
+    }
+
+    #[test]
+    fn batches_partition_the_stream() {
+        let items: Vec<_> = (0..1_000).map(|i| item(i * 7)).collect();
+        let batches: Vec<_> = MicroBatcher::new(items.into_iter(), 500).collect();
+        let total: usize = batches.iter().map(MicroBatch::len).sum();
+        assert_eq!(total, 1_000);
+        for b in &batches {
+            assert_eq!(b.window.len_millis(), 500);
+            for it in &b.items {
+                assert!(b.window.contains(it.time));
+            }
+        }
+        // Batches are contiguous.
+        for w in batches.windows(2) {
+            assert_eq!(w[0].window.end, w[1].window.start);
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_no_batches() {
+        let batches: Vec<_> =
+            MicroBatcher::new(std::iter::empty::<StreamItem<u32>>(), 100).collect();
+        assert!(batches.is_empty());
+    }
+
+    #[test]
+    fn quiet_intervals_become_empty_batches() {
+        let items = vec![item(0), item(2_500)];
+        let batches: Vec<_> = MicroBatcher::new(items.into_iter(), 1_000).collect();
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].len(), 1);
+        assert!(batches[1].is_empty());
+        assert_eq!(batches[2].len(), 1);
+    }
+
+    #[test]
+    fn first_batch_aligns_to_interval_grid() {
+        let items = vec![item(1_250), item(1_400)];
+        let batches: Vec<_> = MicroBatcher::new(items.into_iter(), 500).collect();
+        assert_eq!(batches[0].window.start, EventTime::from_millis(1_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "batch interval must be positive")]
+    fn zero_interval_rejected() {
+        let _ = MicroBatcher::new(std::iter::empty::<StreamItem<u32>>(), 0);
+    }
+
+    #[test]
+    fn completed_windows_progress_with_watermark() {
+        let spec = WindowSpec::sliding_secs(10, 5);
+        // Watermark moves 0 → 10s: the [0,10) window completes.
+        let w1 = completed_windows(spec, EventTime::from_secs(0), EventTime::from_secs(10));
+        assert_eq!(w1.len(), 1);
+        assert_eq!(w1[0].start, EventTime::from_secs(0));
+        // 10s → 20s: [5,15) and [10,20) complete.
+        let w2 = completed_windows(spec, EventTime::from_secs(10), EventTime::from_secs(20));
+        assert_eq!(w2.len(), 2);
+        assert_eq!(w2[0].start, EventTime::from_secs(5));
+        assert_eq!(w2[1].start, EventTime::from_secs(10));
+    }
+
+    #[test]
+    fn completed_windows_no_duplicates_across_calls() {
+        let spec = WindowSpec::sliding_secs(10, 5);
+        let mut all = Vec::new();
+        let mut prev = EventTime::from_secs(0);
+        for s in [7i64, 13, 18, 25, 40] {
+            let wm = EventTime::from_secs(s);
+            all.extend(completed_windows(spec, prev, wm));
+            prev = wm;
+        }
+        let mut dedup = all.clone();
+        dedup.dedup();
+        assert_eq!(all, dedup);
+        // Windows arrive in order.
+        for w in all.windows(2) {
+            assert!(w[0].end <= w[1].end);
+        }
+    }
+}

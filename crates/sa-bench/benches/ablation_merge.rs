@@ -1,0 +1,87 @@
+//! Ablation: distributed OASRS (per-worker reservoirs of size `N/w` whose
+//! samples union, §3.2 "Distributed execution") vs a single global
+//! sampler.
+//!
+//! Claims under test: (1) sharding costs no accuracy — the union's
+//! estimates match the single sampler's statistically; (2) per-worker
+//! sampling parallelizes without synchronization, so wall-clock sampling
+//! time drops with workers (bounded here by the 2-core host).
+
+use sa_bench::Table;
+use sa_estimate::{accuracy_loss, estimate_sum, stats_of};
+use sa_types::{Confidence, StratifiedSample};
+use sa_workloads::Mix;
+use sa_sampling::{OasrsSampler, SizingPolicy};
+use std::time::Instant;
+
+fn main() {
+    let items = Mix::gaussian([40_000.0, 10_000.0, 2_000.0]).generate(10_000, 111);
+    let true_sum: f64 = items.iter().map(|i| i.value).sum();
+    println!("ablation_merge: {} items, true sum {:.3e}", items.len(), true_sum);
+
+    let sizing = SizingPolicy::PerStratum(4_096);
+    let mut table = Table::new(
+        "Ablation: distributed OASRS vs single sampler (capacity 4096/stratum)",
+        &["workers", "sampling ms", "estimate loss %", "sampled items"],
+    );
+
+    for &workers in &[1usize, 2, 4, 8] {
+        // Average accuracy over a few seeds; time the sampling pass once
+        // per seed and report the median.
+        let mut times = Vec::new();
+        let mut losses = Vec::new();
+        let mut sampled = 0u64;
+        for seed in 0..5u64 {
+            let started = Instant::now();
+            let sample: StratifiedSample<f64> = if workers == 1 {
+                let mut s = OasrsSampler::new(sizing, seed);
+                for item in &items {
+                    s.observe(item.stratum, item.value);
+                }
+                s.finish_interval()
+            } else {
+                // Chunk the stream across workers and union the results —
+                // run the per-worker passes on threads to expose the
+                // synchronization-free parallelism.
+                let chunks: Vec<&[sa_types::StreamItem<f64>]> =
+                    items.chunks(items.len().div_ceil(workers)).collect();
+                let partials: Vec<StratifiedSample<f64>> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = chunks
+                        .into_iter()
+                        .enumerate()
+                        .map(|(w, chunk)| {
+                            scope.spawn(move || {
+                                let mut s =
+                                    OasrsSampler::for_worker(sizing, seed, w, workers);
+                                for item in chunk {
+                                    s.observe(item.stratum, item.value);
+                                }
+                                s.finish_interval()
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().expect("worker")).collect()
+                });
+                let mut union = StratifiedSample::new();
+                for p in partials {
+                    union.union(p);
+                }
+                union
+            };
+            times.push(started.elapsed().as_secs_f64() * 1_000.0);
+            let stats = stats_of(&sample, |v| *v);
+            let estimate = estimate_sum(&stats, Confidence::P95);
+            losses.push(accuracy_loss(estimate.value, true_sum));
+            sampled = sample.total_sampled();
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mean_loss = losses.iter().sum::<f64>() / losses.len() as f64;
+        table.row(vec![
+            format!("{workers}"),
+            format!("{:.2}", times[times.len() / 2]),
+            format!("{:.3}", mean_loss * 100.0),
+            format!("{sampled}"),
+        ]);
+    }
+    table.emit("ablation_merge");
+}

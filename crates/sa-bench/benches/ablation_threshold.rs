@@ -1,0 +1,65 @@
+//! Ablation: ScaSRS's two-threshold optimization (§4.1.1).
+//!
+//! Spark's random-sort SRS bounds its sort with two thresholds around
+//! `p = s/n`: items below the low threshold are accepted outright, items
+//! above the high threshold discarded, and only the narrow wait-list is
+//! sorted. This ablation compares the optimized sampler against the naive
+//! full random sort it replaces, and reports how little actually gets
+//! sorted.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sa_bench::Table;
+use sa_sampling::{random_sort_sample, scasrs_sample_with_stats};
+use std::time::Instant;
+
+fn median_ms<F: FnMut() -> u128>(mut run: F, reps: usize) -> f64 {
+    let mut times: Vec<u128> = (0..reps).map(|_| run()).collect();
+    times.sort_unstable();
+    times[times.len() / 2] as f64 / 1_000.0
+}
+
+fn main() {
+    let mut table = Table::new(
+        "Ablation: two-threshold ScaSRS vs naive full random sort",
+        &["n", "fraction", "naive ms", "scasrs ms", "speedup", "waitlisted"],
+    );
+    for &n in &[100_000usize, 1_000_000] {
+        for &fraction in &[0.01f64, 0.10, 0.50] {
+            let s = (n as f64 * fraction) as usize;
+            let naive_ms = median_ms(
+                || {
+                    let mut rng = SmallRng::seed_from_u64(7);
+                    let items: Vec<u64> = (0..n as u64).collect();
+                    let started = Instant::now();
+                    let out = random_sort_sample(items, s, &mut rng);
+                    assert_eq!(out.len(), s);
+                    started.elapsed().as_micros()
+                },
+                3,
+            );
+            let mut waitlisted = 0usize;
+            let scasrs_ms = median_ms(
+                || {
+                    let mut rng = SmallRng::seed_from_u64(7);
+                    let items: Vec<u64> = (0..n as u64).collect();
+                    let started = Instant::now();
+                    let (out, stats) = scasrs_sample_with_stats(items, s, &mut rng);
+                    assert_eq!(out.len(), s);
+                    waitlisted = stats.waitlisted;
+                    started.elapsed().as_micros()
+                },
+                3,
+            );
+            table.row(vec![
+                format!("{n}"),
+                format!("{:.0}%", fraction * 100.0),
+                format!("{naive_ms:.2}"),
+                format!("{scasrs_ms:.2}"),
+                format!("{:.2}x", naive_ms / scasrs_ms),
+                format!("{waitlisted}"),
+            ]);
+        }
+    }
+    table.emit("ablation_threshold");
+}

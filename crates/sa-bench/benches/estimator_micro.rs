@@ -1,0 +1,65 @@
+//! Criterion micro-benchmarks for the estimation layer: Welford updates,
+//! merges, and full sum/mean estimates over realistic stratum counts.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use sa_estimate::{estimate_mean, estimate_sum, StratumStats, Welford};
+use sa_types::{Confidence, StratumId};
+
+fn stats_fixture(strata: usize, per_stratum: usize) -> Vec<StratumStats> {
+    (0..strata)
+        .map(|k| {
+            let acc: Welford = (0..per_stratum)
+                .map(|i| (i as f64 * 0.37 + k as f64).sin() * 100.0)
+                .collect();
+            StratumStats::from_parts(StratumId(k as u32), (per_stratum * 3) as u64, acc)
+        })
+        .collect()
+}
+
+fn bench_welford(c: &mut Criterion) {
+    let mut group = c.benchmark_group("welford");
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("push_100k", |b| {
+        b.iter(|| {
+            let mut acc = Welford::new();
+            for i in 0..100_000 {
+                acc.push(black_box(i as f64 * 0.5));
+            }
+            acc.sample_variance()
+        })
+    });
+    group.bench_function("merge_1k_accumulators", |b| {
+        let parts: Vec<Welford> = (0..1_000)
+            .map(|k| (0..64).map(|i| (i + k) as f64).collect())
+            .collect();
+        b.iter(|| {
+            let mut total = Welford::new();
+            for p in &parts {
+                total.merge(black_box(p));
+            }
+            total.mean()
+        })
+    });
+    group.finish();
+}
+
+fn bench_estimates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimates");
+    for strata in [3usize, 6, 64] {
+        let stats = stats_fixture(strata, 256);
+        group.bench_function(format!("sum_{strata}_strata"), |b| {
+            b.iter(|| estimate_sum(black_box(&stats), Confidence::P95).value)
+        });
+        group.bench_function(format!("mean_{strata}_strata"), |b| {
+            b.iter(|| estimate_mean(black_box(&stats), Confidence::P95).value)
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_welford, bench_estimates
+}
+criterion_main!(benches);

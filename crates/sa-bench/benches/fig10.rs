@@ -1,0 +1,59 @@
+//! Figure 10: end-to-end latency on both case-study datasets (§6.2–6.3).
+//!
+//! Latency here is the paper's metric: "the total time required for
+//! processing the respective dataset" at a 60% sampling fraction.
+//!
+//! Paper shape: StreamApprox < SRS < STS on both datasets (1.39–1.69×
+//! lower than the baselines on network traffic, 1.52–2.18× on taxi).
+
+use sa_bench::{measure, Env, System, Table};
+use sa_types::WindowSpec;
+use sa_workloads::{FlowRecord, NetFlowGenerator, TaxiGenerator, TaxiRide};
+use streamapprox::Query;
+
+const REPS: usize = 3;
+
+fn main() {
+    let env = Env::host();
+
+    // Fixed-size datasets: ~800K records each.
+    let flows = NetFlowGenerator::new(40_000.0, 101).generate_lines(20_000);
+    let rides = TaxiGenerator::new(40_000.0, 102).generate_lines(20_000);
+    println!(
+        "fig10: {} flow records, {} ride records",
+        flows.len(),
+        rides.len()
+    );
+
+    let flow_query = Query::new(|line: &String| {
+        FlowRecord::parse_line(line).expect("valid flow record").bytes as f64
+    })
+    .with_window(WindowSpec::sliding_secs(10, 5));
+    let ride_query = Query::new(|line: &String| {
+        TaxiRide::parse_line(line).expect("valid ride record").distance_miles
+    })
+    .with_window(WindowSpec::sliding_secs(10, 5));
+
+    let mut table = Table::new(
+        "Figure 10: dataset-processing latency (ms), fraction 60%",
+        &["system", "network traffic", "NYC taxi"],
+    );
+    for system in [
+        System::SparkSts,
+        System::SparkSrs,
+        System::SparkStreamApprox,
+    ] {
+        let flow_ms = measure(&env, system, 0.6, &flow_query, &flows, REPS)
+            .elapsed
+            .as_millis();
+        let ride_ms = measure(&env, system, 0.6, &ride_query, &rides, REPS)
+            .elapsed
+            .as_millis();
+        table.row(vec![
+            system.label().into(),
+            format!("{flow_ms}"),
+            format!("{ride_ms}"),
+        ]);
+    }
+    table.emit("fig10");
+}

@@ -1,0 +1,96 @@
+//! Figure 4: the Gaussian microbenchmark (§5.2, §5.3).
+//!
+//! * (a) throughput vs sampling fraction, all six systems;
+//! * (b) accuracy loss vs sampling fraction, four sampled systems;
+//! * (c) throughput vs batch interval, the three Spark-style systems.
+//!
+//! Paper shapes: sampling systems speed up as the fraction falls
+//! (1.15–3× over native); STS is the slowest sampled system; stratified
+//! systems (SA, STS) lose less accuracy than SRS; smaller batch intervals
+//! widen StreamApprox's lead over the in-engine samplers.
+
+use sa_bench::{fmt_kps, fmt_loss, mean_accuracy, measure, Env, Metric, System, Table};
+use sa_types::WindowSpec;
+use sa_workloads::Mix;
+use streamapprox::{BatchedSystem, FixedFraction, Query};
+
+const REPS: usize = 3;
+
+fn main() {
+    let env = Env::host();
+    // §5.1 Gaussian mix, 10 s of event time at a high aggregate rate,
+    // shipped in the aggregator's wire format.
+    let items = Mix::gaussian([32_000.0, 8_000.0, 1_600.0]).generate_lines(10_000, 41);
+    let query = Query::new(|line: &String| Mix::parse_line(line))
+        .with_window(WindowSpec::sliding_secs(10, 5));
+    println!("fig4: {} records over 10s of event time", items.len());
+
+    // ---- Panels (a) + (b): one fraction sweep feeds both. ----
+    let exact = measure(&env, System::NativeSpark, 1.0, &query, &items, REPS);
+    let native_flink = measure(&env, System::NativeFlink, 1.0, &query, &items, REPS);
+
+    let mut tput = Table::new(
+        "Figure 4(a): throughput (K items/s) vs sampling fraction",
+        &["fraction", "Flink-SA", "Spark-SA", "Spark-SRS", "Spark-STS"],
+    );
+    let mut acc = Table::new(
+        "Figure 4(b): accuracy loss (%) vs sampling fraction",
+        &["fraction", "Flink-SA", "Spark-SA", "Spark-SRS", "Spark-STS"],
+    );
+    for &fraction in &[0.10, 0.20, 0.40, 0.60, 0.80, 0.90] {
+        let mut trow = vec![format!("{:.0}%", fraction * 100.0)];
+        let mut arow = trow.clone();
+        for system in System::SAMPLED {
+            let out = measure(&env, system, fraction, &query, &items, REPS);
+            trow.push(fmt_kps(out.throughput()));
+            arow.push(fmt_loss(mean_accuracy(&exact, &out, Metric::Mean)));
+        }
+        if fraction < 0.85 {
+            tput.row(trow); // the paper's (a) sweeps 10–80%
+        }
+        acc.row(arow); // (b) sweeps 10–90%
+    }
+    tput.row(vec![
+        "native".into(),
+        fmt_kps(native_flink.throughput()),
+        fmt_kps(exact.throughput()),
+        "-".into(),
+        "-".into(),
+    ]);
+    tput.emit("fig4a");
+    acc.emit("fig4b");
+
+    // ---- Panel (c): batch-interval sweep at 60%. ----
+    let mut c = Table::new(
+        "Figure 4(c): throughput (K items/s) vs batch interval, fraction 60%",
+        &["interval", "Spark-SA", "Spark-SRS", "Spark-STS"],
+    );
+    for &interval in &[250i64, 500, 1_000] {
+        let mut env_i = env.clone();
+        env_i.batched = env_i.batched.with_batch_interval_ms(interval);
+        let mut row = vec![format!("{interval}ms")];
+        for system in [
+            BatchedSystem::StreamApprox,
+            BatchedSystem::Srs,
+            BatchedSystem::Sts,
+        ] {
+            // Median of REPS runs on the batched engine directly.
+            let mut runs: Vec<f64> = (0..REPS)
+                .map(|_| {
+                    streamapprox::run_batched(
+                        &env_i.batched,
+                        system,
+                        &query,
+                        &mut FixedFraction(0.6),
+                        items.clone(),
+                    )
+                    .throughput()
+                })
+                .collect();
+            runs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            row.push(fmt_kps(runs[runs.len() / 2]));
+        }
+        c.row(row);
+    }
+    c.emit("fig4c");
+}

@@ -1,0 +1,72 @@
+//! Figure 5: varying arrival rates and window sizes (§5.4, §5.5).
+//!
+//! * (a) accuracy loss vs sub-stream arrival rates `A:B:C`
+//!   (8K:2K:100 / 3K:3K:3K / 100:2K:8K), fraction 60%;
+//! * (b) throughput vs window size (10–40 s);
+//! * (c) accuracy loss vs window size.
+//!
+//! Paper shapes: SRS degrades sharply when the significant sub-stream C is
+//! rare (100 items/s) and recovers as C's rate grows; window size affects
+//! neither throughput nor accuracy much.
+
+use sa_bench::{fmt_kps, fmt_loss, mean_accuracy, measure, Env, Metric, System, Table};
+use sa_types::WindowSpec;
+use sa_workloads::Mix;
+use streamapprox::Query;
+
+const REPS: usize = 3;
+
+fn main() {
+    let env = Env::host();
+    let query = Query::new(|line: &String| Mix::parse_line(line))
+        .with_window(WindowSpec::sliding_secs(10, 5));
+
+    // ---- Panel (a): arrival-rate settings. ----
+    let mut a = Table::new(
+        "Figure 5(a): accuracy loss (%) vs arrival rates A:B:C, fraction 60%",
+        &["rates", "Flink-SA", "Spark-SA", "Spark-SRS", "Spark-STS"],
+    );
+    for (label, rates) in [
+        ("8K:2K:100", [8_000.0, 2_000.0, 100.0]),
+        ("3K:3K:3K", [3_000.0, 3_000.0, 3_000.0]),
+        ("100:2K:8K", [100.0, 2_000.0, 8_000.0]),
+    ] {
+        let items = Mix::gaussian(rates).generate_lines(20_000, 51);
+        let exact = measure(&env, System::NativeSpark, 1.0, &query, &items, 1);
+        let mut row = vec![label.to_string()];
+        for system in System::SAMPLED {
+            let out = measure(&env, system, 0.6, &query, &items, REPS);
+            row.push(fmt_loss(mean_accuracy(&exact, &out, Metric::Mean)));
+        }
+        a.row(row);
+    }
+    a.emit("fig5a");
+
+    // ---- Panels (b) + (c): window-size sweep on one stream. ----
+    let items = Mix::gaussian([8_000.0, 2_000.0, 100.0]).generate_lines(50_000, 52);
+    println!("fig5(b,c): {} records over 50s of event time", items.len());
+    let mut b = Table::new(
+        "Figure 5(b): throughput (K items/s) vs window size, fraction 60%",
+        &["window", "Flink-SA", "Spark-SA", "Spark-SRS", "Spark-STS"],
+    );
+    let mut c = Table::new(
+        "Figure 5(c): accuracy loss (%) vs window size, fraction 60%",
+        &["window", "Flink-SA", "Spark-SA", "Spark-SRS", "Spark-STS"],
+    );
+    for &size_s in &[10i64, 20, 30, 40] {
+        let q = Query::new(|line: &String| Mix::parse_line(line))
+            .with_window(WindowSpec::sliding_secs(size_s, 5));
+        let exact = measure(&env, System::NativeSpark, 1.0, &q, &items, 1);
+        let mut brow = vec![format!("{size_s}s")];
+        let mut crow = brow.clone();
+        for system in System::SAMPLED {
+            let out = measure(&env, system, 0.6, &q, &items, REPS.min(2));
+            brow.push(fmt_kps(out.throughput()));
+            crow.push(fmt_loss(mean_accuracy(&exact, &out, Metric::Mean)));
+        }
+        b.row(brow);
+        c.row(crow);
+    }
+    b.emit("fig5b");
+    c.emit("fig5c");
+}

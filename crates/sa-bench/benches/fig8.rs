@@ -1,0 +1,87 @@
+//! Figure 8: the network-traffic-analytics case study (§6.2).
+//!
+//! Synthetic NetFlow records with the CAIDA trace's protocol proportions;
+//! the query sums per-protocol traffic per 10s/5s sliding window.
+//!
+//! * (a) throughput vs sampling fraction (plus natives);
+//! * (b) accuracy loss vs sampling fraction;
+//! * (c) throughput at fixed accuracy loss (1% and 2%).
+//!
+//! Paper shapes: Spark-SA ≈ SRS and >2× STS; native Spark beats STS;
+//! Flink-SA leads (on real multi-core hardware); accuracy improves
+//! non-linearly with the fraction, STS ≤ SA < SRS loss.
+
+use sa_bench::{
+    fmt_kps, fmt_loss, mean_accuracy, measure, throughput_at_accuracy, Env, Metric, System, Table,
+};
+use sa_types::WindowSpec;
+use sa_workloads::{FlowRecord, NetFlowGenerator};
+use streamapprox::Query;
+
+const REPS: usize = 3;
+
+fn main() {
+    let env = Env::host();
+    let items = NetFlowGenerator::new(40_000.0, 81).generate_lines(10_000);
+    let query = Query::new(|line: &String| {
+        FlowRecord::parse_line(line).expect("valid flow record").bytes as f64
+    })
+    .with_window(WindowSpec::sliding_secs(10, 5));
+    println!("fig8: {} flow records over 10s", items.len());
+
+    let exact = measure(&env, System::NativeSpark, 1.0, &query, &items, REPS);
+    let native_flink = measure(&env, System::NativeFlink, 1.0, &query, &items, REPS);
+
+    let mut a = Table::new(
+        "Figure 8(a): throughput (K items/s) vs sampling fraction",
+        &["fraction", "Flink-SA", "Spark-SA", "Spark-SRS", "Spark-STS"],
+    );
+    let mut b = Table::new(
+        "Figure 8(b): accuracy loss (%) vs sampling fraction (per-protocol sums)",
+        &["fraction", "Flink-SA", "Spark-SA", "Spark-SRS", "Spark-STS"],
+    );
+    for &fraction in &[0.10, 0.20, 0.40, 0.60, 0.80, 0.90] {
+        let mut arow = vec![format!("{:.0}%", fraction * 100.0)];
+        let mut brow = arow.clone();
+        for system in System::SAMPLED {
+            let out = measure(&env, system, fraction, &query, &items, REPS);
+            arow.push(fmt_kps(out.throughput()));
+            brow.push(fmt_loss(mean_accuracy(&exact, &out, Metric::StratumSum)));
+        }
+        if fraction < 0.85 {
+            a.row(arow);
+        }
+        b.row(brow);
+    }
+    a.row(vec![
+        "native".into(),
+        fmt_kps(native_flink.throughput()),
+        fmt_kps(exact.throughput()),
+        "-".into(),
+        "-".into(),
+    ]);
+    a.emit("fig8a");
+    b.emit("fig8b");
+
+    let mut c = Table::new(
+        "Figure 8(c): throughput (K items/s) at fixed accuracy loss",
+        &["loss", "Flink-SA", "Spark-SA", "Spark-SRS", "Spark-STS"],
+    );
+    for &target in &[0.01f64, 0.02] {
+        let mut row = vec![format!("{:.0}%", target * 100.0)];
+        for system in System::SAMPLED {
+            let (tput, fraction) = throughput_at_accuracy(
+                &env,
+                system,
+                target,
+                Metric::StratumSum,
+                &query,
+                &items,
+                &exact,
+            );
+            row.push(format!("{} (f={:.2})", fmt_kps(tput), fraction));
+        }
+        c.row(row);
+    }
+    c.emit("fig8c");
+}

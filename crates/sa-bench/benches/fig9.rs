@@ -1,0 +1,87 @@
+//! Figure 9: the New York taxi-ride-analytics case study (§6.3).
+//!
+//! Synthetic rides over the six boroughs (Manhattan-dominated); the query
+//! averages trip distance per borough per 10s/5s sliding window.
+//!
+//! * (a) throughput vs sampling fraction (plus natives);
+//! * (b) accuracy loss vs sampling fraction;
+//! * (c) throughput at fixed accuracy loss (0.1% and 0.4%).
+//!
+//! Paper shapes: Spark-SA ≈ SRS, ≈2× STS; all systems achieve similar
+//! accuracy on this dataset (per-borough distance distributions are
+//! well-behaved); at fixed accuracy StreamApprox leads.
+
+use sa_bench::{
+    fmt_kps, fmt_loss, mean_accuracy, measure, throughput_at_accuracy, Env, Metric, System, Table,
+};
+use sa_types::WindowSpec;
+use sa_workloads::{TaxiGenerator, TaxiRide};
+use streamapprox::Query;
+
+const REPS: usize = 3;
+
+fn main() {
+    let env = Env::host();
+    let items = TaxiGenerator::new(40_000.0, 91).generate_lines(10_000);
+    let query = Query::new(|line: &String| {
+        TaxiRide::parse_line(line).expect("valid ride record").distance_miles
+    })
+    .with_window(WindowSpec::sliding_secs(10, 5));
+    println!("fig9: {} ride records over 10s", items.len());
+
+    let exact = measure(&env, System::NativeSpark, 1.0, &query, &items, REPS);
+    let native_flink = measure(&env, System::NativeFlink, 1.0, &query, &items, REPS);
+
+    let mut a = Table::new(
+        "Figure 9(a): throughput (K items/s) vs sampling fraction",
+        &["fraction", "Flink-SA", "Spark-SA", "Spark-SRS", "Spark-STS"],
+    );
+    let mut b = Table::new(
+        "Figure 9(b): accuracy loss (%) vs sampling fraction (per-borough means)",
+        &["fraction", "Flink-SA", "Spark-SA", "Spark-SRS", "Spark-STS"],
+    );
+    for &fraction in &[0.10, 0.20, 0.40, 0.60, 0.80, 0.90] {
+        let mut arow = vec![format!("{:.0}%", fraction * 100.0)];
+        let mut brow = arow.clone();
+        for system in System::SAMPLED {
+            let out = measure(&env, system, fraction, &query, &items, REPS);
+            arow.push(fmt_kps(out.throughput()));
+            brow.push(fmt_loss(mean_accuracy(&exact, &out, Metric::StratumMean)));
+        }
+        if fraction < 0.85 {
+            a.row(arow);
+        }
+        b.row(brow);
+    }
+    a.row(vec![
+        "native".into(),
+        fmt_kps(native_flink.throughput()),
+        fmt_kps(exact.throughput()),
+        "-".into(),
+        "-".into(),
+    ]);
+    a.emit("fig9a");
+    b.emit("fig9b");
+
+    let mut c = Table::new(
+        "Figure 9(c): throughput (K items/s) at fixed accuracy loss",
+        &["loss", "Flink-SA", "Spark-SA", "Spark-SRS", "Spark-STS"],
+    );
+    for &target in &[0.001f64, 0.004] {
+        let mut row = vec![format!("{:.1}%", target * 100.0)];
+        for system in System::SAMPLED {
+            let (tput, fraction) = throughput_at_accuracy(
+                &env,
+                system,
+                target,
+                Metric::StratumMean,
+                &query,
+                &items,
+                &exact,
+            );
+            row.push(format!("{} (f={:.2})", fmt_kps(tput), fraction));
+        }
+        c.row(row);
+    }
+    c.emit("fig9c");
+}

@@ -1,0 +1,64 @@
+//! Error estimation for approximate linear queries — §3.3 of the
+//! StreamApprox paper, implemented from the random-sampling theory it cites.
+//!
+//! Given a weighted stratified sample (from OASRS or any sampler in
+//! `sa-sampling`), this crate produces `output ± error bound` answers:
+//!
+//! * [`estimate_sum`] — Equations 2, 3 and 6: weighted total with the
+//!   stratified finite-population variance.
+//! * [`estimate_mean`] — Equations 4, 8 and 9: population-weighted mean.
+//! * [`estimate_count`] / [`estimate_histogram`] — linear queries over
+//!   indicator projections.
+//! * [`estimate_sum_by_stratum`] / [`estimate_mean_by_stratum`] — the
+//!   per-sub-stream case-study queries (§6.2, §6.3).
+//! * [`srs_sum`], [`srs_mean`], [`srs_sum_by_stratum`],
+//!   [`srs_mean_by_stratum`] — counterparts for the unstratified SRS
+//!   baseline, including its overlooked-sub-stream failure mode.
+//! * [`accuracy_loss`] — the evaluation's `|approx − exact|/exact` metric.
+//! * [`AdaptiveController`] / [`required_inflation`] — the feedback loop
+//!   that re-tunes the sample size to meet an accuracy target (§4.2.1, §7).
+//!
+//! Error bounds use the "68-95-99.7" rule (z · √variance) exactly as the
+//! paper does. A deliberate consequence inherited from the paper: a stratum
+//! with a single sampled item reports zero within-stratum dispersion
+//! (Equation 7 needs `Y_i ≥ 2`), so bounds are optimistic for starved
+//! strata; growing the reservoir fixes both the bound and the estimate.
+//!
+//! # Example
+//!
+//! ```
+//! use sa_sampling::{OasrsSampler, SizingPolicy};
+//! use sa_estimate::{stats_of, estimate_mean};
+//! use sa_types::{Confidence, StratumId};
+//!
+//! let mut sampler = OasrsSampler::new(SizingPolicy::PerStratum(64), 1);
+//! for i in 0..10_000u32 {
+//!     sampler.observe(StratumId(i % 2), f64::from(i % 100));
+//! }
+//! let sample = sampler.finish_interval();
+//! let stats = stats_of(&sample, |v| *v);
+//! let answer = estimate_mean(&stats, Confidence::P95);
+//! // True mean of i % 100 over this stream is 49.5.
+//! assert!((answer.value - 49.5).abs() < 15.0);
+//! assert!(answer.bound.margin() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accuracy;
+mod linear;
+mod srs;
+mod stats;
+mod tdist;
+mod welford;
+
+pub use accuracy::{accuracy_loss, mean_accuracy_loss, required_inflation, AdaptiveController};
+pub use linear::{
+    estimate_count, estimate_histogram, estimate_mean, estimate_mean_by_stratum, estimate_sum,
+    estimate_sum_by_stratum,
+};
+pub use srs::{srs_mean, srs_mean_by_stratum, srs_sum, srs_sum_by_stratum, SrsSample};
+pub use stats::{stats_of, StratumStats};
+pub use tdist::{stratified_t_multiplier, t_multiplier};
+pub use welford::Welford;

@@ -1,0 +1,360 @@
+//! Estimators for approximate linear queries (§3.2–3.3 of the paper):
+//! sum, mean, count and histogram over a weighted stratified sample, each
+//! reported as `output ± error bound`.
+
+use crate::stats::{stats_of, StratumStats};
+use sa_types::{ApproxResult, Confidence, ErrorBound, StratifiedSample};
+use std::collections::BTreeMap;
+
+/// Estimates the total `SUM` of all items across strata (Equations 2, 3
+/// and 6): point estimate `Σ_i SUM_i` with variance `Σ_i C_i(C_i−Y_i)s_i²/Y_i`
+/// and margin `z·√variance` at the requested confidence.
+///
+/// Strata that arrived but were sampled to zero items (possible only with
+/// Bernoulli-style samplers at tiny fractions — reservoir samplers always
+/// keep at least one) contribute nothing to the estimate; their absence is
+/// visible through the result's `sample_size`/`population_size` counters.
+///
+/// # Example
+///
+/// ```
+/// use sa_estimate::{estimate_sum, StratumStats};
+/// use sa_types::{Confidence, StratumId};
+///
+/// // One stratum: 4 of 8 items sampled, values 1..4 → Σ sampled = 10,
+/// // weight 2 → estimated sum 20.
+/// let acc = [1.0, 2.0, 3.0, 4.0].into_iter().collect();
+/// let stats = [StratumStats::from_parts(StratumId(0), 8, acc)];
+/// let r = estimate_sum(&stats, Confidence::P95);
+/// assert!((r.value - 20.0).abs() < 1e-12);
+/// assert!(r.bound.margin() > 0.0);
+/// ```
+pub fn estimate_sum(stats: &[StratumStats], confidence: Confidence) -> ApproxResult {
+    let mut value = 0.0;
+    let mut variance = 0.0;
+    let mut sampled = 0u64;
+    let mut population = 0u64;
+    for s in stats {
+        value += s.estimated_sum();
+        variance += s.sum_variance();
+        sampled += s.sample_size();
+        population += s.population;
+    }
+    let margin = confidence.z() * variance.sqrt();
+    ApproxResult::new(
+        value,
+        ErrorBound::new(margin, confidence),
+        sampled,
+        population,
+    )
+}
+
+/// Estimates the `MEAN` of all items across strata (Equations 4, 8 and 9):
+/// point estimate `Σ_i ω_i·MEAN_i` with `ω_i = C_i / ΣC_j` and variance
+/// `Σ_i ω_i² (s_i²/Y_i) (C_i−Y_i)/C_i`.
+///
+/// Strata with zero sampled items are excluded and the weights `ω_i` are
+/// renormalized over the covered strata — equivalent to imputing the
+/// covered average for the missing ones, which biases less than imputing
+/// zero. Reservoir-based samplers never hit this path.
+pub fn estimate_mean(stats: &[StratumStats], confidence: Confidence) -> ApproxResult {
+    let mut sampled = 0u64;
+    let mut population = 0u64;
+    let mut covered_population = 0u64;
+    for s in stats {
+        sampled += s.sample_size();
+        population += s.population;
+        if s.sample_size() > 0 {
+            covered_population += s.population;
+        }
+    }
+    if covered_population == 0 {
+        return ApproxResult::new(0.0, ErrorBound::exact(), 0, population);
+    }
+    let total = covered_population as f64;
+    let mut value = 0.0;
+    let mut variance = 0.0;
+    for s in stats {
+        if s.sample_size() == 0 {
+            continue;
+        }
+        let omega = s.population as f64 / total;
+        value += omega * s.acc.mean();
+        variance += omega * omega * s.mean_variance();
+    }
+    let margin = confidence.z() * variance.sqrt();
+    ApproxResult::new(
+        value,
+        ErrorBound::new(margin, confidence),
+        sampled,
+        population,
+    )
+}
+
+/// Estimates how many items across all strata satisfy `predicate`
+/// — a linear query over indicator values, so Equation 6 applies verbatim.
+///
+/// # Example
+///
+/// ```
+/// use sa_estimate::estimate_count;
+/// use sa_types::{Confidence, StratifiedSample, StratumSample, StratumId};
+///
+/// // 5 of 10 items sampled; 2 of the sampled are ≥ 4 → estimate 2·2 = 4.
+/// let sample: StratifiedSample<f64> =
+///     [StratumSample::new(StratumId(0), vec![1.0, 2.0, 4.0, 5.0, 3.0], 10, 5)]
+///         .into_iter()
+///         .collect();
+/// let r = estimate_count(&sample, |v| *v >= 4.0, Confidence::P95);
+/// assert!((r.value - 4.0).abs() < 1e-12);
+/// ```
+pub fn estimate_count<V, F: FnMut(&V) -> bool>(
+    sample: &StratifiedSample<V>,
+    mut predicate: F,
+    confidence: Confidence,
+) -> ApproxResult {
+    let stats = stats_of(sample, |v| if predicate(v) { 1.0 } else { 0.0 });
+    estimate_sum(&stats, confidence)
+}
+
+/// Estimates a histogram: for every bucket produced by `bucket_of`, the
+/// estimated number of items across all strata falling in that bucket, each
+/// with its own error bound. Buckets are returned in ascending order.
+///
+/// # Example
+///
+/// ```
+/// use sa_estimate::estimate_histogram;
+/// use sa_types::{Confidence, StratifiedSample, StratumSample, StratumId};
+///
+/// let sample: StratifiedSample<f64> =
+///     [StratumSample::new(StratumId(0), vec![1.0, 1.5, 7.0], 6, 3)]
+///         .into_iter()
+///         .collect();
+/// let hist = estimate_histogram(&sample, |v| *v as i64, Confidence::P95);
+/// assert_eq!(hist.len(), 2);
+/// assert_eq!(hist[0].0, 1); // values 1.0 and 1.5
+/// assert!((hist[0].1.value - 4.0).abs() < 1e-12); // 2 sampled × weight 2
+/// ```
+pub fn estimate_histogram<V, B, F>(
+    sample: &StratifiedSample<V>,
+    mut bucket_of: F,
+    confidence: Confidence,
+) -> Vec<(B, ApproxResult)>
+where
+    B: Ord + Clone,
+    F: FnMut(&V) -> B,
+{
+    // Collect the bucket universe first, then estimate each bucket as an
+    // indicator-sum in a single pass per stratum.
+    let mut buckets: BTreeMap<B, Vec<StratumStats>> = BTreeMap::new();
+    for stratum in sample.iter() {
+        // Count per bucket within this stratum.
+        let mut counts: BTreeMap<B, u64> = BTreeMap::new();
+        for item in &stratum.items {
+            *counts.entry(bucket_of(item)).or_default() += 1;
+        }
+        let yi = stratum.sample_size() as u64;
+        for (bucket, hits) in counts {
+            // Indicator accumulator: `hits` ones and `yi - hits` zeros.
+            let mut acc = crate::welford::Welford::new();
+            for _ in 0..hits {
+                acc.push(1.0);
+            }
+            for _ in 0..(yi - hits) {
+                acc.push(0.0);
+            }
+            buckets.entry(bucket).or_default().push(StratumStats::from_parts(
+                stratum.stratum,
+                stratum.population,
+                acc,
+            ));
+        }
+    }
+    buckets
+        .into_iter()
+        .map(|(b, stats)| (b, estimate_sum(&stats, confidence)))
+        .collect()
+}
+
+/// Estimates the per-stratum totals — the paper's network-monitoring case
+/// study query ("total sizes of TCP, UDP and ICMP traffic", §6.2). Returns
+/// one `(stratum, result)` per covered stratum, in stratum order.
+pub fn estimate_sum_by_stratum(
+    stats: &[StratumStats],
+    confidence: Confidence,
+) -> Vec<(sa_types::StratumId, ApproxResult)> {
+    stats
+        .iter()
+        .map(|s| {
+            let margin = confidence.z() * s.sum_variance().sqrt();
+            (
+                s.stratum,
+                ApproxResult::new(
+                    s.estimated_sum(),
+                    ErrorBound::new(margin, confidence),
+                    s.sample_size(),
+                    s.population,
+                ),
+            )
+        })
+        .collect()
+}
+
+/// Estimates the per-stratum means — the paper's taxi case study query
+/// ("average distance of trips starting from each borough", §6.3).
+pub fn estimate_mean_by_stratum(
+    stats: &[StratumStats],
+    confidence: Confidence,
+) -> Vec<(sa_types::StratumId, ApproxResult)> {
+    stats
+        .iter()
+        .map(|s| {
+            let margin = confidence.z() * s.mean_variance().sqrt();
+            (
+                s.stratum,
+                ApproxResult::new(
+                    s.acc.mean(),
+                    ErrorBound::new(margin, confidence),
+                    s.sample_size(),
+                    s.population,
+                ),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::welford::Welford;
+    use sa_types::{StratumId, StratumSample};
+
+    fn stats(id: u32, pop: u64, values: &[f64]) -> StratumStats {
+        let acc: Welford = values.iter().copied().collect();
+        StratumStats::from_parts(StratumId(id), pop, acc)
+    }
+
+    #[test]
+    fn sum_fully_sampled_is_exact() {
+        let st = [stats(0, 3, &[1.0, 2.0, 3.0]), stats(1, 2, &[10.0, 20.0])];
+        let r = estimate_sum(&st, Confidence::P95);
+        assert!((r.value - 36.0).abs() < 1e-12);
+        assert_eq!(r.bound.margin(), 0.0);
+        assert_eq!(r.sample_size, 5);
+        assert_eq!(r.population_size, 5);
+    }
+
+    #[test]
+    fn sum_combines_strata_with_weights() {
+        // Stratum 0: 2 of 6 sampled (w=3), Σ=3 → 9.
+        // Stratum 1: 2 of 4 sampled (w=2), Σ=7 → 14.
+        let st = [stats(0, 6, &[1.0, 2.0]), stats(1, 4, &[3.0, 4.0])];
+        let r = estimate_sum(&st, Confidence::P68);
+        assert!((r.value - 23.0).abs() < 1e-12);
+        // Hand-computed variance: stratum 0: 6·4·0.5/2 = 6; stratum 1:
+        // 4·2·0.5/2 = 2; total 8, z = 1.
+        assert!((r.bound.margin() - 8.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_weights_by_population_not_sample() {
+        // Stratum 0: mean 1.0 over population 90; stratum 1: mean 10.0 over
+        // population 10 → weighted mean 1.9, regardless of sample sizes.
+        let st = [
+            stats(0, 90, &[1.0, 1.0, 1.0]),
+            stats(1, 10, &[10.0, 10.0, 10.0, 10.0, 10.0]),
+        ];
+        let r = estimate_mean(&st, Confidence::P95);
+        assert!((r.value - 1.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_margin_shrinks_with_sample_size() {
+        let small = [stats(0, 1_000, &[1.0, 5.0, 3.0, 7.0])];
+        let values: Vec<f64> = (0..100).map(|i| (i % 8) as f64).collect();
+        let big = [stats(0, 1_000, &values)];
+        let m_small = estimate_mean(&small, Confidence::P95).bound.margin();
+        let m_big = estimate_mean(&big, Confidence::P95).bound.margin();
+        assert!(m_big < m_small);
+    }
+
+    #[test]
+    fn mean_renormalizes_over_covered_strata() {
+        // Stratum 1 arrived (pop 50) but nothing was sampled; the estimate
+        // should be the covered stratum's mean, not dragged towards zero.
+        let st = [stats(0, 50, &[4.0, 4.0]), stats(1, 50, &[])];
+        let r = estimate_mean(&st, Confidence::P95);
+        assert!((r.value - 4.0).abs() < 1e-12);
+        assert_eq!(r.population_size, 100);
+        assert_eq!(r.sample_size, 2);
+    }
+
+    #[test]
+    fn empty_input_mean_is_zero_exact() {
+        let r = estimate_mean(&[], Confidence::P95);
+        assert_eq!(r.value, 0.0);
+        assert_eq!(r.bound.margin(), 0.0);
+    }
+
+    #[test]
+    fn count_estimates_match_weighted_indicators() {
+        let sample: StratifiedSample<f64> = [
+            StratumSample::new(StratumId(0), vec![1.0, 5.0, 9.0], 9, 3),
+            StratumSample::new(StratumId(1), vec![2.0], 1, 3),
+        ]
+        .into_iter()
+        .collect();
+        // Items ≥ 5: stratum 0 has 2 sampled × weight 3 = 6; stratum 1 none.
+        let r = estimate_count(&sample, |v| *v >= 5.0, Confidence::P95);
+        assert!((r.value - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_covers_all_buckets_and_sums_to_population_estimate() {
+        let sample: StratifiedSample<f64> = [StratumSample::new(
+            StratumId(0),
+            vec![0.0, 0.5, 1.2, 1.9, 2.5],
+            10,
+            5,
+        )]
+        .into_iter()
+        .collect();
+        let hist = estimate_histogram(&sample, |v| *v as i64, Confidence::P95);
+        let buckets: Vec<i64> = hist.iter().map(|(b, _)| *b).collect();
+        assert_eq!(buckets, vec![0, 1, 2]);
+        let total: f64 = hist.iter().map(|(_, r)| r.value).sum();
+        // Bucket estimates are weighted counts; they reconstruct C = 10.
+        assert!((total - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_stratum_sums_isolate_strata() {
+        let st = [stats(0, 6, &[1.0, 2.0]), stats(1, 4, &[3.0, 4.0])];
+        let by = estimate_sum_by_stratum(&st, Confidence::P95);
+        assert_eq!(by.len(), 2);
+        assert_eq!(by[0].0, StratumId(0));
+        assert!((by[0].1.value - 9.0).abs() < 1e-12);
+        assert!((by[1].1.value - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_stratum_means_report_fpc_margins() {
+        let st = [stats(0, 4, &[1.0, 3.0])];
+        let by = estimate_mean_by_stratum(&st, Confidence::P68);
+        let r = by[0].1;
+        assert!((r.value - 2.0).abs() < 1e-12);
+        // s² = 2, var = (2/2)·(4−2)/4 = 0.5.
+        assert!((r.bound.margin() - 0.5f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn margins_scale_with_confidence() {
+        let st = [stats(0, 100, &[1.0, 5.0, 3.0, 7.0])];
+        let m68 = estimate_sum(&st, Confidence::P68).bound.margin();
+        let m95 = estimate_sum(&st, Confidence::P95).bound.margin();
+        let m997 = estimate_sum(&st, Confidence::P997).bound.margin();
+        assert!((m95 / m68 - 2.0).abs() < 1e-9);
+        assert!((m997 / m68 - 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,272 @@
+//! Estimators for the *unstratified* SRS baseline.
+//!
+//! Spark-based SRS (paper §4.1.1) draws one simple random sample from the
+//! whole batch, losing the per-sub-stream bookkeeping OASRS keeps. Queries
+//! over sub-populations ("domains" in survey-sampling terms, e.g. the
+//! per-protocol traffic totals of §6.2) must then be answered with
+//! Horvitz–Thompson expansion under the single global inclusion probability
+//! `y/n` — which is exactly why SRS "loses the capability of considering
+//! each sub-stream fairly" (§5.2): a rare domain may simply vanish from the
+//! sample.
+
+use crate::welford::Welford;
+use sa_types::{ApproxResult, Confidence, ErrorBound, StratumId};
+use std::collections::BTreeMap;
+
+/// An unstratified simple random sample of `y` items drawn from a batch of
+/// `n`, carrying each item's stratum tag only as payload (SRS did not use it
+/// while sampling).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SrsSample<V> {
+    items: Vec<(StratumId, V)>,
+    population: u64,
+}
+
+impl<V> SrsSample<V> {
+    /// Wraps a drawn sample together with the batch size it came from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more items were selected than the population contains.
+    pub fn new(items: Vec<(StratumId, V)>, population: u64) -> Self {
+        assert!(
+            items.len() as u64 <= population,
+            "sample larger than population"
+        );
+        SrsSample { items, population }
+    }
+
+    /// The sampled `(stratum, value)` pairs.
+    pub fn items(&self) -> &[(StratumId, V)] {
+        &self.items
+    }
+
+    /// `n`: the batch size the sample was drawn from.
+    pub fn population(&self) -> u64 {
+        self.population
+    }
+
+    /// `y`: the realized sample size.
+    pub fn sample_size(&self) -> u64 {
+        self.items.len() as u64
+    }
+}
+
+/// Estimates the total over the whole batch: `(n/y)·Σ v` with the standard
+/// SRS variance `n²(1−y/n)s²/y`.
+///
+/// # Example
+///
+/// ```
+/// use sa_estimate::{SrsSample, srs_sum};
+/// use sa_types::{Confidence, StratumId};
+///
+/// let s = SrsSample::new(vec![(StratumId(0), 2.0), (StratumId(0), 4.0)], 4);
+/// let r = srs_sum(&s, |v| *v, Confidence::P95);
+/// assert!((r.value - 12.0).abs() < 1e-12); // (4/2)·6
+/// ```
+pub fn srs_sum<V, F: FnMut(&V) -> f64>(
+    sample: &SrsSample<V>,
+    mut proj: F,
+    confidence: Confidence,
+) -> ApproxResult {
+    let y = sample.sample_size();
+    let n = sample.population;
+    if y == 0 {
+        return ApproxResult::new(0.0, ErrorBound::exact(), 0, n);
+    }
+    let acc: Welford = sample.items.iter().map(|(_, v)| proj(v)).collect();
+    let nf = n as f64;
+    let yf = y as f64;
+    let value = nf / yf * acc.sum();
+    let variance = (nf * nf * (1.0 - yf / nf) * acc.sample_variance() / yf).max(0.0);
+    ApproxResult::new(
+        value,
+        ErrorBound::new(confidence.z() * variance.sqrt(), confidence),
+        y,
+        n,
+    )
+}
+
+/// Estimates the mean over the whole batch: the sample mean with variance
+/// `(1−y/n)s²/y`.
+pub fn srs_mean<V, F: FnMut(&V) -> f64>(
+    sample: &SrsSample<V>,
+    mut proj: F,
+    confidence: Confidence,
+) -> ApproxResult {
+    let y = sample.sample_size();
+    let n = sample.population;
+    if y == 0 {
+        return ApproxResult::new(0.0, ErrorBound::exact(), 0, n);
+    }
+    let acc: Welford = sample.items.iter().map(|(_, v)| proj(v)).collect();
+    let variance =
+        ((1.0 - y as f64 / n as f64) * acc.sample_variance() / y as f64).max(0.0);
+    ApproxResult::new(
+        acc.mean(),
+        ErrorBound::new(confidence.z() * variance.sqrt(), confidence),
+        y,
+        n,
+    )
+}
+
+/// Estimates per-stratum totals from an unstratified sample (domain
+/// estimation): for stratum `k`, `(n/y)·Σ_{sampled ∈ k} v`, with the
+/// domain-indicator variance. Strata absent from the sample are absent from
+/// the output — the overlooked-sub-stream failure mode of SRS.
+pub fn srs_sum_by_stratum<V, F: FnMut(&V) -> f64>(
+    sample: &SrsSample<V>,
+    mut proj: F,
+    confidence: Confidence,
+) -> Vec<(StratumId, ApproxResult)> {
+    let y = sample.sample_size();
+    let n = sample.population;
+    if y == 0 {
+        return Vec::new();
+    }
+    let strata: BTreeMap<StratumId, ()> =
+        sample.items.iter().map(|(k, _)| (*k, ())).collect();
+    let nf = n as f64;
+    let yf = y as f64;
+    strata
+        .into_keys()
+        .map(|k| {
+            // Domain variable z_j = v_j · 1{stratum_j = k} over the whole
+            // sample (zeros included) — the standard SRS domain-total
+            // estimator.
+            let acc: Welford = sample
+                .items
+                .iter()
+                .map(|(s, v)| if *s == k { proj(v) } else { 0.0 })
+                .collect();
+            let value = nf / yf * acc.sum();
+            let variance =
+                (nf * nf * (1.0 - yf / nf) * acc.sample_variance() / yf).max(0.0);
+            let domain_size = sample.items.iter().filter(|(s, _)| *s == k).count() as u64;
+            (
+                k,
+                ApproxResult::new(
+                    value,
+                    ErrorBound::new(confidence.z() * variance.sqrt(), confidence),
+                    domain_size,
+                    n,
+                ),
+            )
+        })
+        .collect()
+}
+
+/// Estimates per-stratum means from an unstratified sample: the ratio
+/// (self-weighting) estimator — the mean of the sampled items that happen to
+/// fall in the stratum, with the conditional-SRS variance approximation.
+pub fn srs_mean_by_stratum<V, F: FnMut(&V) -> f64>(
+    sample: &SrsSample<V>,
+    mut proj: F,
+    confidence: Confidence,
+) -> Vec<(StratumId, ApproxResult)> {
+    let n = sample.population;
+    let mut groups: BTreeMap<StratumId, Welford> = BTreeMap::new();
+    for (k, v) in &sample.items {
+        groups.entry(*k).or_default().push(proj(v));
+    }
+    let f = sample.sample_size() as f64 / n.max(1) as f64;
+    groups
+        .into_iter()
+        .map(|(k, acc)| {
+            let yk = acc.count();
+            let variance = if yk == 0 {
+                0.0
+            } else {
+                ((1.0 - f) * acc.sample_variance() / yk as f64).max(0.0)
+            };
+            (
+                k,
+                ApproxResult::new(
+                    acc.mean(),
+                    ErrorBound::new(confidence.z() * variance.sqrt(), confidence),
+                    yk,
+                    n,
+                ),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(pairs: &[(u32, f64)], n: u64) -> SrsSample<f64> {
+        SrsSample::new(
+            pairs.iter().map(|&(k, v)| (StratumId(k), v)).collect(),
+            n,
+        )
+    }
+
+    #[test]
+    fn full_sample_sum_is_exact() {
+        let s = sample(&[(0, 1.0), (0, 2.0), (1, 3.0)], 3);
+        let r = srs_sum(&s, |v| *v, Confidence::P95);
+        assert!((r.value - 6.0).abs() < 1e-12);
+        assert_eq!(r.bound.margin(), 0.0);
+    }
+
+    #[test]
+    fn sum_expands_by_inverse_fraction() {
+        let s = sample(&[(0, 5.0), (0, 7.0)], 10);
+        let r = srs_sum(&s, |v| *v, Confidence::P95);
+        assert!((r.value - 60.0).abs() < 1e-12);
+        assert!(r.bound.margin() > 0.0);
+    }
+
+    #[test]
+    fn mean_is_sample_mean() {
+        let s = sample(&[(0, 2.0), (1, 4.0)], 100);
+        let r = srs_mean(&s, |v| *v, Confidence::P95);
+        assert!((r.value - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sample_degrades_gracefully() {
+        let s = sample(&[], 50);
+        assert_eq!(srs_sum(&s, |v: &f64| *v, Confidence::P95).value, 0.0);
+        assert_eq!(srs_mean(&s, |v: &f64| *v, Confidence::P95).value, 0.0);
+        assert!(srs_sum_by_stratum(&s, |v: &f64| *v, Confidence::P95).is_empty());
+    }
+
+    #[test]
+    fn domain_sums_partition_the_total() {
+        let s = sample(&[(0, 1.0), (1, 2.0), (0, 3.0), (2, 4.0)], 40);
+        let total = srs_sum(&s, |v| *v, Confidence::P95).value;
+        let by: f64 = srs_sum_by_stratum(&s, |v| *v, Confidence::P95)
+            .iter()
+            .map(|(_, r)| r.value)
+            .sum();
+        assert!((total - by).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_stratum_is_silently_absent() {
+        // The failure mode the paper's Figure 5(a) demonstrates: stratum 9
+        // existed in the population but was never sampled.
+        let s = sample(&[(0, 1.0)], 1_000);
+        let by = srs_sum_by_stratum(&s, |v| *v, Confidence::P95);
+        assert_eq!(by.len(), 1);
+        assert_eq!(by[0].0, StratumId(0));
+    }
+
+    #[test]
+    fn per_stratum_mean_is_conditional_mean() {
+        let s = sample(&[(0, 2.0), (0, 6.0), (1, 10.0)], 30);
+        let by = srs_mean_by_stratum(&s, |v| *v, Confidence::P95);
+        assert!((by[0].1.value - 4.0).abs() < 1e-12);
+        assert!((by[1].1.value - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample larger than population")]
+    fn oversized_sample_rejected() {
+        let _ = sample(&[(0, 1.0), (0, 2.0)], 1);
+    }
+}

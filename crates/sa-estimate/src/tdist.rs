@@ -1,0 +1,157 @@
+//! Small-sample refinement of the error bounds: Student-t multipliers.
+//!
+//! The paper derives bounds from the "68-95-99.7" rule, i.e. a normal
+//! approximation with z ∈ {1, 2, 3} (§3.3). That is accurate when every
+//! stratum holds plenty of sampled items, but a reservoir of a handful of
+//! items makes the variance estimate itself noisy and the normal bound
+//! optimistic. This module provides the standard correction: widen the
+//! multiplier to the Student-t quantile with `Y_i − 1` degrees of freedom,
+//! computed from the normal quantile via Hill's asymptotic expansion
+//! (Hill, 1970). The correction converges to the paper's rule as samples
+//! grow, so it is a strict refinement, not a behavioural change.
+
+use crate::stats::StratumStats;
+use sa_types::Confidence;
+
+/// The Student-t multiplier matching the coverage of `confidence`'s normal
+/// multiplier, for `df` degrees of freedom.
+///
+/// Uses Hill's expansion `t ≈ z + (z³+z)/4ν + (5z⁵+16z³+3z)/96ν² + …`,
+/// which is accurate to a few per mil for `ν ≥ 3` and exact in the limit.
+/// For `df = 0` (a single observation — no variance information at all)
+/// the multiplier is infinite in theory; we return a large sentinel factor
+/// instead so margins stay finite but clearly dominated by the better
+/// strata.
+///
+/// # Example
+///
+/// ```
+/// use sa_estimate::t_multiplier;
+/// use sa_types::Confidence;
+///
+/// // Small samples widen the bound…
+/// assert!(t_multiplier(Confidence::P95, 4) > Confidence::P95.z());
+/// // …large samples recover the paper's 68-95-99.7 rule.
+/// let big = t_multiplier(Confidence::P95, 10_000);
+/// assert!((big - Confidence::P95.z()).abs() < 1e-3);
+/// ```
+pub fn t_multiplier(confidence: Confidence, df: u64) -> f64 {
+    let z = confidence.z();
+    if df == 0 {
+        return z * 10.0;
+    }
+    let v = df as f64;
+    let z3 = z * z * z;
+    let z5 = z3 * z * z;
+    let correction1 = (z3 + z) / (4.0 * v);
+    let correction2 = (5.0 * z5 + 16.0 * z3 + 3.0 * z) / (96.0 * v * v);
+    let correction3 = (3.0 * z5 * z * z + 19.0 * z5 + 17.0 * z3 - 15.0 * z) / (384.0 * v * v * v);
+    z + correction1 + correction2 + correction3
+}
+
+/// A conservative effective multiplier for a stratified estimate: the
+/// t-multiplier at the *smallest* per-stratum degrees of freedom among
+/// covered strata (the stratum least able to estimate its own variance
+/// dominates the bound's optimism).
+///
+/// Returns the plain normal multiplier when every covered stratum has at
+/// least `LARGE_SAMPLE` items, so well-fed pipelines pay nothing.
+pub fn stratified_t_multiplier(stats: &[StratumStats], confidence: Confidence) -> f64 {
+    /// Sample size beyond which the normal rule is indistinguishable from t.
+    const LARGE_SAMPLE: u64 = 120;
+    let min_df = stats
+        .iter()
+        .filter(|s| s.sample_size() > 0)
+        .map(|s| s.sample_size() - 1)
+        .min();
+    match min_df {
+        None => confidence.z(),
+        Some(df) if df >= LARGE_SAMPLE => confidence.z(),
+        Some(df) => t_multiplier(confidence, df),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::welford::Welford;
+    use sa_types::StratumId;
+
+    #[test]
+    fn t_exceeds_z_for_small_samples() {
+        for df in 1..30 {
+            for conf in [Confidence::P68, Confidence::P95, Confidence::P997] {
+                assert!(
+                    t_multiplier(conf, df) > conf.z(),
+                    "df={df}, conf={conf}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn t_is_monotone_decreasing_in_df() {
+        let mut last = f64::INFINITY;
+        for df in 1..200 {
+            let t = t_multiplier(Confidence::P95, df);
+            assert!(t < last, "df={df}: {t} !< {last}");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn t_converges_to_z() {
+        for conf in [Confidence::P68, Confidence::P95, Confidence::P997] {
+            let t = t_multiplier(conf, 100_000);
+            assert!((t - conf.z()).abs() < 1e-4, "{conf}: {t}");
+        }
+    }
+
+    #[test]
+    fn t_matches_known_quantiles_approximately() {
+        // Student-t 84.135% quantile (matching z = 1, the 68% two-sided
+        // band): for ν = 4 the exact value is ≈ 1.1416 (computed by
+        // numerical inversion of the t CDF).
+        let t = t_multiplier(Confidence::P68, 4);
+        assert!((t - 1.1416).abs() < 0.01, "t = {t}");
+        // For z = 2 (95.45% two-sided), ν = 10: exact ≈ 2.2837.
+        let t2 = t_multiplier(Confidence::P95, 10);
+        assert!((t2 - 2.2837).abs() < 0.02, "t = {t2}");
+        // And ν = 4 at z = 2: exact ≈ 2.8693 (expansion is a few per mil
+        // off this far into the tail at tiny ν).
+        let t3 = t_multiplier(Confidence::P95, 4);
+        assert!((t3 - 2.8693).abs() < 0.08, "t = {t3}");
+    }
+
+    #[test]
+    fn zero_df_is_finite_but_huge() {
+        let t = t_multiplier(Confidence::P95, 0);
+        assert!(t.is_finite());
+        assert!(t >= 10.0);
+    }
+
+    fn stats(pop: u64, n: usize) -> StratumStats {
+        let acc: Welford = (0..n).map(|i| i as f64).collect();
+        StratumStats::from_parts(StratumId(0), pop, acc)
+    }
+
+    #[test]
+    fn stratified_multiplier_keyed_to_weakest_stratum() {
+        let mixed = vec![stats(1_000, 500), stats(1_000, 5)];
+        let m = stratified_t_multiplier(&mixed, Confidence::P95);
+        assert!((m - t_multiplier(Confidence::P95, 4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stratified_multiplier_is_z_for_large_samples() {
+        let big = vec![stats(10_000, 5_000), stats(10_000, 400)];
+        assert_eq!(
+            stratified_t_multiplier(&big, Confidence::P95),
+            Confidence::P95.z()
+        );
+        assert_eq!(
+            stratified_t_multiplier(&[], Confidence::P95),
+            Confidence::P95.z()
+        );
+    }
+}

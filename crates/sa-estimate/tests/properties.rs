@@ -1,0 +1,263 @@
+//! Property-based and statistical tests for the estimators: exactness under
+//! full sampling, unbiasedness, and confidence-interval coverage.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sa_estimate::{
+    accuracy_loss, estimate_count, estimate_mean, estimate_sum, required_inflation, stats_of,
+    StratumStats, Welford,
+};
+use sa_sampling::{OasrsSampler, SizingPolicy};
+use sa_types::{Confidence, StratifiedSample, StratumId, StratumSample};
+
+proptest! {
+    /// With every item sampled (C_i == Y_i), sum and mean are exact with a
+    /// zero margin, for any population shape.
+    #[test]
+    fn full_sampling_is_exact(
+        strata in proptest::collection::vec(
+            proptest::collection::vec(-100.0f64..100.0, 1..50),
+            1..5,
+        ),
+    ) {
+        let sample: StratifiedSample<f64> = strata
+            .iter()
+            .enumerate()
+            .map(|(k, vals)| {
+                StratumSample::new(StratumId(k as u32), vals.clone(), vals.len() as u64, vals.len())
+            })
+            .collect();
+        let stats = stats_of(&sample, |v| *v);
+        let r_sum = estimate_sum(&stats, Confidence::P95);
+        let true_sum: f64 = strata.iter().flatten().sum();
+        prop_assert!((r_sum.value - true_sum).abs() < 1e-9);
+        prop_assert_eq!(r_sum.bound.margin(), 0.0);
+
+        let r_mean = estimate_mean(&stats, Confidence::P95);
+        let n: usize = strata.iter().map(Vec::len).sum();
+        let true_mean = true_sum / n as f64;
+        prop_assert!((r_mean.value - true_mean).abs() < 1e-9);
+        prop_assert_eq!(r_mean.bound.margin(), 0.0);
+    }
+
+    /// Count of a tautological predicate reconstructs the total population
+    /// exactly (each sampled item stands for W_i originals).
+    #[test]
+    fn count_true_predicate_reconstructs_population(
+        sizes in proptest::collection::vec((1u64..200, 1usize..32), 1..5),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let sample: StratifiedSample<f64> = sizes
+            .iter()
+            .enumerate()
+            .map(|(k, &(pop, cap))| {
+                let y = (pop as usize).min(cap);
+                let items: Vec<f64> = (0..y).map(|_| rng.gen::<f64>()).collect();
+                StratumSample::new(StratumId(k as u32), items, pop, cap)
+            })
+            .collect();
+        let total: u64 = sizes.iter().map(|&(p, _)| p).sum();
+        let r = estimate_count(&sample, |_| true, Confidence::P95);
+        prop_assert!((r.value - total as f64).abs() < 1e-6 * total as f64 + 1e-6);
+    }
+
+    /// Margins never go negative and scale linearly in z across confidence
+    /// levels.
+    #[test]
+    fn margins_nonnegative_and_z_linear(
+        pops in proptest::collection::vec(2u64..500, 1..4),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let stats: Vec<StratumStats> = pops
+            .iter()
+            .enumerate()
+            .map(|(k, &pop)| {
+                let y = (pop / 2).max(2);
+                let acc: Welford = (0..y).map(|_| rng.gen_range(-5.0..5.0)).collect();
+                StratumStats::from_parts(StratumId(k as u32), pop, acc)
+            })
+            .collect();
+        let m1 = estimate_sum(&stats, Confidence::P68).bound.margin();
+        let m2 = estimate_sum(&stats, Confidence::P95).bound.margin();
+        let m3 = estimate_sum(&stats, Confidence::P997).bound.margin();
+        prop_assert!(m1 >= 0.0);
+        prop_assert!((m2 - 2.0 * m1).abs() < 1e-9 * m1.max(1.0));
+        prop_assert!((m3 - 3.0 * m1).abs() < 1e-9 * m1.max(1.0));
+    }
+
+    /// Accuracy loss is symmetric around the exact value and zero iff equal.
+    #[test]
+    fn accuracy_loss_properties(exact in 0.001f64..1e6, delta in 0.0f64..1e5) {
+        prop_assert!((accuracy_loss(exact + delta, exact)
+            - accuracy_loss(exact - delta, exact)).abs() < 1e-9);
+        prop_assert_eq!(accuracy_loss(exact, exact), 0.0);
+    }
+
+    /// required_inflation is monotone: a tighter target needs at least as
+    /// much inflation.
+    #[test]
+    fn inflation_monotone_in_target(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let acc: Welford = (0..64).map(|_| rng.gen_range(0.0..100.0)).collect();
+        let stats = [StratumStats::from_parts(StratumId(0), 1_000_000, acc)];
+        let loose = required_inflation(&stats, 5.0, 2.0).unwrap();
+        let tight = required_inflation(&stats, 0.5, 2.0).unwrap();
+        prop_assert!(tight >= loose);
+    }
+}
+
+/// Over many independent OASRS runs, the sum estimator must be unbiased:
+/// its average converges to the true sum.
+#[test]
+fn sum_estimator_is_unbiased_over_oasrs() {
+    const TRIALS: usize = 400;
+    // Population: 3 strata of very different sizes and scales, echoing the
+    // paper's Gaussian mix.
+    let mut rng = SmallRng::seed_from_u64(99);
+    let strata: Vec<Vec<f64>> = vec![
+        (0..2_000).map(|_| rng.gen_range(5.0..15.0)).collect(),
+        (0..400).map(|_| rng.gen_range(900.0..1_100.0)).collect(),
+        (0..30).map(|_| rng.gen_range(9_000.0..11_000.0)).collect(),
+    ];
+    let true_sum: f64 = strata.iter().flatten().sum();
+
+    let mut estimates = Vec::with_capacity(TRIALS);
+    for t in 0..TRIALS {
+        let mut sampler = OasrsSampler::new(SizingPolicy::PerStratum(20), t as u64);
+        for (k, vals) in strata.iter().enumerate() {
+            for &v in vals {
+                sampler.observe(StratumId(k as u32), v);
+            }
+        }
+        let sample = sampler.finish_interval();
+        let stats = stats_of(&sample, |v| *v);
+        estimates.push(estimate_sum(&stats, Confidence::P95).value);
+    }
+    let mean_estimate: f64 = estimates.iter().sum::<f64>() / TRIALS as f64;
+    let rel = (mean_estimate - true_sum).abs() / true_sum;
+    assert!(
+        rel < 0.02,
+        "estimator biased: mean {mean_estimate} vs true {true_sum} (rel {rel})"
+    );
+}
+
+/// The 95% error bound must cover the true value in roughly 95% of runs
+/// (allowing statistical slack and the optimism of small-sample s_i²).
+#[test]
+fn confidence_interval_coverage_is_near_nominal() {
+    const TRIALS: usize = 500;
+    let mut rng = SmallRng::seed_from_u64(7);
+    let strata: Vec<Vec<f64>> = vec![
+        (0..3_000).map(|_| rng.gen_range(0.0..20.0)).collect(),
+        (0..1_000).map(|_| rng.gen_range(50.0..150.0)).collect(),
+    ];
+    let true_sum: f64 = strata.iter().flatten().sum();
+
+    let mut covered = 0usize;
+    for t in 0..TRIALS {
+        let mut sampler = OasrsSampler::new(SizingPolicy::PerStratum(100), 1_000 + t as u64);
+        for (k, vals) in strata.iter().enumerate() {
+            for &v in vals {
+                sampler.observe(StratumId(k as u32), v);
+            }
+        }
+        let sample = sampler.finish_interval();
+        let stats = stats_of(&sample, |v| *v);
+        let r = estimate_sum(&stats, Confidence::P95);
+        let (lo, hi) = r.interval();
+        if lo <= true_sum && true_sum <= hi {
+            covered += 1;
+        }
+    }
+    let rate = covered as f64 / TRIALS as f64;
+    assert!(
+        rate > 0.88,
+        "95% interval covered only {covered}/{TRIALS} = {rate}"
+    );
+}
+
+/// Same coverage property for the mean estimator (Equation 9).
+#[test]
+fn mean_interval_coverage_is_near_nominal() {
+    const TRIALS: usize = 500;
+    let mut rng = SmallRng::seed_from_u64(21);
+    let strata: Vec<Vec<f64>> = vec![
+        (0..5_000).map(|_| rng.gen_range(0.0..10.0)).collect(),
+        (0..500).map(|_| rng.gen_range(100.0..300.0)).collect(),
+        (0..50).map(|_| rng.gen_range(1_000.0..3_000.0)).collect(),
+    ];
+    let n: usize = strata.iter().map(Vec::len).sum();
+    let true_mean: f64 = strata.iter().flatten().sum::<f64>() / n as f64;
+
+    let mut covered = 0usize;
+    for t in 0..TRIALS {
+        let mut sampler = OasrsSampler::new(SizingPolicy::PerStratum(60), 5_000 + t as u64);
+        for (k, vals) in strata.iter().enumerate() {
+            for &v in vals {
+                sampler.observe(StratumId(k as u32), v);
+            }
+        }
+        let sample = sampler.finish_interval();
+        let stats = stats_of(&sample, |v| *v);
+        let r = estimate_mean(&stats, Confidence::P95);
+        let (lo, hi) = r.interval();
+        if lo <= true_mean && true_mean <= hi {
+            covered += 1;
+        }
+    }
+    let rate = covered as f64 / TRIALS as f64;
+    assert!(
+        rate > 0.88,
+        "95% mean interval covered only {covered}/{TRIALS} = {rate}"
+    );
+}
+
+/// Stratification beats SRS on skewed data: with the same total sample
+/// budget, the OASRS-based mean estimate has lower error than an
+/// unstratified SRS estimate — the effect behind Figures 4(b), 6(c).
+#[test]
+fn stratified_beats_srs_under_skew() {
+    const TRIALS: usize = 300;
+    let mut rng = SmallRng::seed_from_u64(33);
+    // 99% small values, 1% huge values (long tail).
+    let mut population: Vec<(StratumId, f64)> = Vec::new();
+    for _ in 0..9_900 {
+        population.push((StratumId(0), rng.gen_range(0.0..2.0)));
+    }
+    for _ in 0..100 {
+        population.push((StratumId(1), rng.gen_range(900.0..1_100.0)));
+    }
+    let true_sum: f64 = population.iter().map(|(_, v)| *v).sum();
+
+    let budget = 200usize;
+    let mut oasrs_err = 0.0;
+    let mut srs_err = 0.0;
+    for t in 0..TRIALS {
+        // OASRS with the budget split across the two strata.
+        let mut sampler = OasrsSampler::new(SizingPolicy::SharedTotal(budget), t as u64);
+        for &(k, v) in &population {
+            sampler.observe(k, v);
+        }
+        let sample = sampler.finish_interval();
+        let stats = stats_of(&sample, |v| *v);
+        oasrs_err += accuracy_loss(estimate_sum(&stats, Confidence::P95).value, true_sum);
+
+        // SRS with the same budget.
+        let mut rng_t = SmallRng::seed_from_u64(10_000 + t as u64);
+        let picked = sa_sampling::scasrs_sample(population.clone(), budget, &mut rng_t);
+        let srs = sa_estimate::SrsSample::new(picked, population.len() as u64);
+        srs_err += accuracy_loss(
+            sa_estimate::srs_sum(&srs, |v| *v, Confidence::P95).value,
+            true_sum,
+        );
+    }
+    assert!(
+        oasrs_err < srs_err,
+        "stratified mean error {} not below SRS error {}",
+        oasrs_err / TRIALS as f64,
+        srs_err / TRIALS as f64
+    );
+}

@@ -1,0 +1,514 @@
+//! Topology construction and execution: operator instances on threads,
+//! bounded channels, watermark alignment and exchanges.
+
+use crate::message::{Signal, Tagged};
+use crate::operator::Operator;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use sa_types::{EventTime, StreamItem};
+use std::hash::{BuildHasher, BuildHasherDefault, DefaultHasher};
+use std::thread::JoinHandle;
+
+/// Default capacity of inter-operator channels. Bounded channels give the
+/// pipeline natural backpressure: a slow operator stalls its producers
+/// instead of buffering unboundedly.
+pub const DEFAULT_CHANNEL_CAPACITY: usize = 256;
+
+/// Records per network buffer (the Flink-style record batch amortizing
+/// channel synchronization; watermarks flush partial buffers immediately).
+pub const RECORD_BUFFER: usize = 64;
+
+/// How an upstream stage's output is distributed over the next stage's
+/// instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Exchange {
+    /// Instance `i` feeds instance `i % downstream_parallelism` — no
+    /// redistribution cost, preserves per-instance order.
+    Forward,
+    /// Round-robin over downstream instances, balancing load.
+    Rebalance,
+    /// Hash-partition by stratum: all items of one sub-stream reach the
+    /// same downstream instance (Flink's `keyBy`).
+    KeyByStratum,
+}
+
+struct Routing<T> {
+    senders: Vec<Sender<Tagged<T>>>,
+    /// One record buffer per downstream target.
+    buffers: Vec<Vec<StreamItem<T>>>,
+    exchange: Exchange,
+    producer_idx: usize,
+    rr_next: usize,
+}
+
+impl<T> Routing<T> {
+    fn new(senders: Vec<Sender<Tagged<T>>>, exchange: Exchange, producer_idx: usize) -> Self {
+        let rr_next = if senders.is_empty() {
+            0
+        } else {
+            producer_idx % senders.len()
+        };
+        let buffers = senders.iter().map(|_| Vec::new()).collect();
+        Routing {
+            senders,
+            buffers,
+            exchange,
+            producer_idx,
+            rr_next,
+        }
+    }
+
+    fn send_item(&mut self, item: StreamItem<T>) {
+        let n = self.senders.len();
+        let target = match self.exchange {
+            Exchange::Forward => self.producer_idx % n,
+            Exchange::Rebalance => {
+                let t = self.rr_next;
+                self.rr_next = (self.rr_next + 1) % n;
+                t
+            }
+            Exchange::KeyByStratum => {
+                let hasher = BuildHasherDefault::<DefaultHasher>::default();
+                (hasher.hash_one(item.stratum) % n as u64) as usize
+            }
+        };
+        let buffer = &mut self.buffers[target];
+        buffer.push(item);
+        if buffer.len() >= RECORD_BUFFER {
+            let batch = std::mem::take(buffer);
+            // A closed receiver means downstream shut down (e.g. panicked
+            // test); dropping the batch is the only sane response.
+            let _ = self.senders[target].send((self.producer_idx, Signal::Items(batch)));
+        }
+    }
+
+    /// Flushes every partial buffer (watermarks and end-of-stream must not
+    /// overtake buffered records).
+    fn flush(&mut self) {
+        for (target, buffer) in self.buffers.iter_mut().enumerate() {
+            if !buffer.is_empty() {
+                let batch = std::mem::take(buffer);
+                let _ = self.senders[target].send((self.producer_idx, Signal::Items(batch)));
+            }
+        }
+    }
+
+    fn broadcast_watermark(&mut self, wm: EventTime) {
+        self.flush();
+        for s in &self.senders {
+            let _ = s.send((self.producer_idx, Signal::Watermark(wm)));
+        }
+    }
+
+    fn broadcast_end(&mut self) {
+        self.flush();
+        for s in &self.senders {
+            let _ = s.send((self.producer_idx, Signal::End));
+        }
+    }
+}
+
+/// The per-instance event loop: aligns watermarks across producers (the
+/// effective watermark is the minimum over live producers), drives the
+/// operator, and forwards progress downstream.
+fn instance_loop<I, O, Op>(
+    rx: Receiver<Tagged<I>>,
+    num_producers: usize,
+    mut op: Op,
+    mut routing: Routing<O>,
+) where
+    Op: Operator<I, O>,
+{
+    let mut wms = vec![EventTime::MIN; num_producers];
+    let mut ended = vec![false; num_producers];
+    let mut ended_count = 0usize;
+    let mut current_wm = EventTime::MIN;
+    while ended_count < num_producers {
+        let (p, signal) = match rx.recv() {
+            Ok(m) => m,
+            Err(_) => break,
+        };
+        match signal {
+            Signal::Items(batch) => {
+                let routing_ref = &mut routing;
+                for item in batch {
+                    op.on_item(item, &mut |out| routing_ref.send_item(out));
+                }
+            }
+            Signal::Watermark(wm) => {
+                if wm > wms[p] {
+                    wms[p] = wm;
+                    let effective = *wms.iter().min().expect("at least one producer");
+                    if effective > current_wm {
+                        current_wm = effective;
+                        let routing_ref = &mut routing;
+                        op.on_watermark(effective, &mut |out| routing_ref.send_item(out));
+                        routing.broadcast_watermark(effective);
+                    }
+                }
+            }
+            Signal::End => {
+                if !ended[p] {
+                    ended[p] = true;
+                    ended_count += 1;
+                    wms[p] = EventTime::MAX;
+                    let effective = *wms.iter().min().expect("at least one producer");
+                    if effective > current_wm {
+                        current_wm = effective;
+                        let routing_ref = &mut routing;
+                        op.on_watermark(effective, &mut |out| routing_ref.send_item(out));
+                        routing.broadcast_watermark(effective);
+                    }
+                }
+            }
+        }
+    }
+    let routing_ref = &mut routing;
+    op.on_end(&mut |out| routing_ref.send_item(out));
+    routing.broadcast_end();
+}
+
+type SpawnFn<T> = Box<dyn FnOnce(Vec<Sender<Tagged<T>>>, Exchange) -> Vec<JoinHandle<()>> + Send>;
+
+/// A dataflow under construction, typed by the items its last stage emits.
+///
+/// Stages spawn as the topology is built (each `then` call wires and starts
+/// the upstream stage); [`Flow::collect`] attaches a sink and drains it.
+/// Bounded channels keep memory finite while construction races execution.
+///
+/// # Example
+///
+/// ```
+/// use sa_pipelined::{Exchange, Flow, Map};
+/// use sa_types::{StreamItem, StratumId, EventTime};
+///
+/// let items: Vec<_> = (0..100u32)
+///     .map(|i| StreamItem::new(StratumId(i % 3), EventTime::from_millis(i as i64), i))
+///     .collect();
+/// let out = Flow::source(items, 10)
+///     .then(2, Exchange::Rebalance, |_| Map::new(|v: u32| u64::from(v) * 2))
+///     .collect();
+/// let sum: u64 = out.iter().map(|i| i.value).sum();
+/// assert_eq!(sum, (0..100u64).map(|v| v * 2).sum::<u64>());
+/// ```
+pub struct Flow<T> {
+    spawn: SpawnFn<T>,
+    parallelism: usize,
+    channel_capacity: usize,
+}
+
+impl<T: Send + 'static> Flow<T> {
+    /// A single-instance source reading a time-ordered item vector,
+    /// emitting a watermark whenever event time advances by
+    /// `watermark_interval_ms` (and a final `EventTime::MAX` watermark).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `watermark_interval_ms` is not positive.
+    pub fn source(items: Vec<StreamItem<T>>, watermark_interval_ms: i64) -> Flow<T> {
+        Self::source_parallel(vec![items], watermark_interval_ms)
+    }
+
+    /// A parallel source: one instance per element of `parts`, each
+    /// time-ordered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or `watermark_interval_ms` is not
+    /// positive.
+    pub fn source_parallel(
+        parts: Vec<Vec<StreamItem<T>>>,
+        watermark_interval_ms: i64,
+    ) -> Flow<T> {
+        assert!(!parts.is_empty(), "source needs at least one instance");
+        assert!(
+            watermark_interval_ms > 0,
+            "watermark interval must be positive"
+        );
+        let parallelism = parts.len();
+        Flow {
+            parallelism,
+            channel_capacity: DEFAULT_CHANNEL_CAPACITY,
+            spawn: Box::new(move |senders, exchange| {
+                parts
+                    .into_iter()
+                    .enumerate()
+                    .map(|(idx, items)| {
+                        let mut routing = Routing::new(senders.clone(), exchange, idx);
+                        std::thread::Builder::new()
+                            .name(format!("sa-source-{idx}"))
+                            .spawn(move || {
+                                let mut last_wm = EventTime::MIN;
+                                for item in items {
+                                    if last_wm == EventTime::MIN
+                                        || item.time.millis_since(last_wm)
+                                            >= watermark_interval_ms
+                                    {
+                                        last_wm = item.time;
+                                        routing.broadcast_watermark(item.time);
+                                    }
+                                    routing.send_item(item);
+                                }
+                                routing.broadcast_watermark(EventTime::MAX);
+                                routing.broadcast_end();
+                            })
+                            .expect("spawning source thread")
+                    })
+                    .collect()
+            }),
+        }
+    }
+
+    /// Overrides the inter-stage channel capacity for stages added after
+    /// this call.
+    pub fn channel_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "channel capacity must be positive");
+        self.channel_capacity = capacity;
+        self
+    }
+
+    /// Parallelism of the most recently added stage.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    /// Appends a stage of `parallelism` operator instances fed through
+    /// `exchange`; `make(i)` builds the operator for instance `i`. The
+    /// upstream stage starts executing immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parallelism` is zero.
+    pub fn then<O, Op, Mk>(self, parallelism: usize, exchange: Exchange, make: Mk) -> Flow<O>
+    where
+        O: Send + 'static,
+        Op: Operator<T, O> + 'static,
+        Mk: FnMut(usize) -> Op + Send + 'static,
+    {
+        assert!(parallelism > 0, "stage parallelism must be positive");
+        let cap = self.channel_capacity;
+        let (txs, rxs): (Vec<Sender<Tagged<T>>>, Vec<Receiver<Tagged<T>>>) =
+            (0..parallelism).map(|_| bounded(cap)).unzip();
+        let upstream_handles = (self.spawn)(txs, exchange);
+        let num_producers = self.parallelism;
+        Flow {
+            parallelism,
+            channel_capacity: cap,
+            spawn: Box::new(move |down_senders, down_exchange| {
+                let mut handles = upstream_handles;
+                let mut make = make;
+                for (q, rx) in rxs.into_iter().enumerate() {
+                    let op = make(q);
+                    let routing = Routing::new(down_senders.clone(), down_exchange, q);
+                    handles.push(
+                        std::thread::Builder::new()
+                            .name(format!("sa-op-{q}"))
+                            .spawn(move || instance_loop(rx, num_producers, op, routing))
+                            .expect("spawning operator thread"),
+                    );
+                }
+                handles
+            }),
+        }
+    }
+
+    /// Attaches a sink, runs the dataflow to completion, and returns every
+    /// emitted item in arrival order at the sink.
+    pub fn collect(self) -> Vec<StreamItem<T>> {
+        let (tx, rx) = bounded(self.channel_capacity);
+        let producers = self.parallelism;
+        let handles = (self.spawn)(vec![tx], Exchange::Rebalance);
+        let mut out = Vec::new();
+        let mut ended = 0usize;
+        while ended < producers {
+            match rx.recv() {
+                Ok((_, Signal::Items(batch))) => out.extend(batch),
+                Ok((_, Signal::Watermark(_))) => {}
+                Ok((_, Signal::End)) => ended += 1,
+                Err(_) => break,
+            }
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        out
+    }
+}
+
+impl<T> std::fmt::Debug for Flow<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Flow")
+            .field("parallelism", &self.parallelism)
+            .field("channel_capacity", &self.channel_capacity)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::{Filter, Identity, Map};
+    use sa_types::StratumId;
+    use std::collections::BTreeMap;
+
+    fn items(n: u32) -> Vec<StreamItem<u32>> {
+        (0..n)
+            .map(|i| StreamItem::new(StratumId(i % 4), EventTime::from_millis(i as i64), i))
+            .collect()
+    }
+
+    #[test]
+    fn source_to_sink_roundtrip() {
+        let out = Flow::source(items(500), 50).collect();
+        let mut vals: Vec<u32> = out.iter().map(|i| i.value).collect();
+        vals.sort_unstable();
+        assert_eq!(vals, (0..500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_filter_chain() {
+        let out = Flow::source(items(100), 10)
+            .then(1, Exchange::Forward, |_| {
+                Filter::new(|i: &StreamItem<u32>| i.value % 2 == 0)
+            })
+            .then(1, Exchange::Forward, |_| Map::new(|v: u32| v * 10))
+            .collect();
+        let mut vals: Vec<u32> = out.iter().map(|i| i.value).collect();
+        vals.sort_unstable();
+        let expected: Vec<u32> = (0..100).filter(|v| v % 2 == 0).map(|v| v * 10).collect();
+        assert_eq!(vals, expected);
+    }
+
+    #[test]
+    fn rebalance_preserves_multiset_across_parallel_stage() {
+        let out = Flow::source(items(1_000), 100)
+            .then(4, Exchange::Rebalance, |_| Identity)
+            .collect();
+        let mut vals: Vec<u32> = out.iter().map(|i| i.value).collect();
+        vals.sort_unstable();
+        assert_eq!(vals, (0..1_000).collect::<Vec<_>>());
+    }
+
+    /// An operator that stamps each item with its instance index, to
+    /// observe routing decisions.
+    struct TagInstance(usize);
+    impl Operator<u32, (usize, u32)> for TagInstance {
+        fn on_item(
+            &mut self,
+            item: StreamItem<u32>,
+            out: &mut dyn FnMut(StreamItem<(usize, u32)>),
+        ) {
+            let idx = self.0;
+            out(item.map(|v| (idx, v)));
+        }
+    }
+
+    #[test]
+    fn key_by_stratum_routes_consistently() {
+        let out = Flow::source(items(400), 50)
+            .then(3, Exchange::KeyByStratum, TagInstance)
+            .collect();
+        // All items of one stratum must carry the same instance tag.
+        let mut seen: BTreeMap<StratumId, usize> = BTreeMap::new();
+        for item in &out {
+            let (instance, _) = item.value;
+            if let Some(prev) = seen.insert(item.stratum, instance) {
+                assert_eq!(prev, instance, "stratum {} split", item.stratum);
+            }
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    /// A windowed counter: counts items per tumbling second, emits
+    /// `(window_start_s, count)` when the watermark passes the window end.
+    struct SecondCounter {
+        counts: BTreeMap<i64, u64>,
+    }
+    impl SecondCounter {
+        fn new() -> Self {
+            SecondCounter {
+                counts: BTreeMap::new(),
+            }
+        }
+    }
+    impl Operator<u32, (i64, u64)> for SecondCounter {
+        fn on_item(&mut self, item: StreamItem<u32>, _out: &mut dyn FnMut(StreamItem<(i64, u64)>)) {
+            let sec = item.time.as_millis().div_euclid(1_000);
+            *self.counts.entry(sec).or_default() += 1;
+        }
+        fn on_watermark(
+            &mut self,
+            wm: EventTime,
+            out: &mut dyn FnMut(StreamItem<(i64, u64)>),
+        ) {
+            let due: Vec<i64> = self
+                .counts
+                .keys()
+                .copied()
+                .filter(|s| (s + 1) * 1_000 <= wm.as_millis())
+                .collect();
+            for s in due {
+                let count = self.counts.remove(&s).expect("key listed");
+                out(StreamItem::new(
+                    StratumId(0),
+                    EventTime::from_millis((s + 1) * 1_000),
+                    (s, count),
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn watermarks_drive_window_emission() {
+        // 10 items per second over 5 seconds.
+        let stream: Vec<StreamItem<u32>> = (0..50)
+            .map(|i| StreamItem::new(StratumId(0), EventTime::from_millis(i * 100), i as u32))
+            .collect();
+        let out = Flow::source(stream, 100)
+            .then(1, Exchange::Forward, |_| SecondCounter::new())
+            .collect();
+        let windows: Vec<(i64, u64)> = out.iter().map(|i| i.value).collect();
+        assert_eq!(windows, vec![(0, 10), (1, 10), (2, 10), (3, 10), (4, 10)]);
+    }
+
+    #[test]
+    fn watermarks_align_on_minimum_across_producers() {
+        // Two source instances with very different time ranges; the counter
+        // downstream must only see windows closed by the *slower* source.
+        let fast: Vec<StreamItem<u32>> = (0..20)
+            .map(|i| StreamItem::new(StratumId(0), EventTime::from_millis(i * 100), 0))
+            .collect();
+        let slow: Vec<StreamItem<u32>> = (0..20)
+            .map(|i| StreamItem::new(StratumId(1), EventTime::from_millis(i * 10), 0))
+            .collect();
+        let out = Flow::source_parallel(vec![fast, slow], 10)
+            .then(1, Exchange::Rebalance, |_| SecondCounter::new())
+            .collect();
+        // All 40 items are counted exactly once across emitted windows.
+        let total: u64 = out.iter().map(|i| i.value.1).sum();
+        assert_eq!(total, 40);
+    }
+
+    #[test]
+    fn forward_exchange_maps_instances() {
+        let out = Flow::source_parallel(vec![items(10), items(10)], 5)
+            .then(2, Exchange::Forward, TagInstance)
+            .collect();
+        // Each source instance feeds exactly one operator instance.
+        let tags: std::collections::BTreeSet<usize> =
+            out.iter().map(|i| i.value.0).collect();
+        assert_eq!(tags.len(), 2);
+        assert_eq!(out.len(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "stage parallelism must be positive")]
+    fn zero_parallelism_rejected() {
+        let _ = Flow::source(items(1), 10).then(0, Exchange::Forward, |_| Identity);
+    }
+
+    #[test]
+    #[should_panic(expected = "watermark interval must be positive")]
+    fn zero_watermark_interval_rejected() {
+        let _ = Flow::source(items(1), 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! A pipelined stream-processing engine — the Apache Flink analogue of the
+//! StreamApprox reproduction (§2.2, §4.1.2 of the paper).
+//!
+//! Items stream operator-to-operator one at a time over bounded channels
+//! (no batch formation), each operator instance owns a thread and its
+//! state, and event-time progress travels as watermarks aligned on the
+//! minimum across producers — the properties that let the paper's
+//! Flink-based StreamApprox out-run the batched variant.
+//!
+//! * [`Signal`] / [`Tagged`] — channel protocol (items, watermarks, end).
+//! * [`Operator`] — the operator trait; [`Map`], [`Filter`], [`Identity`]
+//!   are the stock stateless ones. Stateful operators (OASRS sampling,
+//!   windowed estimation) are built by the `streamapprox` crate on top of
+//!   this trait.
+//! * [`Flow`] — topology builder: `source → then(…) → … → collect()`, with
+//!   [`Exchange`] strategies `Forward`, `Rebalance` and `KeyByStratum`.
+//!
+//! # Example
+//!
+//! ```
+//! use sa_pipelined::{Exchange, Flow, Map};
+//! use sa_types::{StreamItem, StratumId, EventTime};
+//!
+//! let input: Vec<_> = (0..1_000)
+//!     .map(|i| StreamItem::new(StratumId(i % 2), EventTime::from_millis(i as i64), i as u64))
+//!     .collect();
+//! let squared = Flow::source(input, 100)
+//!     .then(4, Exchange::Rebalance, |_| Map::new(|v: u64| v * v))
+//!     .collect();
+//! assert_eq!(squared.len(), 1_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod flow;
+mod message;
+mod operator;
+
+pub use flow::{Exchange, Flow, DEFAULT_CHANNEL_CAPACITY, RECORD_BUFFER};
+pub use message::{Signal, Tagged};
+pub use operator::{Filter, Identity, Map, Operator};

@@ -1,0 +1,95 @@
+//! Plain Bernoulli (coin-flip) sampling, the cheapest possible baseline and
+//! a building block for Spark's `sampleByKey`.
+
+use rand::Rng;
+
+/// A stateless Bernoulli sampler: keeps each item independently with a fixed
+/// probability.
+///
+/// # Example
+///
+/// ```
+/// use sa_sampling::BernoulliSampler;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut rng = SmallRng::seed_from_u64(9);
+/// let sampler = BernoulliSampler::new(0.5);
+/// let kept = (0..10_000).filter(|_| sampler.keep(&mut rng)).count();
+/// assert!((kept as f64 - 5_000.0).abs() < 300.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BernoulliSampler {
+    fraction: f64,
+}
+
+impl BernoulliSampler {
+    /// Creates a sampler keeping items with probability `fraction`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `(0, 1]`.
+    pub fn new(fraction: f64) -> Self {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "sampling fraction must be in (0, 1]"
+        );
+        BernoulliSampler { fraction }
+    }
+
+    /// The configured keep probability.
+    #[inline]
+    pub fn fraction(&self) -> f64 {
+        self.fraction
+    }
+
+    /// Flips the coin for one item.
+    #[inline]
+    pub fn keep<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        self.fraction >= 1.0 || rng.gen::<f64>() < self.fraction
+    }
+
+    /// Filters a batch, returning the kept items.
+    pub fn sample<T, R: Rng + ?Sized>(&self, items: Vec<T>, rng: &mut R) -> Vec<T> {
+        items.into_iter().filter(|_| self.keep(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn full_fraction_keeps_all() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let s = BernoulliSampler::new(1.0);
+        assert_eq!(s.sample((0..100).collect::<Vec<_>>(), &mut rng).len(), 100);
+    }
+
+    #[test]
+    fn keep_rate_tracks_fraction() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for &f in &[0.1, 0.5, 0.9] {
+            let s = BernoulliSampler::new(f);
+            let kept = (0..50_000).filter(|_| s.keep(&mut rng)).count() as f64;
+            let expected = 50_000.0 * f;
+            assert!(
+                (kept - expected).abs() < expected * 0.1 + 100.0,
+                "f={f}: kept {kept}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling fraction must be in (0, 1]")]
+    fn rejects_fraction_above_one() {
+        let _ = BernoulliSampler::new(1.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling fraction must be in (0, 1]")]
+    fn rejects_zero() {
+        let _ = BernoulliSampler::new(0.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Sampling algorithms for approximate stream analytics.
+//!
+//! This crate implements the sampling layer of the StreamApprox
+//! reproduction (Middleware 2017):
+//!
+//! * [`Reservoir`] — classic fixed-capacity reservoir sampling
+//!   (Vitter 1985; Algorithm 1 of the paper).
+//! * [`OasrsSampler`] — **Online Adaptive Stratified Reservoir Sampling**
+//!   (Algorithm 3), the paper's core contribution: one reservoir and one
+//!   counter per sub-stream, Equation-1 weights, adaptive per-interval
+//!   capacities, and synchronization-free distributed execution via
+//!   [`OasrsSampler::for_worker`] + `StratifiedSample::union`.
+//! * [`scasrs_sample`] — the two-threshold random-sort simple random
+//!   sampling behind Apache Spark's `sample` (Meng, ICML 2013), used as the
+//!   paper's SRS baseline.
+//! * [`sample_by_key`] / [`sample_by_key_exact`] — Spark's stratified
+//!   sampling operators, used as the paper's STS baseline.
+//! * [`BernoulliSampler`] — plain coin-flip sampling.
+//!
+//! All samplers are deterministic given a seed, which keeps every
+//! experiment in the benchmark harness reproducible.
+//!
+//! # Quick start
+//!
+//! ```
+//! use sa_sampling::{OasrsSampler, SizingPolicy};
+//! use sa_types::StratumId;
+//!
+//! let mut sampler = OasrsSampler::new(SizingPolicy::PerStratum(100), 7);
+//! for i in 0..10_000u32 {
+//!     sampler.observe(StratumId(i % 3), f64::from(i));
+//! }
+//! let sample = sampler.finish_interval();
+//! assert_eq!(sample.num_strata(), 3);
+//! assert_eq!(sample.total_sampled(), 300);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bernoulli;
+mod oasrs;
+mod reservoir;
+mod scasrs;
+mod stratified;
+
+pub use bernoulli::BernoulliSampler;
+pub use oasrs::{OasrsSampler, SizingPolicy};
+pub use reservoir::Reservoir;
+pub use scasrs::{
+    random_sort_sample, scasrs_sample, scasrs_sample_with_stats, scasrs_thresholds, ScasrsStats,
+    SCASRS_DELTA,
+};
+pub use stratified::{group_by_stratum, sample_by_key, sample_by_key_exact};

@@ -1,0 +1,475 @@
+//! Online Adaptive Stratified Reservoir Sampling — OASRS (Algorithm 3 and
+//! §3.2 of the paper).
+//!
+//! OASRS combines stratified and reservoir sampling without the drawbacks of
+//! either: it never overlooks a sub-stream regardless of popularity, needs no
+//! advance knowledge of sub-stream statistics, and runs in one pass with no
+//! synchronization between workers.
+//!
+//! Per time interval the sampler maintains, for every sub-stream `S_i` seen
+//! so far, a [`Reservoir`] of size `N_i` and a counter `C_i`. At the end of
+//! the interval each stratum yields its `Y_i = min(C_i, N_i)` sampled items
+//! and the weight `W_i = max(C_i / N_i, 1)` of Equation 1, packaged as a
+//! [`StratifiedSample`] for the estimators.
+
+use crate::reservoir::Reservoir;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sa_types::{StratifiedSample, StratumId, StratumSample, StreamItem};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// How per-stratum reservoir capacities `N_i` are chosen (the paper's
+/// "adaptive cost function considering the specified query budget", §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SizingPolicy {
+    /// Every stratum gets a reservoir of exactly this many slots. This is
+    /// the paper's headline configuration: "a sample of a fixed size for
+    /// each sub-stream" (§5.2).
+    PerStratum(usize),
+    /// A total budget split evenly across the strata seen so far. When a new
+    /// stratum appears mid-interval, existing reservoirs shrink (by uniform
+    /// random eviction, which preserves uniformity) so the total stays
+    /// within budget.
+    SharedTotal(usize),
+    /// Adaptive fraction targeting: each stratum's capacity for the *next*
+    /// interval is `ceil(fraction × C_i)` of the interval that just ended,
+    /// starting from `initial` for strata never seen before. This is how a
+    /// sampling-fraction budget maps onto size-based reservoirs while
+    /// tracking fluctuating arrival rates.
+    FractionOfPrevious {
+        /// Target sampling fraction in `(0, 1]`.
+        fraction: f64,
+        /// Capacity used for a stratum's first interval.
+        initial: usize,
+    },
+}
+
+impl SizingPolicy {
+    fn validate(&self) {
+        match *self {
+            SizingPolicy::PerStratum(n) | SizingPolicy::SharedTotal(n) => {
+                assert!(n > 0, "sampling budget must be positive")
+            }
+            SizingPolicy::FractionOfPrevious { fraction, initial } => {
+                assert!(
+                    fraction > 0.0 && fraction <= 1.0,
+                    "sampling fraction must be in (0, 1]"
+                );
+                assert!(initial > 0, "initial capacity must be positive");
+            }
+        }
+    }
+}
+
+/// The OASRS sampler for one worker over one (or many) time intervals.
+///
+/// Call [`observe`](OasrsSampler::observe) for every arriving item and
+/// [`finish_interval`](OasrsSampler::finish_interval) at each interval
+/// boundary (batch or window slide); the sampler re-arms itself for the next
+/// interval, carrying capacity decisions forward per the sizing policy.
+///
+/// # Example
+///
+/// ```
+/// use sa_sampling::{OasrsSampler, SizingPolicy};
+/// use sa_types::StratumId;
+///
+/// let mut oasrs = OasrsSampler::new(SizingPolicy::PerStratum(3), 42);
+/// // Sub-stream 0 sends 6 items, sub-stream 1 sends 2.
+/// for v in 0..6 {
+///     oasrs.observe(StratumId(0), v as f64);
+/// }
+/// for v in 0..2 {
+///     oasrs.observe(StratumId(1), v as f64);
+/// }
+/// let sample = oasrs.finish_interval();
+/// let s0 = sample.stratum(StratumId(0)).unwrap();
+/// let s1 = sample.stratum(StratumId(1)).unwrap();
+/// assert_eq!((s0.sample_size(), s0.weight()), (3, 2.0)); // C=6 > N=3 → W=C/N
+/// assert_eq!((s1.sample_size(), s1.weight()), (2, 1.0)); // C=2 ≤ N=3 → W=1
+/// ```
+#[derive(Debug, Clone)]
+pub struct OasrsSampler<V> {
+    sizing: SizingPolicy,
+    /// Per-stratum reservoirs, indexed by stratum id. Sampling sits on the
+    /// hot receiving path, so lookup must be an array index: stratum ids
+    /// are expected to be small and dense (the aggregator assigns them per
+    /// source). `None` marks ids not seen this interval.
+    strata: Vec<Option<Reservoir<V>>>,
+    active: usize,
+    /// Capacities carried into the next interval (FractionOfPrevious).
+    next_capacity: BTreeMap<StratumId, usize>,
+    rng: SmallRng,
+}
+
+/// Guard against sparse stratum ids blowing up the flat table.
+const MAX_STRATUM_ID: usize = 1 << 20;
+
+impl<V> OasrsSampler<V> {
+    /// Creates a sampler with the given sizing policy and RNG seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy's budget, fraction or initial capacity is
+    /// invalid (zero budget, fraction outside `(0, 1]`).
+    pub fn new(sizing: SizingPolicy, seed: u64) -> Self {
+        sizing.validate();
+        OasrsSampler {
+            sizing,
+            strata: Vec::new(),
+            active: 0,
+            next_capacity: BTreeMap::new(),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Creates the sampler for worker `worker` of `num_workers` in the
+    /// paper's distributed execution (§3.2): per-stratum capacities become
+    /// `ceil(N_i / w)` and the RNG is decorrelated per worker. Union the
+    /// per-worker results with [`StratifiedSample::union`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_workers == 0`, `worker >= num_workers`, or the policy
+    /// is invalid.
+    pub fn for_worker(sizing: SizingPolicy, seed: u64, worker: usize, num_workers: usize) -> Self {
+        assert!(num_workers > 0, "need at least one worker");
+        assert!(worker < num_workers, "worker index out of range");
+        let shard = |n: usize| (n + num_workers - 1) / num_workers;
+        let sharded = match sizing {
+            SizingPolicy::PerStratum(n) => SizingPolicy::PerStratum(shard(n).max(1)),
+            SizingPolicy::SharedTotal(n) => SizingPolicy::SharedTotal(shard(n).max(1)),
+            SizingPolicy::FractionOfPrevious { fraction, initial } => {
+                SizingPolicy::FractionOfPrevious {
+                    fraction,
+                    initial: shard(initial).max(1),
+                }
+            }
+        };
+        // Mix the worker index into the seed (splitmix-style) so workers
+        // draw independent streams.
+        let worker_seed = seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(worker as u64 + 1));
+        Self::new(sharded, worker_seed)
+    }
+
+    /// The sizing policy in force.
+    pub fn sizing(&self) -> SizingPolicy {
+        self.sizing
+    }
+
+    /// Number of distinct strata observed in the current interval.
+    pub fn num_strata(&self) -> usize {
+        self.active
+    }
+
+    /// Total items offered in the current interval (`ΣC_i`).
+    pub fn total_seen(&self) -> u64 {
+        self.strata
+            .iter()
+            .flatten()
+            .map(Reservoir::seen)
+            .sum()
+    }
+
+    /// Total items currently held (`ΣY_i`).
+    pub fn total_held(&self) -> u64 {
+        self.strata
+            .iter()
+            .flatten()
+            .map(|r| r.len() as u64)
+            .sum()
+    }
+
+    /// Capacity a brand-new stratum would receive right now, given that it
+    /// will make `|S| = active` strata in total.
+    fn capacity_for_new_stratum(&self, stratum: StratumId, active: usize) -> usize {
+        match self.sizing {
+            SizingPolicy::PerStratum(n) => n,
+            SizingPolicy::SharedTotal(total) => (total / active).max(1),
+            SizingPolicy::FractionOfPrevious { initial, .. } => self
+                .next_capacity
+                .get(&stratum)
+                .copied()
+                .unwrap_or(initial)
+                .max(1),
+        }
+    }
+
+    /// Registers a stratum seen for the first time this interval (the cold
+    /// path of [`observe`](OasrsSampler::observe)).
+    #[cold]
+    fn admit_stratum(&mut self, stratum: StratumId) {
+        let idx = stratum.index();
+        assert!(idx < MAX_STRATUM_ID, "stratum id {idx} too sparse");
+        if idx >= self.strata.len() {
+            self.strata.resize_with(idx + 1, || None);
+        }
+        self.active += 1;
+        let cap = self.capacity_for_new_stratum(stratum, self.active);
+        self.strata[idx] = Some(Reservoir::new(cap));
+        if let SizingPolicy::SharedTotal(total) = self.sizing {
+            // Rebalance: all strata share the budget evenly.
+            let per = (total / self.active).max(1);
+            for r in self.strata.iter_mut().flatten() {
+                if r.capacity() > per {
+                    r.shrink_to(per, &mut self.rng);
+                } else {
+                    r.grow_to(per);
+                }
+            }
+        }
+    }
+
+    /// Offers one item to the sampler (the inner loop of Algorithm 3).
+    ///
+    /// Unknown strata are registered on first sight — OASRS needs no advance
+    /// knowledge of the sub-stream population.
+    #[inline]
+    pub fn observe(&mut self, stratum: StratumId, value: V) {
+        let idx = stratum.index();
+        if idx >= self.strata.len() || self.strata[idx].is_none() {
+            self.admit_stratum(stratum);
+        }
+        let r = self.strata[idx].as_mut().expect("stratum admitted");
+        r.observe(value, &mut self.rng);
+    }
+
+    /// Convenience: offers a [`StreamItem`], routing by its stratum.
+    pub fn observe_item(&mut self, item: StreamItem<V>) {
+        self.observe(item.stratum, item.value);
+    }
+
+    /// Ends the current time interval: returns the weighted
+    /// [`StratifiedSample`] and re-arms the sampler for the next interval.
+    ///
+    /// Under [`SizingPolicy::FractionOfPrevious`] the realized per-stratum
+    /// counters set the next interval's capacities, which is what makes the
+    /// sampler *adaptive* to fluctuating arrival rates.
+    pub fn finish_interval(&mut self) -> StratifiedSample<V> {
+        let mut out = StratifiedSample::new();
+        let strata = std::mem::take(&mut self.strata);
+        self.active = 0;
+        for (idx, slot) in strata.into_iter().enumerate() {
+            let Some(reservoir) = slot else { continue };
+            let id = StratumId(idx as u32);
+            let capacity = reservoir.capacity();
+            let (items, seen) = reservoir.into_parts();
+            if let SizingPolicy::FractionOfPrevious { fraction, .. } = self.sizing {
+                let next = ((seen as f64 * fraction).ceil() as usize).max(1);
+                self.next_capacity.insert(id, next);
+            }
+            out.push(StratumSample::new(id, items, seen, capacity));
+        }
+        out
+    }
+
+    /// Discards the current interval's state without producing a sample.
+    pub fn reset(&mut self) {
+        self.strata.clear();
+        self.active = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(oasrs: &mut OasrsSampler<f64>, stratum: u32, n: usize) {
+        for v in 0..n {
+            oasrs.observe(StratumId(stratum), v as f64);
+        }
+    }
+
+    #[test]
+    fn matches_figure_two_worked_example() {
+        // Figure 2 of the paper: reservoirs of size 3; C1=6, C2=4, C3=2
+        // → W1 = 6/3, W2 = 4/3, W3 = 1.
+        let mut oasrs = OasrsSampler::new(SizingPolicy::PerStratum(3), 1);
+        feed(&mut oasrs, 1, 6);
+        feed(&mut oasrs, 2, 4);
+        feed(&mut oasrs, 3, 2);
+        let sample = oasrs.finish_interval();
+        let w = |id: u32| sample.stratum(StratumId(id)).unwrap().weight();
+        assert_eq!(w(1), 2.0);
+        assert!((w(2) - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(w(3), 1.0);
+    }
+
+    #[test]
+    fn no_substream_is_overlooked() {
+        // One stratum floods, another sends a single item; OASRS must keep
+        // the minority item (the property SRS lacks, §5.4).
+        let mut oasrs = OasrsSampler::new(SizingPolicy::PerStratum(10), 2);
+        feed(&mut oasrs, 0, 100_000);
+        oasrs.observe(StratumId(1), 123.0);
+        let sample = oasrs.finish_interval();
+        let minority = sample.stratum(StratumId(1)).unwrap();
+        assert_eq!(minority.items, vec![123.0]);
+        assert_eq!(minority.weight(), 1.0);
+    }
+
+    #[test]
+    fn counters_track_arrivals_exactly() {
+        let mut oasrs = OasrsSampler::new(SizingPolicy::PerStratum(5), 3);
+        feed(&mut oasrs, 0, 17);
+        feed(&mut oasrs, 1, 3);
+        assert_eq!(oasrs.total_seen(), 20);
+        assert_eq!(oasrs.num_strata(), 2);
+        let sample = oasrs.finish_interval();
+        assert_eq!(sample.stratum(StratumId(0)).unwrap().population, 17);
+        assert_eq!(sample.stratum(StratumId(1)).unwrap().population, 3);
+    }
+
+    #[test]
+    fn finish_interval_resets_state() {
+        let mut oasrs = OasrsSampler::new(SizingPolicy::PerStratum(4), 4);
+        feed(&mut oasrs, 0, 10);
+        let first = oasrs.finish_interval();
+        assert_eq!(first.total_population(), 10);
+        assert_eq!(oasrs.num_strata(), 0);
+        feed(&mut oasrs, 0, 2);
+        let second = oasrs.finish_interval();
+        assert_eq!(second.total_population(), 2);
+        assert_eq!(second.stratum(StratumId(0)).unwrap().sample_size(), 2);
+    }
+
+    #[test]
+    fn shared_total_rebalances_on_new_strata() {
+        let mut oasrs = OasrsSampler::new(SizingPolicy::SharedTotal(12), 5);
+        feed(&mut oasrs, 0, 100);
+        // Alone, stratum 0 gets the whole budget.
+        assert_eq!(oasrs.total_held(), 12);
+        feed(&mut oasrs, 1, 100);
+        feed(&mut oasrs, 2, 100);
+        let sample = oasrs.finish_interval();
+        // Budget is now split three ways: 4 slots each.
+        for id in 0..3 {
+            let s = sample.stratum(StratumId(id)).unwrap();
+            assert_eq!(s.capacity, 4, "stratum {id}");
+            assert_eq!(s.sample_size(), 4, "stratum {id}");
+        }
+        assert_eq!(sample.total_sampled(), 12);
+    }
+
+    #[test]
+    fn fraction_policy_adapts_capacity_to_arrivals() {
+        let mut oasrs = OasrsSampler::new(
+            SizingPolicy::FractionOfPrevious {
+                fraction: 0.5,
+                initial: 4,
+            },
+            6,
+        );
+        // First interval: capacity is the initial guess.
+        feed(&mut oasrs, 0, 100);
+        let first = oasrs.finish_interval();
+        assert_eq!(first.stratum(StratumId(0)).unwrap().capacity, 4);
+        // Second interval: capacity adapted to 50% of the observed 100.
+        feed(&mut oasrs, 0, 100);
+        let second = oasrs.finish_interval();
+        let s = second.stratum(StratumId(0)).unwrap();
+        assert_eq!(s.capacity, 50);
+        assert_eq!(s.sample_size(), 50);
+        assert!((s.weight() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_policy_tracks_rate_changes() {
+        let mut oasrs = OasrsSampler::new(
+            SizingPolicy::FractionOfPrevious {
+                fraction: 0.1,
+                initial: 10,
+            },
+            7,
+        );
+        feed(&mut oasrs, 0, 1_000);
+        oasrs.finish_interval();
+        // Arrival rate drops 10×; capacity follows on the next boundary.
+        feed(&mut oasrs, 0, 100);
+        let s2 = oasrs.finish_interval();
+        assert_eq!(s2.stratum(StratumId(0)).unwrap().capacity, 100);
+        feed(&mut oasrs, 0, 100);
+        let s3 = oasrs.finish_interval();
+        assert_eq!(s3.stratum(StratumId(0)).unwrap().capacity, 10);
+    }
+
+    #[test]
+    fn worker_sharding_splits_capacity() {
+        let a: OasrsSampler<f64> =
+            OasrsSampler::for_worker(SizingPolicy::PerStratum(10), 9, 0, 4);
+        assert_eq!(a.sizing(), SizingPolicy::PerStratum(3));
+        let b: OasrsSampler<f64> =
+            OasrsSampler::for_worker(SizingPolicy::PerStratum(10), 9, 3, 4);
+        assert_eq!(b.sizing(), SizingPolicy::PerStratum(3));
+    }
+
+    #[test]
+    fn distributed_union_reconstructs_global_sample() {
+        // Two workers each see half of a sub-stream; the union of their
+        // samples must carry the full counter so the weight is correct.
+        let sizing = SizingPolicy::PerStratum(10);
+        let mut w0 = OasrsSampler::for_worker(sizing, 11, 0, 2);
+        let mut w1 = OasrsSampler::for_worker(sizing, 11, 1, 2);
+        feed(&mut w0, 0, 50);
+        feed(&mut w1, 0, 50);
+        let mut global = w0.finish_interval();
+        global.union(w1.finish_interval());
+        let s = global.stratum(StratumId(0)).unwrap();
+        assert_eq!(s.population, 100);
+        assert_eq!(s.sample_size(), 10); // 5 + 5
+        assert_eq!(s.capacity, 10);
+        assert!((s.weight() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observe_item_routes_by_stratum() {
+        use sa_types::EventTime;
+        let mut oasrs = OasrsSampler::new(SizingPolicy::PerStratum(2), 12);
+        oasrs.observe_item(StreamItem::new(StratumId(3), EventTime::from_millis(0), 1.5));
+        let sample = oasrs.finish_interval();
+        assert_eq!(sample.stratum(StratumId(3)).unwrap().items, vec![1.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling fraction must be in (0, 1]")]
+    fn invalid_fraction_rejected() {
+        let _ = OasrsSampler::<f64>::new(
+            SizingPolicy::FractionOfPrevious {
+                fraction: 1.5,
+                initial: 1,
+            },
+            0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "worker index out of range")]
+    fn bad_worker_index_rejected() {
+        let _ = OasrsSampler::<f64>::for_worker(SizingPolicy::PerStratum(1), 0, 2, 2);
+    }
+
+    /// Within one stratum, OASRS selection must stay uniform (it is plain
+    /// reservoir sampling per stratum).
+    #[test]
+    fn per_stratum_uniformity() {
+        const TRIALS: usize = 10_000;
+        let mut counts = [0u32; 12];
+        for t in 0..TRIALS {
+            let mut oasrs = OasrsSampler::new(SizingPolicy::PerStratum(4), t as u64);
+            for v in 0..12 {
+                oasrs.observe(StratumId(0), v as f64);
+            }
+            let sample = oasrs.finish_interval();
+            for &v in &sample.stratum(StratumId(0)).unwrap().items {
+                counts[v as usize] += 1;
+            }
+        }
+        let expected = TRIALS as f64 * 4.0 / 12.0;
+        for (v, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.08, "value {v}: count {c} vs expected {expected}");
+        }
+    }
+}

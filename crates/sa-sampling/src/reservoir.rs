@@ -1,0 +1,342 @@
+//! Classic reservoir sampling (Vitter 1985; Algorithm 1 in the paper).
+//!
+//! A [`Reservoir`] maintains a uniform random sample of fixed capacity `N`
+//! over a stream of unknown length: the first `N` items fill the reservoir,
+//! and the `i`-th item (`i > N`) is accepted with probability `N/i`,
+//! replacing a random incumbent. Every item seen so far has the same
+//! `N/i` probability of being in the reservoir at any point.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A fixed-capacity uniform reservoir sample over a stream.
+///
+/// # Example
+///
+/// ```
+/// use sa_sampling::Reservoir;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut rng = SmallRng::seed_from_u64(7);
+/// let mut res = Reservoir::new(10);
+/// for x in 0..1_000 {
+///     res.observe(x, &mut rng);
+/// }
+/// assert_eq!(res.len(), 10);
+/// assert_eq!(res.seen(), 1_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Reservoir<T> {
+    items: Vec<T>,
+    capacity: usize,
+    seen: u64,
+}
+
+impl<T> Reservoir<T> {
+    /// Creates an empty reservoir holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero — a zero-slot reservoir can never
+    /// represent its stream and Equation 1's weight would be undefined.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "reservoir capacity must be positive");
+        Reservoir {
+            items: Vec::with_capacity(capacity.min(1_024)),
+            capacity,
+            seen: 0,
+        }
+    }
+
+    /// Offers one stream item to the reservoir (Algorithm 1).
+    ///
+    /// Returns `true` if the item was admitted (possibly evicting an
+    /// incumbent), `false` if it was rejected.
+    pub fn observe<R: Rng + ?Sized>(&mut self, item: T, rng: &mut R) -> bool {
+        self.seen += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+            true
+        } else {
+            // Accept the i-th item with probability N/i, then replace a
+            // uniformly random incumbent. Sampling j uniformly from [0, i)
+            // and admitting iff j < N does both draws with one sample.
+            let j = rng.gen_range(0..self.seen);
+            if (j as usize) < self.capacity {
+                self.items[j as usize] = item;
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    /// The sampled items, in reservoir order (not stream order).
+    #[inline]
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Number of items currently in the reservoir (`Y = min(seen, N)`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the reservoir holds no items yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The configured capacity `N`.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total number of items offered so far (the stratum counter `C`).
+    #[inline]
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Whether the reservoir has filled to capacity.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.capacity
+    }
+
+    /// Shrinks the capacity to `new_capacity`, evicting uniformly random
+    /// items if the reservoir currently holds more than that.
+    ///
+    /// Removing uniformly random elements from a uniform sample leaves a
+    /// uniform sample, so this preserves the reservoir invariant. Used when
+    /// an adaptive sizing policy reallocates budget after new strata appear.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_capacity` is zero.
+    pub fn shrink_to<R: Rng + ?Sized>(&mut self, new_capacity: usize, rng: &mut R) {
+        assert!(new_capacity > 0, "reservoir capacity must be positive");
+        while self.items.len() > new_capacity {
+            let victim = rng.gen_range(0..self.items.len());
+            self.items.swap_remove(victim);
+        }
+        self.capacity = new_capacity;
+    }
+
+    /// Grows the capacity to `new_capacity` (no-op if not larger).
+    ///
+    /// Note that growing mid-stream makes the sample slightly
+    /// *under-weighted* for the already-seen prefix; OASRS only grows
+    /// capacities at interval boundaries where the reservoir is fresh.
+    pub fn grow_to(&mut self, new_capacity: usize) {
+        if new_capacity > self.capacity {
+            self.capacity = new_capacity;
+        }
+    }
+
+    /// Resets the reservoir for a new time interval, keeping the capacity.
+    pub fn reset(&mut self) {
+        self.items.clear();
+        self.seen = 0;
+    }
+
+    /// Consumes the reservoir, returning `(items, seen)`.
+    pub fn into_parts(self) -> (Vec<T>, u64) {
+        (self.items, self.seen)
+    }
+
+    /// Merges two reservoirs over *disjoint* streams into a single reservoir
+    /// of capacity `capacity`, preserving uniformity over the union.
+    ///
+    /// Each output slot is drawn from `self` with probability proportional
+    /// to the number of items `self` has seen (and from `other` otherwise),
+    /// without replacement. This is the textbook distributed-reservoir merge
+    /// and is used by the `ablation_merge` benchmark; the paper's own
+    /// distributed scheme instead unions per-worker reservoirs of size `N/w`
+    /// (see `StratifiedSample::union`).
+    pub fn merge_with<R: Rng + ?Sized>(self, other: Reservoir<T>, capacity: usize, rng: &mut R) -> Reservoir<T> {
+        assert!(capacity > 0, "reservoir capacity must be positive");
+        let (mut a, mut ca) = self.into_parts();
+        let (mut b, mut cb) = other.into_parts();
+        let total = ca + cb;
+        let mut merged = Reservoir::new(capacity);
+        merged.seen = total;
+        while merged.items.len() < capacity && (!a.is_empty() || !b.is_empty()) {
+            let take_a = if a.is_empty() {
+                false
+            } else if b.is_empty() {
+                true
+            } else {
+                // Draw proportionally to the remaining represented mass.
+                rng.gen_range(0..(ca + cb)) < ca
+            };
+            let src_items = if take_a { &mut a } else { &mut b };
+            let idx = rng.gen_range(0..src_items.len());
+            merged.items.push(src_items.swap_remove(idx));
+            if take_a {
+                ca = ca.saturating_sub(1);
+            } else {
+                cb = cb.saturating_sub(1);
+            }
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn fills_up_before_sampling() {
+        let mut r = Reservoir::new(5);
+        let mut g = rng(1);
+        for x in 0..5 {
+            assert!(r.observe(x, &mut g));
+        }
+        assert_eq!(r.items(), &[0, 1, 2, 3, 4]);
+        assert!(r.is_full());
+    }
+
+    #[test]
+    fn never_exceeds_capacity() {
+        let mut r = Reservoir::new(8);
+        let mut g = rng(2);
+        for x in 0..10_000 {
+            r.observe(x, &mut g);
+            assert!(r.len() <= 8);
+        }
+        assert_eq!(r.len(), 8);
+        assert_eq!(r.seen(), 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Reservoir::<u8>::new(0);
+    }
+
+    #[test]
+    fn short_stream_keeps_everything() {
+        let mut r = Reservoir::new(100);
+        let mut g = rng(3);
+        for x in 0..7 {
+            r.observe(x, &mut g);
+        }
+        assert_eq!(r.len(), 7);
+        assert_eq!(r.seen(), 7);
+        assert!(!r.is_full());
+    }
+
+    /// Statistical check of uniformity: over many trials, each of the 20
+    /// stream items should land in a 5-slot reservoir about 25% of the time.
+    #[test]
+    fn selection_is_approximately_uniform() {
+        const TRIALS: usize = 20_000;
+        const STREAM: usize = 20;
+        const CAP: usize = 5;
+        let mut counts = [0u32; STREAM];
+        let mut g = rng(42);
+        for _ in 0..TRIALS {
+            let mut r = Reservoir::new(CAP);
+            for x in 0..STREAM {
+                r.observe(x, &mut g);
+            }
+            for &x in r.items() {
+                counts[x] += 1;
+            }
+        }
+        let expected = TRIALS as f64 * CAP as f64 / STREAM as f64;
+        for (x, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.05, "item {x}: count {c}, expected ~{expected}");
+        }
+    }
+
+    #[test]
+    fn reset_clears_state_but_keeps_capacity() {
+        let mut r = Reservoir::new(4);
+        let mut g = rng(5);
+        for x in 0..100 {
+            r.observe(x, &mut g);
+        }
+        r.reset();
+        assert_eq!(r.len(), 0);
+        assert_eq!(r.seen(), 0);
+        assert_eq!(r.capacity(), 4);
+    }
+
+    #[test]
+    fn shrink_preserves_sample_size_bound() {
+        let mut r = Reservoir::new(10);
+        let mut g = rng(6);
+        for x in 0..50 {
+            r.observe(x, &mut g);
+        }
+        r.shrink_to(3, &mut g);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.capacity(), 3);
+        // seen is untouched; the reservoir still represents 50 items.
+        assert_eq!(r.seen(), 50);
+    }
+
+    #[test]
+    fn grow_only_increases() {
+        let mut r = Reservoir::<u8>::new(5);
+        r.grow_to(3);
+        assert_eq!(r.capacity(), 5);
+        r.grow_to(9);
+        assert_eq!(r.capacity(), 9);
+    }
+
+    #[test]
+    fn merge_is_uniform_over_union() {
+        // Merge a reservoir over items 0..10 with one over items 10..30;
+        // every item should appear with probability ~cap/30.
+        const TRIALS: usize = 30_000;
+        const CAP: usize = 6;
+        let mut counts = [0u32; 30];
+        let mut g = rng(7);
+        for _ in 0..TRIALS {
+            let mut ra = Reservoir::new(CAP);
+            let mut rb = Reservoir::new(CAP);
+            for x in 0..10 {
+                ra.observe(x, &mut g);
+            }
+            for x in 10..30 {
+                rb.observe(x, &mut g);
+            }
+            let merged = ra.merge_with(rb, CAP, &mut g);
+            assert_eq!(merged.len(), CAP);
+            assert_eq!(merged.seen(), 30);
+            for &x in merged.items() {
+                counts[x] += 1;
+            }
+        }
+        let expected = TRIALS as f64 * CAP as f64 / 30.0;
+        for (x, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.08, "item {x}: count {c}, expected ~{expected}");
+        }
+    }
+
+    #[test]
+    fn merge_handles_underfull_inputs() {
+        let mut g = rng(8);
+        let mut ra = Reservoir::new(5);
+        ra.observe(1, &mut g);
+        let rb = Reservoir::new(5);
+        let merged = ra.merge_with(rb, 5, &mut g);
+        assert_eq!(merged.items(), &[1]);
+        assert_eq!(merged.seen(), 1);
+    }
+}

@@ -1,0 +1,248 @@
+//! Property-based tests for the sampling algorithms: invariants that must
+//! hold for *every* stream shape, capacity and seed.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sa_sampling::{
+    sample_by_key_exact, scasrs_sample, scasrs_sample_with_stats, scasrs_thresholds,
+    OasrsSampler, Reservoir, SizingPolicy, SCASRS_DELTA,
+};
+use sa_types::StratumId;
+use std::collections::HashMap;
+
+proptest! {
+    /// A reservoir always holds exactly `min(seen, capacity)` items and its
+    /// contents are a sub-multiset of the stream.
+    #[test]
+    fn reservoir_size_and_membership(
+        stream in proptest::collection::vec(0u32..1_000, 0..400),
+        cap in 1usize..64,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut res = Reservoir::new(cap);
+        for &x in &stream {
+            res.observe(x, &mut rng);
+        }
+        prop_assert_eq!(res.len(), stream.len().min(cap));
+        prop_assert_eq!(res.seen(), stream.len() as u64);
+
+        let mut pool: HashMap<u32, usize> = HashMap::new();
+        for &x in &stream {
+            *pool.entry(x).or_default() += 1;
+        }
+        for &x in res.items() {
+            let slot = pool.get_mut(&x);
+            prop_assert!(slot.is_some(), "sampled item {} not in stream", x);
+            let c = slot.unwrap();
+            prop_assert!(*c > 0, "item {} sampled more often than it appeared", x);
+            *c -= 1;
+        }
+    }
+
+    /// Shrinking a reservoir never invents items and lands exactly on the
+    /// new capacity.
+    #[test]
+    fn reservoir_shrink_is_a_subset(
+        n in 1usize..200,
+        cap in 2usize..50,
+        new_cap_rel in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut res = Reservoir::new(cap);
+        for x in 0..n as u32 {
+            res.observe(x, &mut rng);
+        }
+        let before: Vec<u32> = res.items().to_vec();
+        let new_cap = ((cap as f64 * new_cap_rel) as usize).max(1);
+        res.shrink_to(new_cap, &mut rng);
+        prop_assert_eq!(res.len(), before.len().min(new_cap));
+        for x in res.items() {
+            prop_assert!(before.contains(x));
+        }
+    }
+
+    /// Merging reservoirs over disjoint streams preserves the total `seen`
+    /// counter and never exceeds the target capacity.
+    #[test]
+    fn reservoir_merge_invariants(
+        na in 0usize..200,
+        nb in 0usize..200,
+        cap in 1usize..32,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut a = Reservoir::new(cap);
+        let mut b = Reservoir::new(cap);
+        for x in 0..na as u32 {
+            a.observe(x, &mut rng);
+        }
+        for x in 1_000..(1_000 + nb as u32) {
+            b.observe(x, &mut rng);
+        }
+        let merged = a.merge_with(b, cap, &mut rng);
+        prop_assert_eq!(merged.seen(), (na + nb) as u64);
+        prop_assert_eq!(merged.len(), (na + nb).min(cap).min(na.min(cap) + nb.min(cap)));
+    }
+
+    /// OASRS bookkeeping: per-stratum counters equal arrivals, sample sizes
+    /// equal `min(C_i, N_i)`, and weights follow Equation 1.
+    #[test]
+    fn oasrs_counters_and_weights(
+        arrivals in proptest::collection::vec(0u32..8, 0..500),
+        cap in 1usize..16,
+        seed in any::<u64>(),
+    ) {
+        let mut oasrs = OasrsSampler::new(SizingPolicy::PerStratum(cap), seed);
+        let mut truth: HashMap<u32, u64> = HashMap::new();
+        for (i, &s) in arrivals.iter().enumerate() {
+            oasrs.observe(StratumId(s), i as f64);
+            *truth.entry(s).or_default() += 1;
+        }
+        let sample = oasrs.finish_interval();
+        prop_assert_eq!(sample.num_strata(), truth.len());
+        for (&s, &c) in &truth {
+            let st = sample.stratum(StratumId(s)).unwrap();
+            prop_assert_eq!(st.population, c);
+            prop_assert_eq!(st.sample_size() as u64, c.min(cap as u64));
+            let expected_w = if c > cap as u64 { c as f64 / cap as f64 } else { 1.0 };
+            prop_assert!((st.weight() - expected_w).abs() < 1e-12);
+        }
+    }
+
+    /// The weighted per-stratum estimate `Y_i * W_i` recovers `C_i` exactly
+    /// for counting queries (each reservoir item represents `W_i` originals).
+    #[test]
+    fn oasrs_count_reconstruction_is_exact(
+        counts in proptest::collection::vec(1u64..300, 1..6),
+        cap in 1usize..32,
+        seed in any::<u64>(),
+    ) {
+        let mut oasrs = OasrsSampler::new(SizingPolicy::PerStratum(cap), seed);
+        for (s, &c) in counts.iter().enumerate() {
+            for v in 0..c {
+                oasrs.observe(StratumId(s as u32), v as f64);
+            }
+        }
+        let sample = oasrs.finish_interval();
+        for (s, &c) in counts.iter().enumerate() {
+            let st = sample.stratum(StratumId(s as u32)).unwrap();
+            let reconstructed = st.sample_size() as f64 * st.weight();
+            prop_assert!(
+                (reconstructed - c as f64).abs() < 1e-9 * c as f64 + 1e-9,
+                "stratum {}: {} vs {}",
+                s,
+                reconstructed,
+                c
+            );
+        }
+    }
+
+    /// Distributed OASRS (shard + union) preserves the global counters and
+    /// never exceeds the summed capacity.
+    #[test]
+    fn oasrs_distributed_union_bookkeeping(
+        per_worker in proptest::collection::vec(0u64..200, 1..5),
+        cap in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        let w = per_worker.len();
+        let mut global: Option<sa_types::StratifiedSample<f64>> = None;
+        for (wi, &n) in per_worker.iter().enumerate() {
+            let mut s = OasrsSampler::for_worker(SizingPolicy::PerStratum(cap), seed, wi, w);
+            for v in 0..n {
+                s.observe(StratumId(0), v as f64);
+            }
+            let part = s.finish_interval();
+            match &mut global {
+                None => global = Some(part),
+                Some(g) => g.union(part),
+            }
+        }
+        let g = global.unwrap();
+        let total: u64 = per_worker.iter().sum();
+        if total == 0 {
+            // Workers that saw nothing produce empty samples (no stratum entry
+            // unless it observed at least one item).
+            prop_assert!(g.total_population() == 0);
+        } else {
+            let st = g.stratum(StratumId(0)).unwrap();
+            prop_assert_eq!(st.population, total);
+            prop_assert!(st.sample_size() <= st.capacity);
+        }
+    }
+
+    /// ScaSRS always returns exactly `min(s, n)` distinct input positions.
+    #[test]
+    fn scasrs_exact_size_and_distinctness(
+        n in 0usize..3_000,
+        s in 0usize..512,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut sample = scasrs_sample((0..n).collect(), s, &mut rng);
+        prop_assert_eq!(sample.len(), s.min(n));
+        sample.sort_unstable();
+        sample.dedup();
+        prop_assert_eq!(sample.len(), s.min(n));
+    }
+
+    /// The work counters partition the input.
+    #[test]
+    fn scasrs_stats_partition_input(
+        n in 1usize..2_000,
+        s in 1usize..256,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (_, stats) = scasrs_sample_with_stats((0..n).collect(), s, &mut rng);
+        if s < n {
+            prop_assert_eq!(
+                stats.accepted_directly + stats.waitlisted + stats.rejected_directly,
+                n
+            );
+        } else {
+            prop_assert_eq!(stats.accepted_directly, n);
+        }
+    }
+
+    /// Thresholds always bracket p and stay in [0, 1].
+    #[test]
+    fn scasrs_thresholds_bracket(
+        n in 1usize..1_000_000,
+        frac in 0.0001f64..0.9999,
+    ) {
+        let s = ((n as f64 * frac) as usize).max(1).min(n);
+        let (l, h) = scasrs_thresholds(s, n, SCASRS_DELTA);
+        let p = s as f64 / n as f64;
+        prop_assert!((0.0..=1.0).contains(&l));
+        prop_assert!((0.0..=1.0).contains(&h));
+        prop_assert!(l <= p + 1e-12);
+        prop_assert!(h >= p - 1e-12);
+    }
+
+    /// Exact stratified sampling hits `ceil(f * C_k)` in every stratum.
+    #[test]
+    fn sample_by_key_exact_sizes(
+        sizes in proptest::collection::vec(1usize..400, 1..6),
+        frac_pct in 1u32..=100,
+        seed in any::<u64>(),
+    ) {
+        let f = frac_pct as f64 / 100.0;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let groups: Vec<(StratumId, Vec<usize>)> = sizes
+            .iter()
+            .enumerate()
+            .map(|(k, &n)| (StratumId(k as u32), (0..n).collect()))
+            .collect();
+        let sample = sample_by_key_exact(groups, f, &mut rng);
+        for (k, &n) in sizes.iter().enumerate() {
+            let st = sample.stratum(StratumId(k as u32)).unwrap();
+            let expected = ((n as f64 * f).ceil() as usize).min(n);
+            prop_assert_eq!(st.sample_size(), expected, "stratum {}", k);
+            prop_assert_eq!(st.population, n as u64);
+        }
+    }
+}

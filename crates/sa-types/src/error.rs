@@ -1,0 +1,71 @@
+//! The shared error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors shared across the StreamApprox workspace.
+///
+/// Crate-specific failures (e.g. an engine's channel teardown) convert into
+/// this type at public API boundaries so applications handle one error type.
+///
+/// # Example
+///
+/// ```
+/// use sa_types::SaError;
+/// let err = SaError::InvalidBudget("sample fraction 2 outside (0, 1]".into());
+/// assert!(err.to_string().contains("invalid query budget"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SaError {
+    /// A query budget fails validation (zero, negative, or out of range).
+    InvalidBudget(String),
+    /// A computation was asked to run over an empty input where the
+    /// semantics require at least one item.
+    EmptyInput(&'static str),
+    /// An engine component was configured inconsistently.
+    InvalidConfig(String),
+    /// A stream endpoint (channel, topic, consumer) was closed while data
+    /// was still expected.
+    Disconnected(&'static str),
+}
+
+impl fmt::Display for SaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SaError::InvalidBudget(why) => write!(f, "invalid query budget: {why}"),
+            SaError::EmptyInput(what) => write!(f, "empty input: {what}"),
+            SaError::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),
+            SaError::Disconnected(what) => write!(f, "disconnected: {what}"),
+        }
+    }
+}
+
+impl Error for SaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn error_is_send_sync() {
+        assert_send_sync::<SaError>();
+    }
+
+    #[test]
+    fn messages_are_lowercase_without_trailing_punctuation() {
+        let samples = [
+            SaError::InvalidBudget("x".into()),
+            SaError::EmptyInput("window"),
+            SaError::InvalidConfig("y".into()),
+            SaError::Disconnected("sink"),
+        ];
+        for e in samples {
+            let msg = e.to_string();
+            assert!(msg.chars().next().unwrap().is_lowercase(), "{msg}");
+            assert!(!msg.ends_with('.'), "{msg}");
+        }
+    }
+}

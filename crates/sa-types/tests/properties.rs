@@ -1,0 +1,103 @@
+//! Property-based tests for the shared types: window assignment laws and
+//! sample bookkeeping.
+
+use proptest::prelude::*;
+use sa_types::{EventTime, StratifiedSample, StratumId, StratumSample, WindowSpec};
+
+proptest! {
+    /// Every instant after the first full window is covered by exactly
+    /// `size / slide` windows when slide divides size.
+    #[test]
+    fn steady_state_coverage_count(
+        slide in 1i64..500,
+        factor in 1i64..6,
+        t_rel in 0i64..10_000,
+    ) {
+        let size = slide * factor;
+        let spec = WindowSpec::sliding_millis(size, slide);
+        // Start measuring after one full window so clamping is over.
+        let t = EventTime::from_millis(size + t_rel);
+        let count = spec.windows_containing(t).count();
+        prop_assert_eq!(count as i64, factor);
+    }
+
+    /// All returned windows contain the instant; no window that contains
+    /// the instant is missing (cross-check by scanning slide multiples).
+    #[test]
+    fn windows_containing_is_sound_and_complete(
+        size in 1i64..1_000,
+        slide_rel in 0.01f64..1.0,
+        t in 0i64..20_000,
+    ) {
+        let slide = ((size as f64 * slide_rel) as i64).max(1);
+        let spec = WindowSpec::sliding_millis(size, slide);
+        let time = EventTime::from_millis(t);
+        let got: Vec<_> = spec.windows_containing(time).collect();
+        for w in &got {
+            prop_assert!(w.contains(time), "{} !∋ {}", w, time);
+            prop_assert_eq!(w.start.as_millis().rem_euclid(slide), 0);
+            prop_assert!(w.start.as_millis() >= 0);
+        }
+        // Completeness: scan candidate starts around t.
+        let mut expected = 0usize;
+        let mut start = ((t - size) / slide - 2).max(0) * slide;
+        while start <= t {
+            let w = spec.window_at(EventTime::from_millis(start));
+            if w.contains(time) {
+                expected += 1;
+            }
+            start += slide;
+        }
+        prop_assert_eq!(got.len(), expected);
+    }
+
+    /// Union of stratified samples is commutative in effect: counters and
+    /// per-stratum sizes agree regardless of union order.
+    #[test]
+    fn stratified_union_is_order_insensitive(
+        a_strata in proptest::collection::vec((0u32..6, 0usize..20, 0u64..100), 0..6),
+        b_strata in proptest::collection::vec((0u32..6, 0usize..20, 0u64..100), 0..6),
+    ) {
+        let build = |spec: &[(u32, usize, u64)]| -> StratifiedSample<u64> {
+            let mut s = StratifiedSample::new();
+            let mut seen = std::collections::HashSet::new();
+            for &(k, y, extra) in spec {
+                if !seen.insert(k) {
+                    continue; // one entry per stratum per sample
+                }
+                let items: Vec<u64> = (0..y as u64).collect();
+                let population = y as u64 + extra;
+                s.push(StratumSample::new(StratumId(k), items, population, y.max(1)));
+            }
+            s
+        };
+        let (a1, b1) = (build(&a_strata), build(&b_strata));
+        let (a2, b2) = (build(&a_strata), build(&b_strata));
+        let mut ab = a1;
+        ab.union(b1);
+        let mut ba = b2;
+        ba.union(a2);
+        prop_assert_eq!(ab.total_population(), ba.total_population());
+        prop_assert_eq!(ab.total_sampled(), ba.total_sampled());
+        prop_assert_eq!(ab.num_strata(), ba.num_strata());
+        for s in ab.iter() {
+            let other = ba.stratum(s.stratum).expect("stratum in both unions");
+            prop_assert_eq!(s.population, other.population);
+            prop_assert_eq!(s.sample_size(), other.sample_size());
+        }
+    }
+
+    /// Weight × sample size reconstructs the population for full
+    /// reservoirs (Y = min(C, N)).
+    #[test]
+    fn weight_reconstructs_population(
+        population in 1u64..10_000,
+        capacity in 1usize..512,
+    ) {
+        let y = (population as usize).min(capacity);
+        let items: Vec<u64> = (0..y as u64).collect();
+        let s = StratumSample::new(StratumId(0), items, population, capacity);
+        let reconstructed = s.weight() * s.sample_size() as f64;
+        prop_assert!((reconstructed - population as f64).abs() < 1e-9 * population as f64 + 1e-9);
+    }
+}

@@ -1,0 +1,43 @@
+//! Synthetic workload generators for the StreamApprox evaluation.
+//!
+//! Everything the paper's experiments feed into the system is reproduced
+//! here, deterministically seeded:
+//!
+//! * [`Distribution`] — Gaussian / Poisson / log-normal / uniform value
+//!   distributions (§5.1's microbenchmark parameters are presets).
+//! * [`SubStream`] / [`Mix`] — multi-sub-stream synthetic inputs with
+//!   per-stratum arrival rates, including the skewed 80/19/1 and
+//!   80/19.99/0.01 mixes of §5.7.
+//! * [`NetFlowGenerator`] / [`FlowRecord`] — the CAIDA-trace substitute for
+//!   the network-traffic case study (§6.2), with the real trace's
+//!   per-protocol flow proportions.
+//! * [`TaxiGenerator`] / [`TaxiRide`] — the DEBS-2015 substitute for the
+//!   taxi analytics case study (§6.3), six borough strata dominated by
+//!   Manhattan.
+//!
+//! Record types serialize to line format ([`FlowRecord::to_line`],
+//! [`TaxiRide::to_line`]) so runners can include realistic per-item parse
+//! work, as a deployment consuming from Kafka would.
+//!
+//! # Example
+//!
+//! ```
+//! use sa_workloads::Mix;
+//!
+//! // The paper's Gaussian microbenchmark at 8000:2000:100 items/second.
+//! let stream = Mix::gaussian([8_000.0, 2_000.0, 100.0]).generate(1_000, 42);
+//! assert_eq!(stream.len(), 10_100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dist;
+mod mix;
+mod netflow;
+mod taxi;
+
+pub use dist::Distribution;
+pub use mix::{Mix, MixRecord, SubStream};
+pub use netflow::{FlowRecord, NetFlowGenerator, ParseRecordError, Protocol};
+pub use taxi::{Borough, TaxiGenerator, TaxiRide};

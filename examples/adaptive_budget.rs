@@ -1,0 +1,70 @@
+//! The adaptive feedback loop (§4.2.1): give StreamApprox an *accuracy*
+//! budget instead of a fraction and watch the controller resize the
+//! per-stratum reservoirs until the reported error bound complies —
+//! then keep tracking as the stream's arrival rates flip mid-run.
+//!
+//! Run with: `cargo run --release -p streamapprox --example adaptive_budget`
+
+use sa_aggregator::merge_by_time;
+use sa_batched::Cluster;
+use sa_types::{Confidence, EventTime, WindowSpec};
+use sa_workloads::Mix;
+use streamapprox::{run_batched, AccuracyPolicy, BatchedConfig, BatchedSystem, Query};
+
+fn main() {
+    // First half: rates 8000:2000:100. Second half: flipped to 100:2000:8000
+    // (the regime change of Figure 5a).
+    let mix = Mix::gaussian([1.0, 1.0, 1.0]);
+    let first = mix.generate_with_rates(&[8_000.0, 2_000.0, 100.0], 8_000, 3);
+    let second: Vec<_> = mix
+        .generate_with_rates(&[100.0, 2_000.0, 8_000.0], 8_000, 4)
+        .into_iter()
+        .map(|i| {
+            sa_types::StreamItem::new(i.stratum, EventTime::from_millis(i.time.as_millis() + 8_000), i.value)
+        })
+        .collect();
+    let stream = merge_by_time(vec![first, second]);
+    println!(
+        "16s stream, {} items, arrival rates flip at t=8s",
+        stream.len()
+    );
+
+    let query = Query::new(|v: &f64| *v)
+        .with_window(WindowSpec::sliding_secs(2, 1))
+        .with_confidence(Confidence::P95);
+    let config = BatchedConfig::new(Cluster::new(2)).with_batch_interval_ms(500);
+
+    // Budget: keep the mean's relative error under 1% at 95% confidence.
+    let mut policy = AccuracyPolicy::new(0.01, 16, 8, 1 << 16);
+    let out = run_batched(
+        &config,
+        BatchedSystem::StreamApprox,
+        &query,
+        &mut policy,
+        stream,
+    );
+
+    println!(
+        "\naggregated {:.1}% of the stream to satisfy a 1% error budget",
+        out.effective_fraction() * 100.0
+    );
+    println!("\nwindow start   sampled/arrived    mean ± bound          rel.err");
+    for w in &out.windows {
+        if w.mean.population_size == 0 {
+            continue;
+        }
+        println!(
+            "{:>9}s   {:>7}/{:<8}  {:>10.2} ± {:>8.2}   {:>6.3}%",
+            w.window.start.as_secs_f64(),
+            w.mean.sample_size,
+            w.mean.population_size,
+            w.mean.value,
+            w.mean.bound.margin(),
+            w.mean.relative_error() * 100.0,
+        );
+    }
+    println!(
+        "\nfinal per-stratum reservoir capacity chosen by the controller: {}",
+        policy.capacity()
+    );
+}

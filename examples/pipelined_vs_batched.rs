@@ -1,0 +1,78 @@
+//! Side-by-side run of the two stream-processing models the paper targets
+//! (§2.2): batched (Spark-Streaming-style) vs pipelined (Flink-style)
+//! StreamApprox on the same stream and query, comparing throughput and
+//! per-window answers.
+//!
+//! Run with: `cargo run --release -p streamapprox --example pipelined_vs_batched`
+
+use sa_batched::Cluster;
+use sa_estimate::accuracy_loss;
+use sa_types::WindowSpec;
+use sa_workloads::Mix;
+use streamapprox::{
+    run_batched, run_pipelined, BatchedConfig, BatchedSystem, FixedFraction, PipelinedConfig,
+    PipelinedSystem, Query,
+};
+
+fn main() {
+    let stream = Mix::gaussian([10_000.0, 2_500.0, 120.0]).generate_lines(10_000, 11);
+    println!("{} records over 10 seconds of event time", stream.len());
+
+    let query = Query::new(|line: &String| Mix::parse_line(line))
+        .with_window(WindowSpec::sliding_secs(2, 1));
+    let fraction = 0.4;
+
+    let batched = run_batched(
+        &BatchedConfig::new(Cluster::new(2)).with_batch_interval_ms(500),
+        BatchedSystem::StreamApprox,
+        &query,
+        &mut FixedFraction(fraction),
+        stream.clone(),
+    );
+    let pipelined = run_pipelined(
+        &PipelinedConfig::new().with_sample_workers(2),
+        PipelinedSystem::StreamApprox,
+        &query,
+        &mut FixedFraction(fraction),
+        stream,
+    );
+
+    println!("\nboth at a {:.0}% sampling fraction:", fraction * 100.0);
+    println!(
+        "  batched   (spark-style): {:>9.0} items/s, {} windows",
+        batched.throughput(),
+        batched.windows.len()
+    );
+    println!(
+        "  pipelined (flink-style): {:>9.0} items/s, {} windows",
+        pipelined.throughput(),
+        pipelined.windows.len()
+    );
+    println!(
+        "  pipelined/batched throughput ratio: {:.2}x",
+        pipelined.throughput() / batched.throughput()
+    );
+
+    println!("\nper-window means (the two models must agree statistically):");
+    println!("{:>12} {:>14} {:>14} {:>12}", "window start", "batched", "pipelined", "divergence");
+    for (b, p) in batched.windows.iter().zip(&pipelined.windows) {
+        if b.mean.population_size == 0 {
+            continue;
+        }
+        println!(
+            "{:>11}s {:>14.2} {:>14.2} {:>11.2}%",
+            b.window.start.as_secs_f64(),
+            b.mean.value,
+            p.mean.value,
+            accuracy_loss(p.mean.value, b.mean.value) * 100.0,
+        );
+    }
+    println!(
+        "\nthe pipelined model skips batch formation entirely — items stream\n\
+         through the sampling operator as they arrive, which is where the\n\
+         paper's Flink-based variant gets its edge on multi-core hardware.\n\
+         (on few-core machines the pipelined engine's thread-per-operator\n\
+         design is oversubscribed and the batched engine can win; the two\n\
+         must still agree on every answer.)"
+    );
+}

@@ -1,0 +1,217 @@
+//! Accuracy and adaptive-budget behaviour across the full stack: cost
+//! policies steering sample sizes, skew resistance, and budget validation.
+
+use sa_batched::Cluster;
+use sa_estimate::accuracy_loss;
+use sa_types::{Confidence, QueryBudget, WindowSpec};
+use sa_workloads::Mix;
+use streamapprox::{
+    policy_for_budget, run_batched, AccuracyPolicy, BatchedConfig, BatchedSystem, FixedFraction,
+    LatencyPolicy, Query, TokenPolicy,
+};
+
+fn config() -> BatchedConfig {
+    BatchedConfig::new(Cluster::new(2)).with_batch_interval_ms(500)
+}
+
+fn query() -> Query<f64> {
+    Query::new(|v: &f64| *v).with_window(WindowSpec::tumbling_millis(1_000))
+}
+
+#[test]
+fn higher_fraction_means_lower_loss_on_skewed_input() {
+    // The monotonicity behind Figures 4(b), 6(c): accuracy improves with
+    // the sampling fraction. Averaged over seeds to suppress noise.
+    let mut losses = Vec::new();
+    for &fraction in &[0.1, 0.4, 0.8] {
+        let mut total = 0.0;
+        let mut n = 0usize;
+        for seed in 0..8 {
+            let items = Mix::gaussian_skewed(5_000.0).generate(3_000, seed);
+            let exact = run_batched(
+                &config(),
+                BatchedSystem::Native,
+                &query(),
+                &mut FixedFraction(1.0),
+                items.clone(),
+            );
+            let approx = run_batched(
+                &config().with_seed(seed * 31),
+                BatchedSystem::StreamApprox,
+                &query(),
+                &mut FixedFraction(fraction),
+                items,
+            );
+            for (a, e) in approx.windows.iter().zip(&exact.windows) {
+                if e.mean.value != 0.0 {
+                    total += accuracy_loss(a.mean.value, e.mean.value);
+                    n += 1;
+                }
+            }
+        }
+        losses.push(total / n as f64);
+    }
+    assert!(
+        losses[0] > losses[2],
+        "loss did not fall with fraction: {losses:?}"
+    );
+}
+
+#[test]
+fn accuracy_policy_converges_to_target() {
+    // Feed a long stream; the controller must end up holding the reported
+    // relative error near the target.
+    let items = Mix::gaussian([3_000.0, 600.0, 60.0]).generate(20_000, 5);
+    let mut policy = AccuracyPolicy::new(0.02, 32, 8, 100_000);
+    let out = run_batched(
+        &config(),
+        BatchedSystem::StreamApprox,
+        &query().with_confidence(Confidence::P95),
+        &mut policy,
+        items,
+    );
+    // Skip the warm-up half, then check the reported bounds.
+    let tail = &out.windows[out.windows.len() / 2..];
+    let mut ok = 0usize;
+    let mut total = 0usize;
+    for w in tail {
+        if w.mean.value == 0.0 {
+            continue;
+        }
+        total += 1;
+        if w.mean.relative_error() <= 0.04 {
+            ok += 1;
+        }
+    }
+    assert!(
+        ok as f64 >= total as f64 * 0.8,
+        "only {ok}/{total} windows within 2× of the accuracy target"
+    );
+}
+
+#[test]
+fn latency_policy_reduces_work_under_pressure() {
+    let items = Mix::gaussian([20_000.0, 4_000.0, 400.0]).generate(6_000, 6);
+    // An aggressive 1ms-per-interval target forces the fraction down.
+    let mut policy = LatencyPolicy::new(1, 0.02);
+    let out = run_batched(
+        &config(),
+        BatchedSystem::StreamApprox,
+        &query(),
+        &mut policy,
+        items,
+    );
+    assert!(
+        out.effective_fraction() < 0.9,
+        "latency policy never shed load: fraction {}",
+        out.effective_fraction()
+    );
+    assert!(policy.fraction() < 1.0);
+}
+
+#[test]
+fn token_policy_caps_aggregated_items() {
+    let items = Mix::gaussian([5_000.0, 1_000.0, 100.0]).generate(4_000, 7);
+    // 300 tokens per interval, 1 token per item → ≤ 300 sampled per pane
+    // (plus slack for strata rounding).
+    let mut policy = TokenPolicy::new(300, 1);
+    let out = run_batched(
+        &config(),
+        BatchedSystem::StreamApprox,
+        &query(),
+        &mut policy,
+        items,
+    );
+    let panes = 4_000 / 500;
+    assert!(
+        out.items_aggregated <= (panes as u64 + 1) * 310,
+        "aggregated {} items",
+        out.items_aggregated
+    );
+}
+
+#[test]
+fn budget_round_trip_through_policies() {
+    let items = Mix::gaussian([1_000.0, 200.0, 20.0]).generate(2_000, 8);
+    for budget in [
+        QueryBudget::SampleFraction(0.5),
+        QueryBudget::SampleSize(64),
+        QueryBudget::ResourceTokens(200),
+        QueryBudget::Accuracy {
+            max_relative_error: 0.05,
+            confidence: Confidence::P95,
+        },
+    ] {
+        let mut policy = policy_for_budget(budget).expect("valid budget");
+        let out = run_batched(
+            &config(),
+            BatchedSystem::StreamApprox,
+            &query(),
+            policy.as_mut(),
+            items.clone(),
+        );
+        assert!(!out.windows.is_empty(), "{budget}: no windows");
+        assert!(out.items_ingested > 0);
+    }
+}
+
+#[test]
+fn poisson_long_tail_streamapprox_beats_srs() {
+    // Figure 6(c)'s regime: a 0.01% sub-stream with λ = 10⁸ values. SRS
+    // routinely misses it; OASRS must not. Compare mean accuracy loss.
+    let mut sa_loss = 0.0;
+    let mut srs_loss = 0.0;
+    let mut n = 0usize;
+    for seed in 0..6 {
+        let items = Mix::poisson_skewed(8_000.0).generate(4_000, seed);
+        let exact = run_batched(
+            &config(),
+            BatchedSystem::Native,
+            &query(),
+            &mut FixedFraction(1.0),
+            items.clone(),
+        );
+        let sa = run_batched(
+            &config().with_seed(seed),
+            BatchedSystem::StreamApprox,
+            &query(),
+            &mut FixedFraction(0.2),
+            items.clone(),
+        );
+        let srs = run_batched(
+            &config().with_seed(seed),
+            BatchedSystem::Srs,
+            &query(),
+            &mut FixedFraction(0.2),
+            items,
+        );
+        for ((e, a), s) in exact.windows.iter().zip(&sa.windows).zip(&srs.windows) {
+            if e.mean.value == 0.0 {
+                continue;
+            }
+            sa_loss += accuracy_loss(a.mean.value, e.mean.value);
+            srs_loss += accuracy_loss(s.mean.value, e.mean.value);
+            n += 1;
+        }
+    }
+    assert!(n > 0);
+    assert!(
+        sa_loss < srs_loss,
+        "StreamApprox loss {} not below SRS loss {} on long-tail data",
+        sa_loss / n as f64,
+        srs_loss / n as f64
+    );
+}
+
+#[test]
+fn invalid_budgets_are_rejected_up_front() {
+    for bad in [
+        QueryBudget::SampleFraction(0.0),
+        QueryBudget::SampleFraction(1.5),
+        QueryBudget::SampleSize(0),
+        QueryBudget::LatencyMillis(0),
+        QueryBudget::ResourceTokens(0),
+    ] {
+        assert!(policy_for_budget(bad).is_err(), "{bad} accepted");
+    }
+}

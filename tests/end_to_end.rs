@@ -1,0 +1,262 @@
+//! End-to-end integration: workload generators → aggregator replay →
+//! both engines → approximate answers checked against native ground truth.
+
+use sa_aggregator::{merge_by_time, replay_into, Consumer, Partitioner, Producer, Topic};
+use sa_batched::Cluster;
+use sa_estimate::accuracy_loss;
+use sa_types::{Confidence, StratumId, WindowSpec};
+use sa_workloads::{Mix, NetFlowGenerator, TaxiGenerator};
+use streamapprox::{
+    run_batched, run_pipelined, BatchedConfig, BatchedSystem, FixedFraction, PipelinedConfig,
+    PipelinedSystem, Query,
+};
+
+fn batched_config() -> BatchedConfig {
+    BatchedConfig::new(Cluster::new(2)).with_batch_interval_ms(500)
+}
+
+#[test]
+fn gaussian_mix_through_batched_streamapprox() {
+    let items = Mix::gaussian([2_000.0, 500.0, 50.0]).generate(4_000, 1);
+    let query = Query::new(|v: &f64| *v).with_window(WindowSpec::sliding_millis(2_000, 1_000));
+
+    let exact = run_batched(
+        &batched_config(),
+        BatchedSystem::Native,
+        &query,
+        &mut FixedFraction(1.0),
+        items.clone(),
+    );
+    let approx = run_batched(
+        &batched_config(),
+        BatchedSystem::StreamApprox,
+        &query,
+        &mut FixedFraction(0.6),
+        items,
+    );
+
+    assert_eq!(exact.windows.len(), approx.windows.len());
+    assert!(approx.effective_fraction() < 0.9);
+    let mut losses = Vec::new();
+    for (a, e) in approx.windows.iter().zip(&exact.windows) {
+        assert_eq!(a.window, e.window);
+        if e.mean.value != 0.0 {
+            losses.push(accuracy_loss(a.mean.value, e.mean.value));
+        }
+    }
+    let mean_loss = losses.iter().sum::<f64>() / losses.len() as f64;
+    assert!(mean_loss < 0.05, "mean accuracy loss {mean_loss}");
+}
+
+#[test]
+fn gaussian_mix_through_pipelined_streamapprox() {
+    let items = Mix::gaussian([2_000.0, 500.0, 50.0]).generate(4_000, 2);
+    let query = Query::new(|v: &f64| *v).with_window(WindowSpec::sliding_millis(2_000, 1_000));
+
+    let exact = run_pipelined(
+        &PipelinedConfig::new(),
+        PipelinedSystem::Native,
+        &query,
+        &mut FixedFraction(1.0),
+        items.clone(),
+    );
+    let approx = run_pipelined(
+        &PipelinedConfig::new(),
+        PipelinedSystem::StreamApprox,
+        &query,
+        &mut FixedFraction(0.6),
+        items,
+    );
+
+    assert_eq!(exact.windows.len(), approx.windows.len());
+    for (a, e) in approx.windows.iter().zip(&exact.windows) {
+        assert_eq!(a.window, e.window);
+        if e.mean.value != 0.0 {
+            let loss = accuracy_loss(a.mean.value, e.mean.value);
+            assert!(loss < 0.2, "window {}: loss {loss}", a.window);
+        }
+    }
+}
+
+#[test]
+fn netflow_case_study_per_protocol_sums() {
+    // The §6.2 query: total traffic per protocol per window.
+    let lines = NetFlowGenerator::new(5_000.0, 3).generate_lines(3_000);
+    let query = Query::new(|line: &String| {
+        sa_workloads::FlowRecord::parse_line(line)
+            .expect("generator produces valid lines")
+            .bytes as f64
+    })
+    .with_window(WindowSpec::tumbling_millis(1_000));
+
+    let exact = run_batched(
+        &batched_config(),
+        BatchedSystem::Native,
+        &query,
+        &mut FixedFraction(1.0),
+        lines.clone(),
+    );
+    let approx = run_batched(
+        &batched_config(),
+        BatchedSystem::StreamApprox,
+        &query,
+        &mut FixedFraction(0.6),
+        lines,
+    );
+
+    for (a, e) in approx.windows.iter().zip(&exact.windows) {
+        // All three protocols present in both.
+        assert_eq!(a.sum_by_stratum.len(), 3, "window {}", a.window);
+        for (stratum, exact_sum) in &e.sum_by_stratum {
+            let approx_sum = a.stratum_sum(*stratum).expect("stratum covered");
+            let loss = accuracy_loss(approx_sum.value, exact_sum.value);
+            assert!(loss < 0.5, "{stratum}: loss {loss}");
+        }
+    }
+}
+
+#[test]
+fn taxi_case_study_per_borough_means() {
+    // The §6.3 query: average trip distance per borough per window.
+    let rides = TaxiGenerator::new(5_000.0, 4).generate(3_000);
+    let query = Query::new(|r: &sa_workloads::TaxiRide| r.distance_miles)
+        .with_window(WindowSpec::tumbling_millis(1_000));
+
+    let exact = run_pipelined(
+        &PipelinedConfig::new(),
+        PipelinedSystem::Native,
+        &query,
+        &mut FixedFraction(1.0),
+        rides.clone(),
+    );
+    let approx = run_pipelined(
+        &PipelinedConfig::new(),
+        PipelinedSystem::StreamApprox,
+        &query,
+        &mut FixedFraction(0.4),
+        rides,
+    );
+
+    for (a, e) in approx.windows.iter().zip(&exact.windows) {
+        assert_eq!(a.mean_by_stratum.len(), 6, "all six boroughs covered");
+        for (stratum, exact_mean) in &e.mean_by_stratum {
+            let approx_mean = a.stratum_mean(*stratum).expect("borough covered");
+            let loss = accuracy_loss(approx_mean.value, exact_mean.value);
+            assert!(loss < 0.4, "{stratum}: loss {loss}");
+        }
+    }
+}
+
+#[test]
+fn full_pipeline_via_aggregator() {
+    // Generators → replay tool → topic → consumer → engine, as deployed.
+    let mix = Mix::gaussian([1_000.0, 200.0, 20.0]);
+    let substreams: Vec<_> = mix
+        .substreams()
+        .iter()
+        .map(|s| s.generate(sa_types::EventTime::from_millis(0), 2_000, 7))
+        .collect();
+    let total: usize = substreams.iter().map(Vec::len).sum();
+
+    let topic = Topic::new("input", 4);
+    let mut producer = Producer::new(topic.clone(), Partitioner::RoundRobin);
+    replay_into(merge_by_time(substreams), &mut producer, 200);
+
+    let mut consumer = Consumer::whole_topic(topic);
+    let mut items = consumer.poll_items(usize::MAX);
+    assert_eq!(items.len(), total);
+    // Round-robin partitions interleave: restore event-time order, as the
+    // engines' batchers require.
+    items.sort_by_key(|i| i.time);
+
+    let query = Query::new(|v: &f64| *v).with_window(WindowSpec::tumbling_millis(1_000));
+    let out = run_batched(
+        &batched_config(),
+        BatchedSystem::StreamApprox,
+        &query,
+        &mut FixedFraction(0.5),
+        items,
+    );
+    assert_eq!(out.items_ingested, total as u64);
+    assert!(!out.windows.is_empty());
+}
+
+#[test]
+fn error_bounds_cover_truth_at_stated_confidence() {
+    // Run many seeds; the 95% interval must cover the native answer in
+    // roughly 95% of windows (allow slack for small-sample optimism).
+    let mut covered = 0usize;
+    let mut totals = 0usize;
+    for seed in 0..20 {
+        let items = Mix::gaussian([1_500.0, 400.0, 60.0]).generate(3_000, seed);
+        let query = Query::new(|v: &f64| *v)
+            .with_window(WindowSpec::tumbling_millis(1_000))
+            .with_confidence(Confidence::P95);
+        let exact = run_batched(
+            &batched_config(),
+            BatchedSystem::Native,
+            &query,
+            &mut FixedFraction(1.0),
+            items.clone(),
+        );
+        let approx = run_batched(
+            &batched_config().with_seed(seed),
+            BatchedSystem::StreamApprox,
+            &query,
+            &mut FixedFraction(0.3),
+            items,
+        );
+        for (a, e) in approx.windows.iter().zip(&exact.windows) {
+            if e.sum.population_size == 0 {
+                continue;
+            }
+            let (lo, hi) = a.sum.interval();
+            totals += 1;
+            if lo <= e.sum.value && e.sum.value <= hi {
+                covered += 1;
+            }
+        }
+    }
+    let rate = covered as f64 / totals as f64;
+    assert!(rate > 0.85, "coverage {covered}/{totals} = {rate}");
+}
+
+#[test]
+fn srs_misses_minority_stratum_where_oasrs_keeps_it() {
+    // The qualitative claim behind Figure 5(a): with a tiny sub-stream and
+    // a small fraction, SRS sometimes loses the stratum entirely; OASRS
+    // never does.
+    let mix = Mix::gaussian([4_000.0, 1_000.0, 5.0]);
+    let items = mix.generate(2_000, 11);
+    let query = Query::new(|v: &f64| *v).with_window(WindowSpec::tumbling_millis(1_000));
+
+    let oasrs = run_batched(
+        &batched_config(),
+        BatchedSystem::StreamApprox,
+        &query,
+        &mut FixedFraction(0.1),
+        items.clone(),
+    );
+    for w in &oasrs.windows {
+        if w.sum.population_size == 0 {
+            continue;
+        }
+        assert!(
+            w.stratum_sum(StratumId(2)).is_some(),
+            "OASRS lost the minority stratum in {}",
+            w.window
+        );
+    }
+    // SRS is *allowed* to miss it; we only check it runs and stays
+    // population-consistent.
+    let srs = run_batched(
+        &batched_config(),
+        BatchedSystem::Srs,
+        &query,
+        &mut FixedFraction(0.1),
+        items,
+    );
+    for w in &srs.windows {
+        assert!(w.sum.sample_size <= w.sum.population_size);
+    }
+}

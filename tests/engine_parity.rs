@@ -1,0 +1,200 @@
+//! Parity between the batched and pipelined execution models: the same
+//! query over the same stream must produce the same windows, with exact
+//! agreement under native execution and statistical agreement under
+//! sampling.
+
+use sa_batched::Cluster;
+use sa_estimate::accuracy_loss;
+use sa_types::WindowSpec;
+use sa_workloads::Mix;
+use streamapprox::{
+    run_batched, run_pipelined, BatchedConfig, BatchedSystem, FixedFraction, PipelinedConfig,
+    PipelinedSystem, Query,
+};
+
+fn items(seed: u64) -> Vec<sa_types::StreamItem<f64>> {
+    Mix::gaussian([3_000.0, 800.0, 80.0]).generate(5_000, seed)
+}
+
+fn query() -> Query<f64> {
+    Query::new(|v: &f64| *v).with_window(WindowSpec::sliding_millis(2_000, 1_000))
+}
+
+#[test]
+fn native_batched_equals_native_pipelined() {
+    let stream = items(1);
+    let batched = run_batched(
+        &BatchedConfig::new(Cluster::new(2)).with_batch_interval_ms(500),
+        BatchedSystem::Native,
+        &query(),
+        &mut FixedFraction(1.0),
+        stream.clone(),
+    );
+    let pipelined = run_pipelined(
+        &PipelinedConfig::new(),
+        PipelinedSystem::Native,
+        &query(),
+        &mut FixedFraction(1.0),
+        stream,
+    );
+    assert_eq!(batched.windows.len(), pipelined.windows.len());
+    for (b, p) in batched.windows.iter().zip(&pipelined.windows) {
+        assert_eq!(b.window, p.window);
+        assert!(
+            (b.sum.value - p.sum.value).abs() < 1e-6 * b.sum.value.abs().max(1.0),
+            "{}: {} vs {}",
+            b.window,
+            b.sum.value,
+            p.sum.value
+        );
+        assert!((b.mean.value - p.mean.value).abs() < 1e-9 * b.mean.value.abs().max(1.0));
+        assert_eq!(b.sum.population_size, p.sum.population_size);
+        // Per-stratum results agree too.
+        assert_eq!(b.sum_by_stratum.len(), p.sum_by_stratum.len());
+        for ((sb, rb), (sp, rp)) in b.sum_by_stratum.iter().zip(&p.sum_by_stratum) {
+            assert_eq!(sb, sp);
+            assert!((rb.value - rp.value).abs() < 1e-6 * rb.value.abs().max(1.0));
+        }
+    }
+}
+
+#[test]
+fn sampled_engines_agree_statistically() {
+    let stream = items(2);
+    let batched = run_batched(
+        &BatchedConfig::new(Cluster::new(2)).with_batch_interval_ms(500),
+        BatchedSystem::StreamApprox,
+        &query(),
+        &mut FixedFraction(0.5),
+        stream.clone(),
+    );
+    let pipelined = run_pipelined(
+        &PipelinedConfig::new(),
+        PipelinedSystem::StreamApprox,
+        &query(),
+        &mut FixedFraction(0.5),
+        stream,
+    );
+    assert_eq!(batched.windows.len(), pipelined.windows.len());
+    for (b, p) in batched.windows.iter().zip(&pipelined.windows) {
+        assert_eq!(b.window, p.window);
+        if b.mean.value == 0.0 {
+            continue;
+        }
+        let divergence = accuracy_loss(p.mean.value, b.mean.value);
+        assert!(
+            divergence < 0.1,
+            "{}: batched {} vs pipelined {}",
+            b.window,
+            b.mean.value,
+            p.mean.value
+        );
+    }
+}
+
+#[test]
+fn batch_interval_does_not_change_window_totals() {
+    // Different pane granularities must assemble identical native windows
+    // (batch intervals divide the slide).
+    let stream = items(3);
+    let mut reference: Option<Vec<f64>> = None;
+    for interval in [250, 500, 1_000] {
+        let out = run_batched(
+            &BatchedConfig::new(Cluster::new(2)).with_batch_interval_ms(interval),
+            BatchedSystem::Native,
+            &query(),
+            &mut FixedFraction(1.0),
+            stream.clone(),
+        );
+        let sums: Vec<f64> = out.windows.iter().map(|w| w.sum.value).collect();
+        match &reference {
+            None => reference = Some(sums),
+            Some(r) => {
+                assert_eq!(r.len(), sums.len(), "interval {interval}");
+                for (a, b) in r.iter().zip(&sums) {
+                    assert!((a - b).abs() < 1e-6 * a.abs().max(1.0), "interval {interval}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn pipelined_worker_count_does_not_change_native_answers() {
+    let stream = items(4);
+    let one = run_pipelined(
+        &PipelinedConfig::new().with_sample_workers(1),
+        PipelinedSystem::Native,
+        &query(),
+        &mut FixedFraction(1.0),
+        stream.clone(),
+    );
+    let four = run_pipelined(
+        &PipelinedConfig::new().with_sample_workers(4),
+        PipelinedSystem::Native,
+        &query(),
+        &mut FixedFraction(1.0),
+        stream,
+    );
+    assert_eq!(one.windows.len(), four.windows.len());
+    for (a, b) in one.windows.iter().zip(&four.windows) {
+        assert_eq!(a.window, b.window);
+        assert!((a.sum.value - b.sum.value).abs() < 1e-6 * a.sum.value.abs().max(1.0));
+        assert_eq!(a.sum.population_size, b.sum.population_size);
+    }
+}
+
+#[test]
+fn cluster_topology_does_not_change_native_answers() {
+    let stream = items(5);
+    let single = run_batched(
+        &BatchedConfig::new(Cluster::new(2)).with_batch_interval_ms(500),
+        BatchedSystem::Native,
+        &query(),
+        &mut FixedFraction(1.0),
+        stream.clone(),
+    );
+    let multi = run_batched(
+        &BatchedConfig::new(Cluster::with_topology(2, 2)).with_batch_interval_ms(500),
+        BatchedSystem::Native,
+        &query(),
+        &mut FixedFraction(1.0),
+        stream,
+    );
+    for (a, b) in single.windows.iter().zip(&multi.windows) {
+        assert!((a.sum.value - b.sum.value).abs() < 1e-6 * a.sum.value.abs().max(1.0));
+    }
+}
+
+#[test]
+fn sts_baseline_matches_native_population_but_samples_proportionally() {
+    let stream = items(6);
+    let native = run_batched(
+        &BatchedConfig::new(Cluster::new(2)).with_batch_interval_ms(500),
+        BatchedSystem::Native,
+        &query(),
+        &mut FixedFraction(1.0),
+        stream.clone(),
+    );
+    let sts = run_batched(
+        &BatchedConfig::new(Cluster::new(2)).with_batch_interval_ms(500),
+        BatchedSystem::Sts,
+        &query(),
+        &mut FixedFraction(0.4),
+        stream,
+    );
+    for (n, s) in native.windows.iter().zip(&sts.windows) {
+        assert_eq!(n.sum.population_size, s.sum.population_size);
+        if n.sum.population_size == 0 {
+            continue;
+        }
+        let fraction = s.sum.sample_size as f64 / s.sum.population_size as f64;
+        assert!(
+            (fraction - 0.4).abs() < 0.02,
+            "{}: sampled fraction {fraction}",
+            s.window
+        );
+        let loss = accuracy_loss(s.mean.value, n.mean.value);
+        assert!(loss < 0.1, "{}: loss {loss}", s.window);
+    }
+}
