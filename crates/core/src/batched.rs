@@ -13,17 +13,21 @@
 //! * **STS** builds the full dataset, then `groupBy(strata)` (a full hash
 //!   shuffle with worker synchronization) and a per-stratum random sort.
 //! * **Native** builds the full dataset and aggregates everything.
+//!
+//! This module is a thin adapter: it expresses only the engine-specific
+//! parts above (dataset formation, cluster shuffles). The per-interval
+//! loop — cost-policy feedback, sampler lifecycle, window assembly,
+//! estimation — is the shared [`crate::runtime::ApproxRuntime`].
 
-use crate::combine::{combine_window, PanePayload};
-use crate::cost::{CostPolicy, IntervalFeedback, SizingDirective};
-use crate::output::{RunOutput, WindowResult};
+use crate::combine::PanePayload;
+use crate::cost::{CostPolicy, SizingDirective};
+use crate::output::RunOutput;
 use crate::query::Query;
-use crate::windowing::PaneWindower;
+use crate::runtime::{ApproxRuntime, ExactAccumulator};
 use sa_batched::{Cluster, MicroBatch, MicroBatcher, Pds};
-use sa_estimate::{estimate_mean, StratumStats, Welford};
-use sa_sampling::{OasrsSampler, SizingPolicy};
-use sa_types::{StratumId, StreamItem};
-use std::collections::BTreeMap;
+use sa_estimate::StratumStats;
+use sa_types::{RunSeed, StratumId, StreamItem};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Which batched system to run.
@@ -64,8 +68,8 @@ pub struct BatchedConfig {
     pub num_partitions: usize,
     /// Parallel receiver-side sampling workers for StreamApprox.
     pub sample_workers: usize,
-    /// RNG seed for every sampling decision in the run.
-    pub seed: u64,
+    /// Seed for every sampling decision in the run.
+    pub seed: RunSeed,
 }
 
 impl BatchedConfig {
@@ -77,7 +81,7 @@ impl BatchedConfig {
             batch_interval_ms: 250,
             num_partitions: workers.max(2),
             sample_workers: workers.max(1),
-            seed: 0x5A5A,
+            seed: RunSeed::DEFAULT,
         }
     }
 
@@ -91,32 +95,9 @@ impl BatchedConfig {
 
     /// Sets the RNG seed.
     #[must_use]
-    pub fn with_seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
+    pub fn with_seed(mut self, seed: impl Into<RunSeed>) -> Self {
+        self.seed = seed.into();
         self
-    }
-}
-
-/// Per-pane sampler state for StreamApprox (kept across panes so the
-/// fraction policy's capacity adaptation has history to work from).
-struct SamplerPool<R> {
-    directive: SizingDirective,
-    samplers: Vec<OasrsSampler<R>>,
-}
-
-fn sizing_policy_for(directive: SizingDirective, batch_len: usize, workers: usize) -> SizingPolicy {
-    match directive {
-        SizingDirective::Fraction(f) => SizingPolicy::FractionOfPrevious {
-            fraction: f,
-            // First-interval guess: spread the fraction over an assumed
-            // handful of strata; adapted from real counters afterwards.
-            initial: (((f * batch_len as f64) as usize / workers.max(1) / 4).max(16)),
-        },
-        SizingDirective::PerStratum(n) => SizingPolicy::PerStratum(n),
-        SizingDirective::SharedTotal(n) => SizingPolicy::SharedTotal(n),
-        SizingDirective::Everything => {
-            unreachable!("Everything is handled by the native pane path")
-        }
     }
 }
 
@@ -154,25 +135,20 @@ pub fn run_batched<R>(
 where
     R: Send + Sync + Clone + 'static,
 {
-    let started = Instant::now();
-    let mut windower: PaneWindower<PanePayload> = PaneWindower::new(query.window());
-    let mut windows: Vec<WindowResult> = Vec::new();
-    let mut ingested = 0u64;
-    let mut aggregated = 0u64;
-    let mut pool: Option<SamplerPool<R>> = None;
-
-    for (pane_idx, batch) in MicroBatcher::new(items.into_iter(), config.batch_interval_ms).enumerate()
+    let mut runtime = ApproxRuntime::new(query, policy, config.seed, config.sample_workers.max(1));
+    for (pane_idx, batch) in
+        MicroBatcher::new(items.into_iter(), config.batch_interval_ms).enumerate()
     {
-        let directive = policy.interval_sizing();
+        let directive = runtime.interval_sizing();
         let pane_started = Instant::now();
-        let batch_len = batch.items.len() as u64;
+        let arrived = batch.items.len() as u64;
         let pane_window = batch.window;
         let payload = match (system, directive) {
             (BatchedSystem::Native, _) | (_, SizingDirective::Everything) => {
                 native_pane(config, query, batch)
             }
             (BatchedSystem::StreamApprox, d) => {
-                streamapprox_pane(config, query, batch, d, &mut pool)
+                streamapprox_pane(config, query, batch, d, &mut runtime)
             }
             (BatchedSystem::Srs, SizingDirective::Fraction(f)) => {
                 srs_pane(config, query, batch, f, pane_idx as u64)
@@ -185,34 +161,10 @@ where
             }
         };
         let process_nanos = pane_started.elapsed().as_nanos() as u64;
-        ingested += batch_len;
-        aggregated += payload.sampled();
-        let relative_error = match &payload {
-            PanePayload::Stratified(stats) if !stats.is_empty() => {
-                Some(estimate_mean(stats, query.confidence()).relative_error())
-            }
-            _ => None,
-        };
-        policy.observe(&IntervalFeedback {
-            items: batch_len,
-            sampled: payload.sampled(),
-            process_nanos,
-            relative_error,
-        });
-        windower.add_pane(pane_window, payload);
-        for (window, panes) in windower.advance(pane_window.end) {
-            windows.push(combine_window(window, panes, query.confidence()));
-        }
+        runtime.ingest_interval(pane_window, payload, arrived, process_nanos);
+        runtime.close_interval(pane_window.end);
     }
-    for (window, panes) in windower.finish() {
-        windows.push(combine_window(window, panes, query.confidence()));
-    }
-    RunOutput {
-        windows,
-        items_ingested: ingested,
-        items_aggregated: aggregated,
-        elapsed: started.elapsed(),
-    }
+    runtime.drain_windows()
 }
 
 /// StreamApprox pane: distributed OASRS on raw items, then a data-parallel
@@ -222,31 +174,16 @@ fn streamapprox_pane<R>(
     query: &Query<R>,
     batch: MicroBatch<R>,
     directive: SizingDirective,
-    pool: &mut Option<SamplerPool<R>>,
+    runtime: &mut ApproxRuntime<'_, R>,
 ) -> PanePayload
 where
     R: Send + Sync + Clone + 'static,
 {
-    let w = config.sample_workers.max(1);
-    // (Re)build the sampler pool if the policy changed its directive.
-    let rebuild = match pool {
-        Some(p) => p.directive != directive,
-        None => true,
-    };
-    if rebuild {
-        let sizing = sizing_policy_for(directive, batch.items.len(), w);
-        *pool = Some(SamplerPool {
-            directive,
-            samplers: (0..w)
-                .map(|i| OasrsSampler::for_worker(sizing, config.seed, i, w))
-                .collect(),
-        });
-    }
-    let p = pool.as_mut().expect("pool just ensured");
+    let samplers = runtime.checkout_samplers(directive, batch.items.len());
+    let w = samplers.len();
     // Receiver-side sampling: each worker folds its chunk through its own
     // sampler — no synchronization, items never form a dataset.
-    let samplers = std::mem::take(&mut p.samplers);
-    let inputs: Vec<(OasrsSampler<R>, Vec<StreamItem<R>>)> = samplers
+    let inputs: Vec<_> = samplers
         .into_iter()
         .zip(chunks_of(batch.items, w))
         .collect();
@@ -257,14 +194,16 @@ where
         let sample = sampler.finish_interval();
         (sampler, sample)
     });
+    let mut returned = Vec::with_capacity(w);
     let mut union: Option<sa_types::StratifiedSample<R>> = None;
     for (sampler, sample) in results {
-        p.samplers.push(sampler);
+        returned.push(sampler);
         match &mut union {
             None => union = Some(sample),
             Some(u) => u.union(sample),
         }
     }
+    runtime.checkin_samplers(returned);
     let sample = union.expect("at least one sampling worker");
     // The data-parallel query job over the selected sample.
     let proj = query.projection();
@@ -274,7 +213,8 @@ where
     PanePayload::Stratified(stats)
 }
 
-/// Native pane: full dataset, exact per-stratum statistics.
+/// Native pane: full dataset, exact per-stratum statistics per partition
+/// (cross-partition strata merge during window combination).
 fn native_pane<R>(config: &BatchedConfig, query: &Query<R>, batch: MicroBatch<R>) -> PanePayload
 where
     R: Send + Sync + Clone + 'static,
@@ -283,23 +223,14 @@ where
     let partials = Pds::from_vec(batch.items, config.num_partitions).map_partitions(
         &config.cluster,
         move |_, part: Vec<StreamItem<R>>| {
-            let mut local: BTreeMap<StratumId, Welford> = BTreeMap::new();
+            let mut acc = ExactAccumulator::new(Arc::clone(&proj));
             for item in part {
-                local.entry(item.stratum).or_default().push(proj(&item.value));
+                acc.observe(item.stratum, &item.value);
             }
-            local.into_iter().collect::<Vec<(StratumId, Welford)>>()
+            acc.close_interval()
         },
     );
-    let mut merged: BTreeMap<StratumId, Welford> = BTreeMap::new();
-    for (stratum, acc) in partials.collect() {
-        merged.entry(stratum).or_default().merge(&acc);
-    }
-    PanePayload::Stratified(
-        merged
-            .into_iter()
-            .map(|(stratum, acc)| StratumStats::from_parts(stratum, acc.count(), acc))
-            .collect(),
-    )
+    PanePayload::Stratified(partials.collect())
 }
 
 /// SRS pane: full dataset, distributed ScaSRS, project the sample.
@@ -317,7 +248,11 @@ where
     let k = ((n as f64 * fraction).ceil() as usize).min(n);
     let proj = query.projection();
     let samples: Vec<(StratumId, f64)> = Pds::from_vec(batch.items, config.num_partitions)
-        .sample_exact(&config.cluster, k, config.seed ^ pane_idx.wrapping_mul(0x5125))
+        .sample_exact(
+            &config.cluster,
+            k,
+            config.seed.derive(0x5125).derive(pane_idx).value(),
+        )
         .map(&config.cluster, move |item: StreamItem<R>| {
             (item.stratum, proj(&item.value))
         })
@@ -340,14 +275,14 @@ fn sts_pane<R>(
 where
     R: Send + Sync + Clone + 'static,
 {
-    let keyed = Pds::from_vec(batch.items, config.num_partitions).map(
-        &config.cluster,
-        |item: StreamItem<R>| (item.stratum, item.value),
-    );
+    let keyed = Pds::from_vec(batch.items, config.num_partitions)
+        .map(&config.cluster, |item: StreamItem<R>| {
+            (item.stratum, item.value)
+        });
     let sample = keyed.sample_stratified_exact(
         &config.cluster,
         fraction,
-        config.seed ^ pane_idx.wrapping_mul(0x575),
+        config.seed.derive(0x575).derive(pane_idx).value(),
     );
     let proj = query.projection();
     let stats = config.cluster.run(sample.into_strata(), move |_, stratum| {
@@ -359,134 +294,6 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cost::FixedFraction;
-    use sa_types::{EventTime, WindowSpec};
-
-    fn stream(per_stratum: &[(u32, usize)], duration_ms: i64) -> Vec<StreamItem<f64>> {
-        // Deterministic values: stratum s item i has value s*1000 + (i%10).
-        let parts: Vec<Vec<StreamItem<f64>>> = per_stratum
-            .iter()
-            .map(|&(s, n)| {
-                let spacing = duration_ms as f64 / n as f64;
-                (0..n)
-                    .map(|i| {
-                        StreamItem::new(
-                            StratumId(s),
-                            EventTime::from_millis((i as f64 * spacing) as i64),
-                            f64::from(s) * 1_000.0 + (i % 10) as f64,
-                        )
-                    })
-                    .collect()
-            })
-            .collect();
-        sa_aggregator::merge_by_time(parts)
-    }
-
-    fn config() -> BatchedConfig {
-        BatchedConfig::new(Cluster::new(2)).with_batch_interval_ms(250)
-    }
-
-    fn query() -> Query<f64> {
-        Query::new(|v: &f64| *v).with_window(WindowSpec::tumbling_millis(1_000))
-    }
-
-    #[test]
-    fn native_is_exact() {
-        let items = stream(&[(0, 1_000), (1, 100)], 2_000);
-        let true_sum_w0: f64 = items
-            .iter()
-            .filter(|i| i.time < EventTime::from_millis(1_000))
-            .map(|i| i.value)
-            .sum();
-        let out = run_batched(
-            &config(),
-            BatchedSystem::Native,
-            &query(),
-            &mut FixedFraction(1.0),
-            items,
-        );
-        assert_eq!(out.items_ingested, 1_100);
-        assert_eq!(out.items_aggregated, 1_100);
-        let w0 = &out.windows[0];
-        assert!((w0.sum.value - true_sum_w0).abs() < 1e-9);
-        assert_eq!(w0.sum.bound.margin(), 0.0);
-    }
-
-    #[test]
-    fn streamapprox_approximates_within_bounds() {
-        let items = stream(&[(0, 2_000), (1, 200), (2, 20)], 2_000);
-        let exact = run_batched(
-            &config(),
-            BatchedSystem::Native,
-            &query(),
-            &mut FixedFraction(1.0),
-            items.clone(),
-        );
-        let approx = run_batched(
-            &config(),
-            BatchedSystem::StreamApprox,
-            &query(),
-            &mut FixedFraction(0.5),
-            items,
-        );
-        assert!(approx.items_aggregated < approx.items_ingested);
-        assert_eq!(approx.windows.len(), exact.windows.len());
-        for (a, e) in approx.windows.iter().zip(&exact.windows) {
-            assert_eq!(a.window, e.window);
-            let loss = sa_estimate::accuracy_loss(a.mean.value, e.mean.value);
-            assert!(loss < 0.25, "window {}: loss {loss}", a.window);
-            // No stratum lost.
-            assert_eq!(a.mean_by_stratum.len(), e.mean_by_stratum.len());
-        }
-    }
-
-    #[test]
-    fn sts_matches_population_counts() {
-        let items = stream(&[(0, 1_000), (1, 50)], 1_000);
-        let out = run_batched(
-            &config(),
-            BatchedSystem::Sts,
-            &query(),
-            &mut FixedFraction(0.4),
-            items,
-        );
-        let w = &out.windows[0];
-        assert_eq!(w.sum.population_size, 1_050);
-        // STS samples proportionally: ~40% of each stratum.
-        assert!(w.sum.sample_size >= 400);
-    }
-
-    #[test]
-    fn srs_estimates_total_reasonably() {
-        let items = stream(&[(0, 5_000)], 1_000);
-        let exact: f64 = (0..5_000).map(|i| (i % 10) as f64).sum();
-        let out = run_batched(
-            &config(),
-            BatchedSystem::Srs,
-            &query(),
-            &mut FixedFraction(0.5),
-            items,
-        );
-        let w = &out.windows[0];
-        assert!(
-            sa_estimate::accuracy_loss(w.sum.value, exact) < 0.05,
-            "sum {} vs {exact}",
-            w.sum.value
-        );
-    }
-
-    #[test]
-    #[should_panic(expected = "needs a fraction budget")]
-    fn srs_rejects_size_budgets() {
-        let items = stream(&[(0, 100)], 500);
-        let _ = run_batched(
-            &config(),
-            BatchedSystem::Srs,
-            &query(),
-            &mut crate::cost::FixedPerStratum(10),
-            items,
-        );
-    }
 
     #[test]
     fn chunks_cover_everything() {
@@ -497,22 +304,5 @@ mod tests {
         let single = chunks_of(vec![1], 4);
         assert_eq!(single.len(), 4);
         assert_eq!(single.iter().map(Vec::len).sum::<usize>(), 1);
-    }
-
-    #[test]
-    fn sliding_windows_combine_batches() {
-        let items = stream(&[(0, 4_000)], 4_000);
-        let q = Query::new(|v: &f64| *v).with_window(WindowSpec::sliding_millis(2_000, 1_000));
-        let out = run_batched(
-            &config(),
-            BatchedSystem::Native,
-            &q,
-            &mut FixedFraction(1.0),
-            items,
-        );
-        // Windows: [0,2) [1,3) [2,4) plus the trailing flush [3,5).
-        assert!(out.windows.len() >= 3);
-        let w = &out.windows[0];
-        assert_eq!(w.sum.population_size, 2_000);
     }
 }

@@ -51,8 +51,21 @@ fn combine_stratified(
     payloads: Vec<Vec<StratumStats>>,
     confidence: Confidence,
 ) -> WindowResult {
+    // Parallel workers deliver their pane statistics in scheduler-dependent
+    // order, and floating-point merges are not associative — impose a
+    // canonical order so a run is bit-for-bit reproducible from its seed.
+    let mut all: Vec<StratumStats> = payloads.into_iter().flatten().collect();
+    all.sort_by_key(|s| {
+        (
+            s.stratum,
+            s.population,
+            s.acc.count(),
+            s.acc.mean().to_bits(),
+            s.acc.sample_variance().to_bits(),
+        )
+    });
     let mut merged: BTreeMap<StratumId, StratumStats> = BTreeMap::new();
-    for stats in payloads.into_iter().flatten() {
+    for stats in all {
         match merged.get_mut(&stats.stratum) {
             Some(m) => m.merge(&stats),
             None => {

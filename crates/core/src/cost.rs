@@ -140,13 +140,25 @@ impl LatencyPolicy {
     ///
     /// Panics if the target is zero or `min_fraction` is outside `(0, 1]`.
     pub fn new(target_millis: u64, min_fraction: f64) -> Self {
-        assert!(target_millis > 0, "latency target must be positive");
+        Self::new_micros(target_millis * 1_000, min_fraction)
+    }
+
+    /// Creates a policy with a microsecond-granularity target — for
+    /// sub-millisecond interval budgets (and for tests, which need a
+    /// target below the engine's irreducible per-interval overhead to
+    /// exercise load shedding on any machine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target is zero or `min_fraction` is outside `(0, 1]`.
+    pub fn new_micros(target_micros: u64, min_fraction: f64) -> Self {
+        assert!(target_micros > 0, "latency target must be positive");
         assert!(
             min_fraction > 0.0 && min_fraction <= 1.0,
             "minimum fraction must be in (0, 1]"
         );
         LatencyPolicy {
-            target_nanos: target_millis as f64 * 1e6,
+            target_nanos: target_micros as f64 * 1e3,
             ewma_nanos: None,
             fraction: 1.0,
             min_fraction,

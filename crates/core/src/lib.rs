@@ -59,6 +59,10 @@
 //!   [`TokenPolicy`]) — the paper's "virtual cost function" (§7) mapping a
 //!   [`sa_types::QueryBudget`] to per-interval sample sizes;
 //!   [`policy_for_budget`] builds one from a budget.
+//! * [`ApproxRuntime`] (with [`IntervalWorker`] and [`WindowFinalizer`]) —
+//!   the engine-agnostic approximation runtime: the shared per-interval
+//!   loop of sampling, cost-policy feedback, window assembly and
+//!   estimation that every engine adapter drives.
 //! * [`run_batched`] with [`BatchedSystem`] — Spark-style execution:
 //!   StreamApprox plus the SRS/STS/native baselines.
 //! * [`run_pipelined`] with [`PipelinedSystem`] — Flink-style execution:
@@ -66,7 +70,7 @@
 //! * [`WindowResult`] / [`RunOutput`] — per-window `output ± error bound`
 //!   answers and run metrics.
 //! * [`PaneWindower`] / [`combine_window`] — pane-based window assembly,
-//!   shared by both engines.
+//!   used by the runtime's [`WindowFinalizer`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -77,6 +81,7 @@ mod cost;
 mod output;
 mod pipelined;
 mod query;
+mod runtime;
 mod stratify;
 mod windowing;
 
@@ -89,5 +94,8 @@ pub use cost::{
 pub use output::{RunOutput, WindowResult};
 pub use pipelined::{run_pipelined, PipelinedConfig, PipelinedSystem};
 pub use query::Query;
+pub use runtime::{
+    sampler_sizing, ApproxRuntime, ExactAccumulator, IntervalWorker, WindowFinalizer,
+};
 pub use stratify::{restratify, QuantileStratifier};
 pub use windowing::PaneWindower;

@@ -8,18 +8,21 @@
 //! statistics — not items — downstream. Vanilla Flink has no sampling
 //! operator (§4.1.2), so the only baseline here is native execution, as in
 //! the paper.
+//!
+//! This module is a thin adapter: it expresses only the engine-specific
+//! parts (operator pipeline, exchanges, watermark alignment). The interval
+//! state lives in the shared [`crate::runtime::IntervalWorker`] (one per
+//! operator instance) and window assembly in the shared
+//! [`crate::runtime::WindowFinalizer`].
 
-use crate::combine::{combine_window, PanePayload};
-use crate::cost::{CostPolicy, SizingDirective};
+use crate::combine::PanePayload;
+use crate::cost::CostPolicy;
 use crate::output::{RunOutput, WindowResult};
 use crate::query::Query;
-use crate::windowing::PaneWindower;
-use sa_estimate::{StratumStats, Welford};
+use crate::runtime::{sampler_sizing, IntervalWorker, WindowFinalizer};
+use sa_estimate::StratumStats;
 use sa_pipelined::{Exchange, Flow, Operator};
-use sa_sampling::{OasrsSampler, SizingPolicy};
-use sa_types::{EventTime, StratumId, StreamItem, Window};
-use std::collections::BTreeMap;
-use std::sync::Arc;
+use sa_types::{EventTime, RunSeed, StratumId, StreamItem, Window};
 use std::time::Instant;
 
 /// Which pipelined system to run.
@@ -46,8 +49,8 @@ impl std::fmt::Display for PipelinedSystem {
 pub struct PipelinedConfig {
     /// Parallel instances of the sampling/stats stage.
     pub sample_workers: usize,
-    /// RNG seed for sampling decisions.
-    pub seed: u64,
+    /// Seed for sampling decisions.
+    pub seed: RunSeed,
     /// How often the source advances the watermark (event-time ms).
     pub watermark_interval_ms: i64,
 }
@@ -58,7 +61,7 @@ impl PipelinedConfig {
     pub fn new() -> Self {
         PipelinedConfig {
             sample_workers: 2,
-            seed: 0x5A5A,
+            seed: RunSeed::DEFAULT,
             watermark_interval_ms: 100,
         }
     }
@@ -73,8 +76,8 @@ impl PipelinedConfig {
 
     /// Sets the RNG seed.
     #[must_use]
-    pub fn with_seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
+    pub fn with_seed(mut self, seed: impl Into<RunSeed>) -> Self {
+        self.seed = seed.into();
         self
     }
 }
@@ -104,7 +107,8 @@ enum RunnerOut {
     Done { ingested: u64, sampled: u64 },
 }
 
-/// The pane-sampling / pane-stats operator (one instance per worker).
+/// The pane-sampling / pane-stats operator (one instance per worker): an
+/// [`IntervalWorker`] plus the engine-specific pane-boundary detection.
 ///
 /// Panes are slide-interval-sized. A pane closes when either an item of a
 /// later pane arrives (items are in order within an instance) or the
@@ -112,49 +116,12 @@ enum RunnerOut {
 /// forwards the watermark downstream, so pane results always precede the
 /// watermark that completes their windows.
 struct PaneStage<R> {
-    kind: PaneKind<R>,
+    worker: IntervalWorker<R>,
     pane_ms: i64,
     current_pane_start: Option<i64>,
-    proj: Arc<dyn Fn(&R) -> f64 + Send + Sync>,
-    ingested: u64,
-    sampled: u64,
-}
-
-enum PaneKind<R> {
-    Sampling(OasrsSampler<R>),
-    Exact(BTreeMap<StratumId, Welford>),
 }
 
 impl<R: Send + 'static> PaneStage<R> {
-    fn sampling(
-        sizing: SizingPolicy,
-        seed: u64,
-        worker: usize,
-        num_workers: usize,
-        pane_ms: i64,
-        proj: Arc<dyn Fn(&R) -> f64 + Send + Sync>,
-    ) -> Self {
-        PaneStage {
-            kind: PaneKind::Sampling(OasrsSampler::for_worker(sizing, seed, worker, num_workers)),
-            pane_ms,
-            current_pane_start: None,
-            proj,
-            ingested: 0,
-            sampled: 0,
-        }
-    }
-
-    fn exact(pane_ms: i64, proj: Arc<dyn Fn(&R) -> f64 + Send + Sync>) -> Self {
-        PaneStage {
-            kind: PaneKind::Exact(BTreeMap::new()),
-            pane_ms,
-            current_pane_start: None,
-            proj,
-            ingested: 0,
-            sampled: 0,
-        }
-    }
-
     fn flush_pane(&mut self, out: &mut dyn FnMut(StreamItem<StageOut>)) {
         let Some(start) = self.current_pane_start.take() else {
             return;
@@ -163,21 +130,7 @@ impl<R: Send + 'static> PaneStage<R> {
             EventTime::from_millis(start),
             EventTime::from_millis(start + self.pane_ms),
         );
-        let stats: Vec<StratumStats> = match &mut self.kind {
-            PaneKind::Sampling(sampler) => {
-                let sample = sampler.finish_interval();
-                let proj = &self.proj;
-                sample
-                    .iter()
-                    .map(|stratum| StratumStats::from_sample(stratum, |r| proj(r)))
-                    .collect()
-            }
-            PaneKind::Exact(accs) => std::mem::take(accs)
-                .into_iter()
-                .map(|(stratum, acc)| StratumStats::from_parts(stratum, acc.count(), acc))
-                .collect(),
-        };
-        self.sampled += stats.iter().map(|s| s.sample_size()).sum::<u64>();
+        let stats = self.worker.close_interval();
         out(StreamItem::new(
             StratumId(0),
             pane.end,
@@ -197,14 +150,7 @@ impl<R: Send + 'static> Operator<R, StageOut> for PaneStage<R> {
             }
             _ => {}
         }
-        self.ingested += 1;
-        match &mut self.kind {
-            PaneKind::Sampling(sampler) => sampler.observe(item.stratum, item.value),
-            PaneKind::Exact(accs) => {
-                let v = (self.proj)(&item.value);
-                accs.entry(item.stratum).or_default().push(v);
-            }
-        }
+        self.worker.observe(item.stratum, item.value);
     }
 
     fn on_watermark(&mut self, wm: EventTime, out: &mut dyn FnMut(StreamItem<StageOut>)) {
@@ -217,37 +163,30 @@ impl<R: Send + 'static> Operator<R, StageOut> for PaneStage<R> {
 
     fn on_end(&mut self, out: &mut dyn FnMut(StreamItem<StageOut>)) {
         self.flush_pane(out);
+        let (ingested, sampled) = self.worker.counters();
         out(StreamItem::new(
             StratumId(0),
             EventTime::MAX,
-            StageOut::Done {
-                ingested: self.ingested,
-                sampled: self.sampled,
-            },
+            StageOut::Done { ingested, sampled },
         ));
     }
 }
 
-/// The window-estimation operator: assembles panes into sliding windows
-/// and emits `output ± error bound` results as the watermark closes them.
+/// The window-estimation operator: a [`WindowFinalizer`] assembling panes
+/// into sliding windows, emitting `output ± error bound` results as the
+/// watermark closes them.
 struct WindowEstimator {
-    windower: PaneWindower<PanePayload>,
-    confidence: sa_types::Confidence,
+    finalizer: WindowFinalizer,
     ingested: u64,
     sampled: u64,
 }
 
 impl WindowEstimator {
-    fn emit_windows(
-        &mut self,
-        done: Vec<(Window, Vec<PanePayload>)>,
-        out: &mut dyn FnMut(StreamItem<RunnerOut>),
-    ) {
-        for (window, panes) in done {
-            let result = combine_window(window, panes, self.confidence);
+    fn emit_windows(&mut self, out: &mut dyn FnMut(StreamItem<RunnerOut>)) {
+        for result in self.finalizer.drain_windows() {
             out(StreamItem::new(
                 StratumId(0),
-                window.end,
+                result.window.end,
                 RunnerOut::Window(Box::new(result)),
             ));
         }
@@ -258,7 +197,8 @@ impl Operator<StageOut, RunnerOut> for WindowEstimator {
     fn on_item(&mut self, item: StreamItem<StageOut>, _out: &mut dyn FnMut(StreamItem<RunnerOut>)) {
         match item.value {
             StageOut::Pane { pane, stats } => {
-                self.windower.add_pane(pane, PanePayload::Stratified(stats));
+                self.finalizer
+                    .ingest_interval(pane, PanePayload::Stratified(stats));
             }
             StageOut::Done { ingested, sampled } => {
                 self.ingested += ingested;
@@ -268,17 +208,17 @@ impl Operator<StageOut, RunnerOut> for WindowEstimator {
     }
 
     fn on_watermark(&mut self, wm: EventTime, out: &mut dyn FnMut(StreamItem<RunnerOut>)) {
-        let done = if wm == EventTime::MAX {
-            self.windower.finish()
+        if wm == EventTime::MAX {
+            self.finalizer.finish();
         } else {
-            self.windower.advance(wm)
-        };
-        self.emit_windows(done, out);
+            self.finalizer.close_interval(wm);
+        }
+        self.emit_windows(out);
     }
 
     fn on_end(&mut self, out: &mut dyn FnMut(StreamItem<RunnerOut>)) {
-        let done = self.windower.finish();
-        self.emit_windows(done, out);
+        self.finalizer.finish();
+        self.emit_windows(out);
         out(StreamItem::new(
             StratumId(0),
             EventTime::MAX,
@@ -306,7 +246,6 @@ where
     R: Send + Sync + 'static,
 {
     let started = Instant::now();
-    let directive = policy.interval_sizing();
     let pane_ms = query.window().slide_millis();
     let w = config.sample_workers.max(1);
     let proj = query.projection();
@@ -318,34 +257,20 @@ where
         .iter()
         .take_while(|i| i.time.as_millis() < pane_ms)
         .count();
-
-    let exact = matches!(system, PipelinedSystem::Native)
-        || matches!(directive, SizingDirective::Everything);
-    let sizing = if exact {
+    let sizing = if matches!(system, PipelinedSystem::Native) {
         None
     } else {
-        Some(match directive {
-            SizingDirective::Fraction(f) => SizingPolicy::FractionOfPrevious {
-                fraction: f,
-                initial: ((f * first_pane_guess as f64) as usize / w.max(1) / 4).max(16),
-            },
-            SizingDirective::PerStratum(n) => SizingPolicy::PerStratum(n),
-            SizingDirective::SharedTotal(n) => SizingPolicy::SharedTotal(n),
-            SizingDirective::Everything => unreachable!("handled by the exact path"),
-        })
+        sampler_sizing(policy.interval_sizing(), first_pane_guess, w)
     };
 
     let collected = Flow::source(items, config.watermark_interval_ms)
-        .then(w, Exchange::Rebalance, move |i| {
-            let proj = Arc::clone(&proj);
-            match sizing {
-                Some(sizing) => PaneStage::sampling(sizing, seed, i, w, pane_ms, proj),
-                None => PaneStage::exact(pane_ms, proj),
-            }
+        .then(w, Exchange::Rebalance, move |i| PaneStage {
+            worker: IntervalWorker::for_worker(sizing, seed, i, w, std::sync::Arc::clone(&proj)),
+            pane_ms,
+            current_pane_start: None,
         })
         .then(1, Exchange::Rebalance, move |_| WindowEstimator {
-            windower: PaneWindower::new(window_spec),
-            confidence,
+            finalizer: WindowFinalizer::new(window_spec, confidence),
             ingested: 0,
             sampled: 0,
         })
@@ -372,133 +297,5 @@ where
         items_ingested: ingested,
         items_aggregated: aggregated,
         elapsed: started.elapsed(),
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::cost::FixedFraction;
-    use sa_types::WindowSpec;
-
-    fn stream(per_stratum: &[(u32, usize)], duration_ms: i64) -> Vec<StreamItem<f64>> {
-        let parts: Vec<Vec<StreamItem<f64>>> = per_stratum
-            .iter()
-            .map(|&(s, n)| {
-                let spacing = duration_ms as f64 / n as f64;
-                (0..n)
-                    .map(|i| {
-                        StreamItem::new(
-                            StratumId(s),
-                            EventTime::from_millis((i as f64 * spacing) as i64),
-                            f64::from(s) * 100.0 + (i % 10) as f64,
-                        )
-                    })
-                    .collect()
-            })
-            .collect();
-        sa_aggregator::merge_by_time(parts)
-    }
-
-    fn query() -> Query<f64> {
-        Query::new(|v: &f64| *v).with_window(WindowSpec::tumbling_millis(1_000))
-    }
-
-    #[test]
-    fn native_pipelined_is_exact() {
-        let items = stream(&[(0, 1_000), (1, 100)], 2_000);
-        let exact_w0: f64 = items
-            .iter()
-            .filter(|i| i.time < EventTime::from_millis(1_000))
-            .map(|i| i.value)
-            .sum();
-        let out = run_pipelined(
-            &PipelinedConfig::new(),
-            PipelinedSystem::Native,
-            &query(),
-            &mut FixedFraction(1.0),
-            items,
-        );
-        assert_eq!(out.items_ingested, 1_100);
-        assert_eq!(out.items_aggregated, 1_100);
-        let w0 = &out.windows[0];
-        assert!((w0.sum.value - exact_w0).abs() < 1e-9, "{}", w0.sum.value);
-        assert_eq!(w0.sum.bound.margin(), 0.0);
-    }
-
-    #[test]
-    fn streamapprox_pipelined_tracks_native() {
-        let items = stream(&[(0, 3_000), (1, 300), (2, 30)], 3_000);
-        let exact = run_pipelined(
-            &PipelinedConfig::new(),
-            PipelinedSystem::Native,
-            &query(),
-            &mut FixedFraction(1.0),
-            items.clone(),
-        );
-        let approx = run_pipelined(
-            &PipelinedConfig::new(),
-            PipelinedSystem::StreamApprox,
-            &query(),
-            &mut FixedFraction(0.5),
-            items,
-        );
-        assert!(approx.items_aggregated < approx.items_ingested);
-        assert_eq!(approx.windows.len(), exact.windows.len());
-        for (a, e) in approx.windows.iter().zip(&exact.windows) {
-            assert_eq!(a.window, e.window);
-            let loss = sa_estimate::accuracy_loss(a.mean.value, e.mean.value);
-            assert!(loss < 0.25, "window {}: loss {loss}", a.window);
-        }
-    }
-
-    #[test]
-    fn sliding_windows_assemble_from_slide_panes() {
-        let items = stream(&[(0, 4_000)], 4_000);
-        let q = Query::new(|v: &f64| *v).with_window(WindowSpec::sliding_millis(2_000, 1_000));
-        let out = run_pipelined(
-            &PipelinedConfig::new(),
-            PipelinedSystem::Native,
-            &q,
-            &mut FixedFraction(1.0),
-            items,
-        );
-        assert!(out.windows.len() >= 3);
-        let w0 = &out.windows[0];
-        assert_eq!(w0.window.len_millis(), 2_000);
-        assert_eq!(w0.sum.population_size, 2_000);
-    }
-
-    #[test]
-    fn minority_stratum_survives_sampling() {
-        // 10,000 vs 10 items; the sampler must keep stratum 1 in every
-        // window.
-        let items = stream(&[(0, 10_000), (1, 10)], 1_000);
-        let out = run_pipelined(
-            &PipelinedConfig::new(),
-            PipelinedSystem::StreamApprox,
-            &query(),
-            &mut FixedFraction(0.1),
-            items,
-        );
-        let w0 = &out.windows[0];
-        assert!(
-            w0.stratum_mean(StratumId(1)).is_some(),
-            "minority stratum lost"
-        );
-    }
-
-    #[test]
-    fn parallel_workers_union_correctly() {
-        let items = stream(&[(0, 2_000)], 1_000);
-        let out = run_pipelined(
-            &PipelinedConfig::new().with_sample_workers(4),
-            PipelinedSystem::Native,
-            &query(),
-            &mut FixedFraction(1.0),
-            items,
-        );
-        // All 2,000 items counted exactly once across the 4 workers.
-        assert_eq!(out.windows[0].sum.population_size, 2_000);
     }
 }

@@ -1,0 +1,631 @@
+//! The engine-agnostic approximation runtime.
+//!
+//! The paper's central claim (§4) is that one sampling algorithm — OASRS —
+//! plugs into *any* stream-processing substrate. This module is that claim
+//! made structural: everything an engine does *between* receiving items
+//! and emitting `output ± error bound` windows lives here, shared by the
+//! batched (Spark-style) and pipelined (Flink-style) engines, and by any
+//! engine added later (the roadmap's aggregator-backed runner, sharded
+//! engines).
+//!
+//! The pieces, from the inside out:
+//!
+//! * [`sampler_sizing`] — the one mapping from a cost policy's
+//!   [`SizingDirective`] to the sampler's [`SizingPolicy`].
+//! * [`ExactAccumulator`] — native execution's per-stratum Welford
+//!   accumulation.
+//! * [`IntervalWorker`] — one parallel worker's interval state: an OASRS
+//!   sampler or an exact accumulator, closed into per-stratum statistics
+//!   at every interval boundary. Threaded engines embed one per worker.
+//! * [`WindowFinalizer`] — pane-to-window assembly and estimation:
+//!   [`PaneWindower`] state plus [`combine_window`] finalization. Engines
+//!   with a dedicated window stage embed one there.
+//! * [`ApproxRuntime`] — the full per-interval loop for engines driven
+//!   from a single control thread: cost-policy consultation and feedback,
+//!   sampler-pool lifecycle, interval ingestion, window finalization and
+//!   run metrics, behind the `ingest_interval` / `close_interval` /
+//!   `drain_windows` API.
+//!
+//! What remains in the engine adapters is only what is genuinely
+//! engine-specific: micro-batch dataset formation and cluster shuffles in
+//! `batched`, operator pipelines and exchanges in `pipelined`.
+
+use crate::combine::{combine_window, PanePayload};
+use crate::cost::{CostPolicy, IntervalFeedback, SizingDirective};
+use crate::output::{RunOutput, WindowResult};
+use crate::query::Query;
+use crate::windowing::PaneWindower;
+use sa_estimate::{estimate_mean, StratumStats, Welford};
+use sa_sampling::{OasrsSampler, SizingPolicy};
+use sa_types::{Confidence, EventTime, RunSeed, StratumId, Window, WindowSpec};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Maps a cost policy's per-interval directive onto the sampler's sizing
+/// policy; `None` means exact (native) execution.
+///
+/// `expected_items` seeds the fraction policy's first-interval capacity
+/// guess — spread over `workers` and an assumed handful of strata; from
+/// the second interval on, OASRS adapts capacities from real per-stratum
+/// counters.
+pub fn sampler_sizing(
+    directive: SizingDirective,
+    expected_items: usize,
+    workers: usize,
+) -> Option<SizingPolicy> {
+    match directive {
+        SizingDirective::Everything => None,
+        SizingDirective::Fraction(fraction) => Some(SizingPolicy::FractionOfPrevious {
+            fraction,
+            initial: ((fraction * expected_items as f64) as usize / workers.max(1) / 4).max(16),
+        }),
+        SizingDirective::PerStratum(n) => Some(SizingPolicy::PerStratum(n)),
+        SizingDirective::SharedTotal(n) => Some(SizingPolicy::SharedTotal(n)),
+    }
+}
+
+/// Exact per-stratum accumulation for native execution: every record is
+/// projected and folded into its stratum's [`Welford`] accumulator.
+pub struct ExactAccumulator<R> {
+    accs: BTreeMap<StratumId, Welford>,
+    proj: Arc<dyn Fn(&R) -> f64 + Send + Sync>,
+}
+
+impl<R> ExactAccumulator<R> {
+    /// An empty accumulator projecting records through `proj`.
+    pub fn new(proj: Arc<dyn Fn(&R) -> f64 + Send + Sync>) -> Self {
+        ExactAccumulator {
+            accs: BTreeMap::new(),
+            proj,
+        }
+    }
+
+    /// Folds one record into its stratum.
+    #[inline]
+    pub fn observe(&mut self, stratum: StratumId, value: &R) {
+        let v = (self.proj)(value);
+        self.accs.entry(stratum).or_default().push(v);
+    }
+
+    /// Closes the interval: per-stratum exact statistics, state re-armed.
+    pub fn close_interval(&mut self) -> Vec<StratumStats> {
+        std::mem::take(&mut self.accs)
+            .into_iter()
+            .map(|(stratum, acc)| StratumStats::from_parts(stratum, acc.count(), acc))
+            .collect()
+    }
+}
+
+enum WorkerKind<R> {
+    Sampling(OasrsSampler<R>),
+    Exact(ExactAccumulator<R>),
+}
+
+/// One parallel worker's interval state: OASRS sampling under a budget,
+/// exact accumulation without one. Engines call
+/// [`observe`](IntervalWorker::observe) per item and
+/// [`close_interval`](IntervalWorker::close_interval) at every pane
+/// boundary; the worker keeps the ingested/sampled counters every run
+/// reports.
+pub struct IntervalWorker<R> {
+    kind: WorkerKind<R>,
+    proj: Arc<dyn Fn(&R) -> f64 + Send + Sync>,
+    ingested: u64,
+    sampled: u64,
+}
+
+impl<R> IntervalWorker<R> {
+    /// Builds worker `worker` of `num_workers`: sampling when `sizing` is
+    /// set (capacities sharded, seed derived via [`RunSeed::for_worker`]),
+    /// exact otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker >= num_workers` or the sizing policy is invalid.
+    pub fn for_worker(
+        sizing: Option<SizingPolicy>,
+        seed: RunSeed,
+        worker: usize,
+        num_workers: usize,
+        proj: Arc<dyn Fn(&R) -> f64 + Send + Sync>,
+    ) -> Self {
+        let kind = match sizing {
+            Some(sizing) => WorkerKind::Sampling(OasrsSampler::for_worker(
+                sizing,
+                seed.value(),
+                worker,
+                num_workers,
+            )),
+            None => WorkerKind::Exact(ExactAccumulator::new(Arc::clone(&proj))),
+        };
+        IntervalWorker {
+            kind,
+            proj,
+            ingested: 0,
+            sampled: 0,
+        }
+    }
+
+    /// Offers one item.
+    #[inline]
+    pub fn observe(&mut self, stratum: StratumId, value: R) {
+        self.ingested += 1;
+        match &mut self.kind {
+            WorkerKind::Sampling(sampler) => sampler.observe(stratum, value),
+            WorkerKind::Exact(acc) => acc.observe(stratum, &value),
+        }
+    }
+
+    /// Closes the current interval into per-stratum statistics and re-arms
+    /// for the next one.
+    pub fn close_interval(&mut self) -> Vec<StratumStats> {
+        let stats: Vec<StratumStats> = match &mut self.kind {
+            WorkerKind::Sampling(sampler) => {
+                let sample = sampler.finish_interval();
+                let proj = &self.proj;
+                sample
+                    .iter()
+                    .map(|stratum| StratumStats::from_sample(stratum, |r| proj(r)))
+                    .collect()
+            }
+            WorkerKind::Exact(acc) => acc.close_interval(),
+        };
+        self.sampled += stats.iter().map(StratumStats::sample_size).sum::<u64>();
+        stats
+    }
+
+    /// Items offered / items aggregated over this worker's lifetime.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.ingested, self.sampled)
+    }
+}
+
+/// Pane-to-window assembly and finalization: owns the [`PaneWindower`]
+/// state and turns completed windows into [`WindowResult`]s via
+/// [`combine_window`]. The engine-facing surface mirrors
+/// [`ApproxRuntime`]: `ingest_interval`, `close_interval`,
+/// `drain_windows`.
+pub struct WindowFinalizer {
+    windower: PaneWindower<PanePayload>,
+    confidence: Confidence,
+    completed: Vec<WindowResult>,
+}
+
+impl WindowFinalizer {
+    /// A finalizer assembling `spec` windows at the given confidence.
+    pub fn new(spec: WindowSpec, confidence: Confidence) -> Self {
+        WindowFinalizer {
+            windower: PaneWindower::new(spec),
+            confidence,
+            completed: Vec::new(),
+        }
+    }
+
+    /// The confidence level estimates are reported at.
+    pub fn confidence(&self) -> Confidence {
+        self.confidence
+    }
+
+    /// Registers one pane's payload.
+    pub fn ingest_interval(&mut self, pane: Window, payload: PanePayload) {
+        self.windower.add_pane(pane, payload);
+    }
+
+    /// Advances the watermark, finalizing every window it completes.
+    pub fn close_interval(&mut self, watermark: EventTime) {
+        let done = self.windower.advance(watermark);
+        self.finalize(done);
+    }
+
+    /// Flushes every remaining window at end of stream.
+    pub fn finish(&mut self) {
+        let done = self.windower.finish();
+        self.finalize(done);
+    }
+
+    /// Takes the windows finalized since the last drain.
+    pub fn drain_windows(&mut self) -> Vec<WindowResult> {
+        std::mem::take(&mut self.completed)
+    }
+
+    fn finalize(&mut self, done: Vec<(Window, Vec<PanePayload>)>) {
+        for (window, panes) in done {
+            self.completed
+                .push(combine_window(window, panes, self.confidence));
+        }
+    }
+}
+
+/// A persistent pool of per-worker OASRS samplers, rebuilt only when the
+/// policy's directive changes so capacity adaptation keeps its history.
+struct SamplerPool<R> {
+    directive: SizingDirective,
+    samplers: Vec<OasrsSampler<R>>,
+}
+
+/// The full engine-agnostic per-interval loop, for engines driven from a
+/// single control thread.
+///
+/// The runtime owns everything the paper's architecture (§4.1) puts
+/// around the engine: the sampler pool and its sizing, the cost-policy
+/// feedback loop ("virtual cost function", §7), window assembly and
+/// estimation, and the run metrics. The driving engine only:
+///
+/// 1. asks [`interval_sizing`](ApproxRuntime::interval_sizing) what the
+///    next interval should do,
+/// 2. computes the interval's [`PanePayload`] its own way (that part *is*
+///    the engine — dataset jobs, shuffles, operator stages), borrowing
+///    samplers via [`checkout_samplers`](ApproxRuntime::checkout_samplers)
+///    when sampling,
+/// 3. hands the payload to
+///    [`ingest_interval`](ApproxRuntime::ingest_interval) and advances the
+///    watermark with [`close_interval`](ApproxRuntime::close_interval),
+/// 4. collects the finished run from
+///    [`drain_windows`](ApproxRuntime::drain_windows).
+///
+/// Threaded engines that cannot route everything through one object embed
+/// the runtime's parts directly: [`IntervalWorker`] per parallel worker,
+/// [`WindowFinalizer`] in the window stage.
+pub struct ApproxRuntime<'p, R> {
+    policy: &'p mut dyn CostPolicy,
+    finalizer: WindowFinalizer,
+    pool: Option<SamplerPool<R>>,
+    seed: RunSeed,
+    workers: usize,
+    ingested: u64,
+    aggregated: u64,
+    started: Instant,
+}
+
+impl<'p, R> ApproxRuntime<'p, R> {
+    /// A runtime executing `query` under `policy`, with `workers` parallel
+    /// sampling workers seeded from `seed`.
+    pub fn new(
+        query: &Query<R>,
+        policy: &'p mut dyn CostPolicy,
+        seed: RunSeed,
+        workers: usize,
+    ) -> Self {
+        ApproxRuntime {
+            policy,
+            finalizer: WindowFinalizer::new(query.window(), query.confidence()),
+            pool: None,
+            seed,
+            workers: workers.max(1),
+            ingested: 0,
+            aggregated: 0,
+            started: Instant::now(),
+        }
+    }
+
+    /// The cost policy's directive for the next interval.
+    pub fn interval_sizing(&mut self) -> SizingDirective {
+        self.policy.interval_sizing()
+    }
+
+    /// Borrows the per-worker samplers for one interval, (re)building the
+    /// pool when the directive changed since the last interval. Return
+    /// them with [`checkin_samplers`](ApproxRuntime::checkin_samplers) so
+    /// capacity adaptation carries across intervals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with [`SizingDirective::Everything`] — exact
+    /// intervals have no samplers.
+    pub fn checkout_samplers(
+        &mut self,
+        directive: SizingDirective,
+        expected_items: usize,
+    ) -> Vec<OasrsSampler<R>> {
+        // An empty sampler list means a prior checkout was never matched by
+        // a checkin (an engine bug or error path); rebuild rather than hand
+        // out an empty worker set, which would fail far from the cause.
+        let rebuild = match &self.pool {
+            Some(pool) => pool.directive != directive || pool.samplers.is_empty(),
+            None => true,
+        };
+        if rebuild {
+            let sizing = sampler_sizing(directive, expected_items, self.workers)
+                .expect("checkout_samplers needs a sampling directive");
+            self.pool = Some(SamplerPool {
+                directive,
+                samplers: (0..self.workers)
+                    .map(|i| OasrsSampler::for_worker(sizing, self.seed.value(), i, self.workers))
+                    .collect(),
+            });
+        }
+        std::mem::take(&mut self.pool.as_mut().expect("pool just ensured").samplers)
+    }
+
+    /// Returns borrowed samplers to the pool.
+    pub fn checkin_samplers(&mut self, samplers: Vec<OasrsSampler<R>>) {
+        if let Some(pool) = &mut self.pool {
+            pool.samplers = samplers;
+        }
+    }
+
+    /// Ingests one completed interval: updates the run counters, feeds the
+    /// cost policy its [`IntervalFeedback`], and registers the pane for
+    /// window assembly.
+    pub fn ingest_interval(
+        &mut self,
+        pane: Window,
+        payload: PanePayload,
+        arrived: u64,
+        process_nanos: u64,
+    ) {
+        self.ingested += arrived;
+        self.aggregated += payload.sampled();
+        let relative_error = match &payload {
+            PanePayload::Stratified(stats) if !stats.is_empty() => {
+                Some(estimate_mean(stats, self.finalizer.confidence()).relative_error())
+            }
+            _ => None,
+        };
+        self.policy.observe(&IntervalFeedback {
+            items: arrived,
+            sampled: payload.sampled(),
+            process_nanos,
+            relative_error,
+        });
+        self.finalizer.ingest_interval(pane, payload);
+    }
+
+    /// Advances the watermark, finalizing every window it completes.
+    pub fn close_interval(&mut self, watermark: EventTime) {
+        self.finalizer.close_interval(watermark);
+    }
+
+    /// Ends the run: flushes trailing windows and returns the completed
+    /// [`RunOutput`].
+    pub fn drain_windows(mut self) -> RunOutput {
+        self.finalizer.finish();
+        RunOutput {
+            windows: self.finalizer.drain_windows(),
+            items_ingested: self.ingested,
+            items_aggregated: self.aggregated,
+            elapsed: self.started.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::FixedFraction;
+    use sa_types::StratifiedSample;
+
+    fn query() -> Query<f64> {
+        Query::new(|v: &f64| *v).with_window(WindowSpec::tumbling_millis(1_000))
+    }
+
+    fn pane(start_ms: i64) -> Window {
+        Window::new(
+            EventTime::from_millis(start_ms),
+            EventTime::from_millis(start_ms + 1_000),
+        )
+    }
+
+    fn exact_stats(stratum: u32, values: &[f64]) -> Vec<StratumStats> {
+        let acc: Welford = values.iter().copied().collect();
+        vec![StratumStats::from_parts(
+            StratumId(stratum),
+            acc.count(),
+            acc,
+        )]
+    }
+
+    /// A policy that records the feedback it receives.
+    struct Recording {
+        directives: Vec<SizingDirective>,
+        observed: Vec<IntervalFeedback>,
+        next: SizingDirective,
+    }
+
+    impl Recording {
+        fn new(next: SizingDirective) -> Self {
+            Recording {
+                directives: Vec::new(),
+                observed: Vec::new(),
+                next,
+            }
+        }
+    }
+
+    impl CostPolicy for Recording {
+        fn interval_sizing(&mut self) -> SizingDirective {
+            self.directives.push(self.next);
+            self.next
+        }
+
+        fn observe(&mut self, feedback: &IntervalFeedback) {
+            self.observed.push(*feedback);
+        }
+    }
+
+    #[test]
+    fn sizing_covers_every_directive() {
+        assert_eq!(sampler_sizing(SizingDirective::Everything, 100, 2), None);
+        assert_eq!(
+            sampler_sizing(SizingDirective::PerStratum(7), 100, 2),
+            Some(SizingPolicy::PerStratum(7))
+        );
+        assert_eq!(
+            sampler_sizing(SizingDirective::SharedTotal(9), 100, 2),
+            Some(SizingPolicy::SharedTotal(9))
+        );
+        let Some(SizingPolicy::FractionOfPrevious { fraction, initial }) =
+            sampler_sizing(SizingDirective::Fraction(0.5), 10_000, 2)
+        else {
+            panic!("expected a fraction policy");
+        };
+        assert_eq!(fraction, 0.5);
+        assert_eq!(initial, 625); // 0.5 × 10_000 / 2 workers / 4 strata
+    }
+
+    #[test]
+    fn interval_worker_exact_counts_and_closes() {
+        let proj: Arc<dyn Fn(&f64) -> f64 + Send + Sync> = Arc::new(|v| *v);
+        let mut w = IntervalWorker::for_worker(None, RunSeed::DEFAULT, 0, 1, proj);
+        for v in 0..10 {
+            w.observe(StratumId(0), f64::from(v));
+        }
+        let stats = w.close_interval();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].sample_size(), 10);
+        assert_eq!(w.counters(), (10, 10));
+        // Interval state re-armed.
+        assert!(w.close_interval().is_empty());
+    }
+
+    #[test]
+    fn interval_worker_sampling_respects_budget() {
+        let proj: Arc<dyn Fn(&f64) -> f64 + Send + Sync> = Arc::new(|v| *v);
+        let mut w = IntervalWorker::for_worker(
+            Some(SizingPolicy::PerStratum(5)),
+            RunSeed::DEFAULT,
+            0,
+            1,
+            proj,
+        );
+        for v in 0..100 {
+            w.observe(StratumId(0), f64::from(v));
+        }
+        let stats = w.close_interval();
+        assert_eq!(stats[0].sample_size(), 5);
+        assert_eq!(stats[0].population, 100);
+        assert_eq!(w.counters(), (100, 5));
+    }
+
+    #[test]
+    fn finalizer_completes_windows_in_watermark_order() {
+        let mut f = WindowFinalizer::new(WindowSpec::tumbling_millis(1_000), Confidence::P95);
+        f.ingest_interval(
+            pane(0),
+            PanePayload::Stratified(exact_stats(0, &[1.0, 2.0])),
+        );
+        f.ingest_interval(pane(1_000), PanePayload::Stratified(exact_stats(0, &[3.0])));
+        f.close_interval(EventTime::from_millis(1_000));
+        let first = f.drain_windows();
+        assert_eq!(first.len(), 1);
+        assert!((first[0].sum.value - 3.0).abs() < 1e-12);
+        f.finish();
+        let rest = f.drain_windows();
+        assert_eq!(rest.len(), 1);
+        assert!((rest[0].sum.value - 3.0).abs() < 1e-12);
+        assert!(f.drain_windows().is_empty());
+    }
+
+    #[test]
+    fn runtime_feeds_policy_and_assembles_output() {
+        let mut policy = Recording::new(SizingDirective::Everything);
+        let q = query();
+        let mut rt: ApproxRuntime<'_, f64> =
+            ApproxRuntime::new(&q, &mut policy, RunSeed::DEFAULT, 2);
+        assert_eq!(rt.interval_sizing(), SizingDirective::Everything);
+        rt.ingest_interval(
+            pane(0),
+            PanePayload::Stratified(exact_stats(0, &[1.0, 2.0, 3.0])),
+            3,
+            1_000,
+        );
+        rt.close_interval(EventTime::from_millis(1_000));
+        let out = rt.drain_windows();
+        assert_eq!(out.items_ingested, 3);
+        assert_eq!(out.items_aggregated, 3);
+        assert_eq!(out.windows.len(), 1);
+        assert!((out.windows[0].sum.value - 6.0).abs() < 1e-12);
+        assert_eq!(policy.observed.len(), 1);
+        assert_eq!(policy.observed[0].items, 3);
+        assert_eq!(policy.observed[0].process_nanos, 1_000);
+        assert!(policy.observed[0].relative_error.is_some());
+    }
+
+    #[test]
+    fn sampler_pool_persists_until_directive_changes() {
+        let mut policy = FixedFraction(0.5);
+        let q = query();
+        let mut rt: ApproxRuntime<'_, f64> =
+            ApproxRuntime::new(&q, &mut policy, RunSeed::DEFAULT, 2);
+        let mut samplers = rt.checkout_samplers(SizingDirective::Fraction(0.5), 1_000);
+        assert_eq!(samplers.len(), 2);
+        // Feed one so the pool has history to preserve.
+        samplers[0].observe(StratumId(0), 1.0);
+        let seen_before = samplers[0].total_seen();
+        rt.checkin_samplers(samplers);
+        // Same directive: same samplers come back (history kept).
+        let samplers = rt.checkout_samplers(SizingDirective::Fraction(0.5), 1_000);
+        assert_eq!(samplers[0].total_seen(), seen_before);
+        rt.checkin_samplers(samplers);
+        // Changed directive: pool rebuilt.
+        let samplers = rt.checkout_samplers(SizingDirective::PerStratum(8), 1_000);
+        assert_eq!(samplers[0].total_seen(), 0);
+        rt.checkin_samplers(samplers);
+    }
+
+    #[test]
+    fn unmatched_checkout_rebuilds_instead_of_handing_out_nothing() {
+        let mut policy = FixedFraction(0.5);
+        let q = query();
+        let mut rt: ApproxRuntime<'_, f64> =
+            ApproxRuntime::new(&q, &mut policy, RunSeed::DEFAULT, 2);
+        // Checkout without a matching checkin (an engine error path).
+        let lost = rt.checkout_samplers(SizingDirective::Fraction(0.5), 1_000);
+        assert_eq!(lost.len(), 2);
+        drop(lost);
+        // Same directive again: the pool must rebuild, not return nothing.
+        let fresh = rt.checkout_samplers(SizingDirective::Fraction(0.5), 1_000);
+        assert_eq!(fresh.len(), 2);
+    }
+
+    #[test]
+    fn empty_payload_feedback_has_no_error_estimate() {
+        let mut policy = Recording::new(SizingDirective::Everything);
+        let q = query();
+        let mut rt: ApproxRuntime<'_, f64> =
+            ApproxRuntime::new(&q, &mut policy, RunSeed::DEFAULT, 1);
+        rt.ingest_interval(pane(0), PanePayload::Stratified(Vec::new()), 0, 10);
+        let out = rt.drain_windows();
+        assert_eq!(out.items_ingested, 0);
+        assert_eq!(policy.observed[0].relative_error, None);
+    }
+
+    #[test]
+    fn sampling_worker_union_matches_single_worker_population() {
+        // Two workers halving one stream: closed stats must cover the full
+        // population when combined — the distributed-correctness invariant
+        // both engines rely on.
+        let proj: Arc<dyn Fn(&f64) -> f64 + Send + Sync> = Arc::new(|v| *v);
+        let sizing = Some(SizingPolicy::PerStratum(10));
+        let mut w0 = IntervalWorker::for_worker(sizing, RunSeed::new(3), 0, 2, Arc::clone(&proj));
+        let mut w1 = IntervalWorker::for_worker(sizing, RunSeed::new(3), 1, 2, proj);
+        for v in 0..50 {
+            w0.observe(StratumId(0), f64::from(v));
+            w1.observe(StratumId(0), f64::from(v + 50));
+        }
+        let mut stats = w0.close_interval();
+        stats.extend(w1.close_interval());
+        let merged = {
+            let mut it = stats.into_iter();
+            let mut first = it.next().expect("stats from worker 0");
+            for s in it {
+                first.merge(&s);
+            }
+            first
+        };
+        assert_eq!(merged.population, 100);
+        assert_eq!(merged.sample_size(), 10);
+    }
+
+    #[test]
+    fn empty_sample_union_is_consistent() {
+        // StratifiedSample::union with an empty side must keep counters
+        // coherent (exercised by every idle worker at interval close).
+        let mut a: StratifiedSample<f64> = StratifiedSample::new();
+        let b: StratifiedSample<f64> = StratifiedSample::new();
+        a.union(b);
+        assert_eq!(a.total_population(), 0);
+        assert_eq!(a.total_sampled(), 0);
+    }
+}

@@ -46,12 +46,11 @@ impl QuantileStratifier {
     pub fn train(warmup: &[f64], strata: usize) -> Self {
         assert!(!warmup.is_empty(), "warm-up sample must be non-empty");
         assert!(strata > 0, "need at least one stratum");
-        let mut sorted: Vec<f64> = warmup
-            .iter()
-            .copied()
-            .filter(|v| v.is_finite())
-            .collect();
-        assert!(!sorted.is_empty(), "warm-up sample must contain finite values");
+        let mut sorted: Vec<f64> = warmup.iter().copied().filter(|v| v.is_finite()).collect();
+        assert!(
+            !sorted.is_empty(),
+            "warm-up sample must contain finite values"
+        );
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
         let n = sorted.len();
         let cuts = (1..strata)

@@ -1,0 +1,251 @@
+//! Behavioural tests of both engine adapters over the shared runtime:
+//! native exactness, sampling accuracy, baseline semantics. (Moved from
+//! the engines' unit-test modules when the shared per-interval loop was
+//! extracted into `runtime` — these only exercise the public API.)
+
+use sa_batched::Cluster;
+use sa_types::{EventTime, StratumId, StreamItem, WindowSpec};
+use streamapprox::{
+    run_batched, run_pipelined, BatchedConfig, BatchedSystem, FixedFraction, FixedPerStratum,
+    PipelinedConfig, PipelinedSystem, Query,
+};
+
+/// Deterministic values: stratum `s` item `i` has value `s·scale + (i%10)`.
+fn stream(per_stratum: &[(u32, usize)], duration_ms: i64, scale: f64) -> Vec<StreamItem<f64>> {
+    let parts: Vec<Vec<StreamItem<f64>>> = per_stratum
+        .iter()
+        .map(|&(s, n)| {
+            let spacing = duration_ms as f64 / n as f64;
+            (0..n)
+                .map(|i| {
+                    StreamItem::new(
+                        StratumId(s),
+                        EventTime::from_millis((i as f64 * spacing) as i64),
+                        f64::from(s) * scale + (i % 10) as f64,
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    sa_aggregator::merge_by_time(parts)
+}
+
+fn config() -> BatchedConfig {
+    BatchedConfig::new(Cluster::new(2)).with_batch_interval_ms(250)
+}
+
+fn query() -> Query<f64> {
+    Query::new(|v: &f64| *v).with_window(WindowSpec::tumbling_millis(1_000))
+}
+
+#[test]
+fn native_is_exact() {
+    let items = stream(&[(0, 1_000), (1, 100)], 2_000, 1_000.0);
+    let true_sum_w0: f64 = items
+        .iter()
+        .filter(|i| i.time < EventTime::from_millis(1_000))
+        .map(|i| i.value)
+        .sum();
+    let out = run_batched(
+        &config(),
+        BatchedSystem::Native,
+        &query(),
+        &mut FixedFraction(1.0),
+        items,
+    );
+    assert_eq!(out.items_ingested, 1_100);
+    assert_eq!(out.items_aggregated, 1_100);
+    let w0 = &out.windows[0];
+    assert!((w0.sum.value - true_sum_w0).abs() < 1e-9);
+    assert_eq!(w0.sum.bound.margin(), 0.0);
+}
+
+#[test]
+fn streamapprox_approximates_within_bounds() {
+    let items = stream(&[(0, 2_000), (1, 200), (2, 20)], 2_000, 1_000.0);
+    let exact = run_batched(
+        &config(),
+        BatchedSystem::Native,
+        &query(),
+        &mut FixedFraction(1.0),
+        items.clone(),
+    );
+    let approx = run_batched(
+        &config(),
+        BatchedSystem::StreamApprox,
+        &query(),
+        &mut FixedFraction(0.5),
+        items,
+    );
+    assert!(approx.items_aggregated < approx.items_ingested);
+    assert_eq!(approx.windows.len(), exact.windows.len());
+    for (a, e) in approx.windows.iter().zip(&exact.windows) {
+        assert_eq!(a.window, e.window);
+        let loss = sa_estimate::accuracy_loss(a.mean.value, e.mean.value);
+        assert!(loss < 0.25, "window {}: loss {loss}", a.window);
+        // No stratum lost.
+        assert_eq!(a.mean_by_stratum.len(), e.mean_by_stratum.len());
+    }
+}
+
+#[test]
+fn sts_matches_population_counts() {
+    let items = stream(&[(0, 1_000), (1, 50)], 1_000, 1_000.0);
+    let out = run_batched(
+        &config(),
+        BatchedSystem::Sts,
+        &query(),
+        &mut FixedFraction(0.4),
+        items,
+    );
+    let w = &out.windows[0];
+    assert_eq!(w.sum.population_size, 1_050);
+    // STS samples proportionally: ~40% of each stratum.
+    assert!(w.sum.sample_size >= 400);
+}
+
+#[test]
+fn srs_estimates_total_reasonably() {
+    let items = stream(&[(0, 5_000)], 1_000, 1_000.0);
+    let exact: f64 = (0..5_000).map(|i| (i % 10) as f64).sum();
+    let out = run_batched(
+        &config(),
+        BatchedSystem::Srs,
+        &query(),
+        &mut FixedFraction(0.5),
+        items,
+    );
+    let w = &out.windows[0];
+    assert!(
+        sa_estimate::accuracy_loss(w.sum.value, exact) < 0.05,
+        "sum {} vs {exact}",
+        w.sum.value
+    );
+}
+
+#[test]
+#[should_panic(expected = "needs a fraction budget")]
+fn srs_rejects_size_budgets() {
+    let items = stream(&[(0, 100)], 500, 1_000.0);
+    let _ = run_batched(
+        &config(),
+        BatchedSystem::Srs,
+        &query(),
+        &mut FixedPerStratum(10),
+        items,
+    );
+}
+
+#[test]
+fn sliding_windows_combine_batches() {
+    let items = stream(&[(0, 4_000)], 4_000, 1_000.0);
+    let q = Query::new(|v: &f64| *v).with_window(WindowSpec::sliding_millis(2_000, 1_000));
+    let out = run_batched(
+        &config(),
+        BatchedSystem::Native,
+        &q,
+        &mut FixedFraction(1.0),
+        items,
+    );
+    // Windows: [0,2) [1,3) [2,4) plus the trailing flush [3,5).
+    assert!(out.windows.len() >= 3);
+    let w = &out.windows[0];
+    assert_eq!(w.sum.population_size, 2_000);
+}
+
+#[test]
+fn native_pipelined_is_exact() {
+    let items = stream(&[(0, 1_000), (1, 100)], 2_000, 100.0);
+    let exact_w0: f64 = items
+        .iter()
+        .filter(|i| i.time < EventTime::from_millis(1_000))
+        .map(|i| i.value)
+        .sum();
+    let out = run_pipelined(
+        &PipelinedConfig::new(),
+        PipelinedSystem::Native,
+        &query(),
+        &mut FixedFraction(1.0),
+        items,
+    );
+    assert_eq!(out.items_ingested, 1_100);
+    assert_eq!(out.items_aggregated, 1_100);
+    let w0 = &out.windows[0];
+    assert!((w0.sum.value - exact_w0).abs() < 1e-9, "{}", w0.sum.value);
+    assert_eq!(w0.sum.bound.margin(), 0.0);
+}
+
+#[test]
+fn streamapprox_pipelined_tracks_native() {
+    let items = stream(&[(0, 3_000), (1, 300), (2, 30)], 3_000, 100.0);
+    let exact = run_pipelined(
+        &PipelinedConfig::new(),
+        PipelinedSystem::Native,
+        &query(),
+        &mut FixedFraction(1.0),
+        items.clone(),
+    );
+    let approx = run_pipelined(
+        &PipelinedConfig::new(),
+        PipelinedSystem::StreamApprox,
+        &query(),
+        &mut FixedFraction(0.5),
+        items,
+    );
+    assert!(approx.items_aggregated < approx.items_ingested);
+    assert_eq!(approx.windows.len(), exact.windows.len());
+    for (a, e) in approx.windows.iter().zip(&exact.windows) {
+        assert_eq!(a.window, e.window);
+        let loss = sa_estimate::accuracy_loss(a.mean.value, e.mean.value);
+        assert!(loss < 0.25, "window {}: loss {loss}", a.window);
+    }
+}
+
+#[test]
+fn sliding_windows_assemble_from_slide_panes() {
+    let items = stream(&[(0, 4_000)], 4_000, 100.0);
+    let q = Query::new(|v: &f64| *v).with_window(WindowSpec::sliding_millis(2_000, 1_000));
+    let out = run_pipelined(
+        &PipelinedConfig::new(),
+        PipelinedSystem::Native,
+        &q,
+        &mut FixedFraction(1.0),
+        items,
+    );
+    assert!(out.windows.len() >= 3);
+    let w0 = &out.windows[0];
+    assert_eq!(w0.window.len_millis(), 2_000);
+    assert_eq!(w0.sum.population_size, 2_000);
+}
+
+#[test]
+fn minority_stratum_survives_sampling() {
+    // 10,000 vs 10 items; the sampler must keep stratum 1 in every window.
+    let items = stream(&[(0, 10_000), (1, 10)], 1_000, 100.0);
+    let out = run_pipelined(
+        &PipelinedConfig::new(),
+        PipelinedSystem::StreamApprox,
+        &query(),
+        &mut FixedFraction(0.1),
+        items,
+    );
+    let w0 = &out.windows[0];
+    assert!(
+        w0.stratum_mean(StratumId(1)).is_some(),
+        "minority stratum lost"
+    );
+}
+
+#[test]
+fn parallel_workers_union_correctly() {
+    let items = stream(&[(0, 2_000)], 1_000, 100.0);
+    let out = run_pipelined(
+        &PipelinedConfig::new().with_sample_workers(4),
+        PipelinedSystem::Native,
+        &query(),
+        &mut FixedFraction(1.0),
+        items,
+    );
+    // All 2,000 items counted exactly once across the 4 workers.
+    assert_eq!(out.windows[0].sum.population_size, 2_000);
+}

@@ -70,7 +70,10 @@ impl Cluster {
     /// Panics if either dimension is zero.
     pub fn with_topology(nodes: usize, cores_per_node: usize) -> Self {
         assert!(nodes > 0, "cluster needs at least one node");
-        assert!(cores_per_node > 0, "cluster needs at least one core per node");
+        assert!(
+            cores_per_node > 0,
+            "cluster needs at least one core per node"
+        );
         let (sender, receiver) = unbounded::<Job>();
         let total = nodes * cores_per_node;
         let handles: Vec<JoinHandle<()>> = (0..total)

@@ -67,7 +67,10 @@ impl<T: Send + 'static> Pds<T> {
     ///
     /// Panics if `partitions` is empty.
     pub fn from_partitions(partitions: Vec<Vec<T>>) -> Self {
-        assert!(!partitions.is_empty(), "dataset needs at least one partition");
+        assert!(
+            !partitions.is_empty(),
+            "dataset needs at least one partition"
+        );
         Pds { partitions }
     }
 
@@ -243,7 +246,7 @@ impl<T: Send + Clone + 'static> Pds<T> {
 fn simulate_transfer<T: Clone>(items: Vec<T>, hops: usize) -> Vec<T> {
     let mut moved = items;
     for _ in 0..hops {
-        moved = moved.iter().cloned().collect();
+        moved = moved.to_vec();
     }
     moved
 }
@@ -517,7 +520,12 @@ mod tests {
     #[test]
     fn sample_exact_hits_exact_size() {
         let c = cluster();
-        for &(n, s) in &[(10_000usize, 100usize), (10_000, 5_000), (100, 100), (100, 150)] {
+        for &(n, s) in &[
+            (10_000usize, 100usize),
+            (10_000, 5_000),
+            (100, 100),
+            (100, 150),
+        ] {
             let out = Pds::from_vec((0..n).collect::<Vec<usize>>(), 8)
                 .sample_exact(&c, s, 7)
                 .collect();

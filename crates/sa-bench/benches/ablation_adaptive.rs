@@ -38,7 +38,9 @@ fn phase_loss(out: &RunOutput, exact: &RunOutput, flip_ms: i64) -> (f64, f64) {
     let mut before = (0.0, 0usize);
     let mut after = (0.0, 0usize);
     for e in &exact.windows {
-        let Some(a) = out.window_at(e.window) else { continue };
+        let Some(a) = out.window_at(e.window) else {
+            continue;
+        };
         if e.mean.value == 0.0 {
             continue;
         }
@@ -59,7 +61,10 @@ fn phase_loss(out: &RunOutput, exact: &RunOutput, flip_ms: i64) -> (f64, f64) {
 
 fn main() {
     let stream = flipped_stream();
-    println!("ablation_adaptive: {} items, rates flip at t=15s", stream.len());
+    println!(
+        "ablation_adaptive: {} items, rates flip at t=15s",
+        stream.len()
+    );
     let config = BatchedConfig::new(Cluster::new(2)).with_batch_interval_ms(500);
     let query = Query::new(|v: &f64| *v)
         .with_window(WindowSpec::sliding_secs(10, 5))
@@ -75,7 +80,12 @@ fn main() {
 
     let mut table = Table::new(
         "Ablation: adaptive accuracy policy vs fixed fraction across a rate flip",
-        &["policy", "loss before %", "loss after %", "items aggregated"],
+        &[
+            "policy",
+            "loss before %",
+            "loss after %",
+            "items aggregated",
+        ],
     );
     let configs: Vec<(&str, Box<dyn CostPolicy>)> = vec![
         ("fixed 10%", Box::new(FixedFraction(0.1))),

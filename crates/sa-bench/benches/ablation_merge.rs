@@ -9,15 +9,19 @@
 
 use sa_bench::Table;
 use sa_estimate::{accuracy_loss, estimate_sum, stats_of};
+use sa_sampling::{OasrsSampler, SizingPolicy};
 use sa_types::{Confidence, StratifiedSample};
 use sa_workloads::Mix;
-use sa_sampling::{OasrsSampler, SizingPolicy};
 use std::time::Instant;
 
 fn main() {
     let items = Mix::gaussian([40_000.0, 10_000.0, 2_000.0]).generate(10_000, 111);
     let true_sum: f64 = items.iter().map(|i| i.value).sum();
-    println!("ablation_merge: {} items, true sum {:.3e}", items.len(), true_sum);
+    println!(
+        "ablation_merge: {} items, true sum {:.3e}",
+        items.len(),
+        true_sum
+    );
 
     let sizing = SizingPolicy::PerStratum(4_096);
     let mut table = Table::new(
@@ -51,8 +55,7 @@ fn main() {
                         .enumerate()
                         .map(|(w, chunk)| {
                             scope.spawn(move || {
-                                let mut s =
-                                    OasrsSampler::for_worker(sizing, seed, w, workers);
+                                let mut s = OasrsSampler::for_worker(sizing, seed, w, workers);
                                 for item in chunk {
                                     s.observe(item.stratum, item.value);
                                 }
@@ -60,7 +63,10 @@ fn main() {
                             })
                         })
                         .collect();
-                    handles.into_iter().map(|h| h.join().expect("worker")).collect()
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("worker"))
+                        .collect()
                 });
                 let mut union = StratifiedSample::new();
                 for p in partials {

@@ -22,7 +22,14 @@ fn median_ms<F: FnMut() -> u128>(mut run: F, reps: usize) -> f64 {
 fn main() {
     let mut table = Table::new(
         "Ablation: two-threshold ScaSRS vs naive full random sort",
-        &["n", "fraction", "naive ms", "scasrs ms", "speedup", "waitlisted"],
+        &[
+            "n",
+            "fraction",
+            "naive ms",
+            "scasrs ms",
+            "speedup",
+            "waitlisted",
+        ],
     );
     for &n in &[100_000usize, 1_000_000] {
         for &fraction in &[0.01f64, 0.10, 0.50] {

@@ -26,11 +26,15 @@ fn main() {
     );
 
     let flow_query = Query::new(|line: &String| {
-        FlowRecord::parse_line(line).expect("valid flow record").bytes as f64
+        FlowRecord::parse_line(line)
+            .expect("valid flow record")
+            .bytes as f64
     })
     .with_window(WindowSpec::sliding_secs(10, 5));
     let ride_query = Query::new(|line: &String| {
-        TaxiRide::parse_line(line).expect("valid ride record").distance_miles
+        TaxiRide::parse_line(line)
+            .expect("valid ride record")
+            .distance_miles
     })
     .with_window(WindowSpec::sliding_secs(10, 5));
 

@@ -19,8 +19,7 @@ fn main() {
     // 10 minutes of event time; value-typed items (accuracy panel only —
     // no throughput is measured here, matching the paper's figure).
     let items = Mix::gaussian_skewed(2_000.0).generate(600_000, 71);
-    let query =
-        Query::new(|v: &f64| *v).with_window(WindowSpec::sliding_secs(10, 5));
+    let query = Query::new(|v: &f64| *v).with_window(WindowSpec::sliding_secs(10, 5));
     println!("fig7: {} items over 600s (120 slides)", items.len());
 
     let exact = run_system(&env, System::NativeSpark, 1.0, &query, items.clone());

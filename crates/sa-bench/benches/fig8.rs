@@ -24,7 +24,9 @@ fn main() {
     let env = Env::host();
     let items = NetFlowGenerator::new(40_000.0, 81).generate_lines(10_000);
     let query = Query::new(|line: &String| {
-        FlowRecord::parse_line(line).expect("valid flow record").bytes as f64
+        FlowRecord::parse_line(line)
+            .expect("valid flow record")
+            .bytes as f64
     })
     .with_window(WindowSpec::sliding_secs(10, 5));
     println!("fig8: {} flow records over 10s", items.len());

@@ -24,7 +24,9 @@ fn main() {
     let env = Env::host();
     let items = TaxiGenerator::new(40_000.0, 91).generate_lines(10_000);
     let query = Query::new(|line: &String| {
-        TaxiRide::parse_line(line).expect("valid ride record").distance_miles
+        TaxiRide::parse_line(line)
+            .expect("valid ride record")
+            .distance_miles
     })
     .with_window(WindowSpec::sliding_secs(10, 5));
     println!("fig9: {} ride records over 10s", items.len());

@@ -34,8 +34,7 @@ fn bench_oasrs(c: &mut Criterion) {
     for strata in [3u32, 16, 64] {
         group.bench_function(format!("observe_100k_{strata}_strata"), |b| {
             b.iter(|| {
-                let mut s: OasrsSampler<u64> =
-                    OasrsSampler::new(SizingPolicy::PerStratum(256), 2);
+                let mut s: OasrsSampler<u64> = OasrsSampler::new(SizingPolicy::PerStratum(256), 2);
                 for i in 0..100_000u64 {
                     s.observe(StratumId(i as u32 % strata), black_box(i));
                 }
@@ -51,7 +50,12 @@ fn bench_scasrs(c: &mut Criterion) {
     group.throughput(Throughput::Elements(100_000));
     group.bench_function("sample_10k_of_100k", |b| {
         b.iter_batched(
-            || ((0..100_000u64).collect::<Vec<_>>(), SmallRng::seed_from_u64(3)),
+            || {
+                (
+                    (0..100_000u64).collect::<Vec<_>>(),
+                    SmallRng::seed_from_u64(3),
+                )
+            },
             |(items, mut rng)| scasrs_sample(items, 10_000, &mut rng).len(),
             BatchSize::SmallInput,
         )

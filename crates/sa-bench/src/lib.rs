@@ -407,7 +407,12 @@ mod tests {
         let items = Mix::gaussian([500.0, 100.0, 10.0]).generate(2_000, 2);
         let query = tiny_query();
         let exact = run_system(&env, System::NativeSpark, 1.0, &query, items.clone());
-        for metric in [Metric::Mean, Metric::Sum, Metric::StratumSum, Metric::StratumMean] {
+        for metric in [
+            Metric::Mean,
+            Metric::Sum,
+            Metric::StratumSum,
+            Metric::StratumMean,
+        ] {
             assert_eq!(mean_accuracy(&exact, &exact, metric), 0.0, "{metric:?}");
         }
     }

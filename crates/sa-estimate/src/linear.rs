@@ -164,11 +164,14 @@ where
             for _ in 0..(yi - hits) {
                 acc.push(0.0);
             }
-            buckets.entry(bucket).or_default().push(StratumStats::from_parts(
-                stratum.stratum,
-                stratum.population,
-                acc,
-            ));
+            buckets
+                .entry(bucket)
+                .or_default()
+                .push(StratumStats::from_parts(
+                    stratum.stratum,
+                    stratum.population,
+                    acc,
+                ));
         }
     }
     buckets

@@ -101,8 +101,7 @@ pub fn srs_mean<V, F: FnMut(&V) -> f64>(
         return ApproxResult::new(0.0, ErrorBound::exact(), 0, n);
     }
     let acc: Welford = sample.items.iter().map(|(_, v)| proj(v)).collect();
-    let variance =
-        ((1.0 - y as f64 / n as f64) * acc.sample_variance() / y as f64).max(0.0);
+    let variance = ((1.0 - y as f64 / n as f64) * acc.sample_variance() / y as f64).max(0.0);
     ApproxResult::new(
         acc.mean(),
         ErrorBound::new(confidence.z() * variance.sqrt(), confidence),
@@ -125,8 +124,7 @@ pub fn srs_sum_by_stratum<V, F: FnMut(&V) -> f64>(
     if y == 0 {
         return Vec::new();
     }
-    let strata: BTreeMap<StratumId, ()> =
-        sample.items.iter().map(|(k, _)| (*k, ())).collect();
+    let strata: BTreeMap<StratumId, ()> = sample.items.iter().map(|(k, _)| (*k, ())).collect();
     let nf = n as f64;
     let yf = y as f64;
     strata
@@ -141,8 +139,7 @@ pub fn srs_sum_by_stratum<V, F: FnMut(&V) -> f64>(
                 .map(|(s, v)| if *s == k { proj(v) } else { 0.0 })
                 .collect();
             let value = nf / yf * acc.sum();
-            let variance =
-                (nf * nf * (1.0 - yf / nf) * acc.sample_variance() / yf).max(0.0);
+            let variance = (nf * nf * (1.0 - yf / nf) * acc.sample_variance() / yf).max(0.0);
             let domain_size = sample.items.iter().filter(|(s, _)| *s == k).count() as u64;
             (
                 k,
@@ -198,10 +195,7 @@ mod tests {
     use super::*;
 
     fn sample(pairs: &[(u32, f64)], n: u64) -> SrsSample<f64> {
-        SrsSample::new(
-            pairs.iter().map(|&(k, v)| (StratumId(k), v)).collect(),
-            n,
-        )
+        SrsSample::new(pairs.iter().map(|&(k, v)| (StratumId(k), v)).collect(), n)
     }
 
     #[test]

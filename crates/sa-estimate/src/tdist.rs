@@ -81,10 +81,7 @@ mod tests {
     fn t_exceeds_z_for_small_samples() {
         for df in 1..30 {
             for conf in [Confidence::P68, Confidence::P95, Confidence::P997] {
-                assert!(
-                    t_multiplier(conf, df) > conf.z(),
-                    "df={df}, conf={conf}"
-                );
+                assert!(t_multiplier(conf, df) > conf.z(), "df={df}, conf={conf}");
             }
         }
     }

@@ -215,10 +215,7 @@ impl<T: Send + 'static> Flow<T> {
     ///
     /// Panics if `parts` is empty or `watermark_interval_ms` is not
     /// positive.
-    pub fn source_parallel(
-        parts: Vec<Vec<StreamItem<T>>>,
-        watermark_interval_ms: i64,
-    ) -> Flow<T> {
+    pub fn source_parallel(parts: Vec<Vec<StreamItem<T>>>, watermark_interval_ms: i64) -> Flow<T> {
         assert!(!parts.is_empty(), "source needs at least one instance");
         assert!(
             watermark_interval_ms > 0,
@@ -240,8 +237,7 @@ impl<T: Send + 'static> Flow<T> {
                                 let mut last_wm = EventTime::MIN;
                                 for item in items {
                                     if last_wm == EventTime::MIN
-                                        || item.time.millis_since(last_wm)
-                                            >= watermark_interval_ms
+                                        || item.time.millis_since(last_wm) >= watermark_interval_ms
                                     {
                                         last_wm = item.time;
                                         routing.broadcast_watermark(item.time);
@@ -286,8 +282,8 @@ impl<T: Send + 'static> Flow<T> {
     {
         assert!(parallelism > 0, "stage parallelism must be positive");
         let cap = self.channel_capacity;
-        let (txs, rxs): (Vec<Sender<Tagged<T>>>, Vec<Receiver<Tagged<T>>>) =
-            (0..parallelism).map(|_| bounded(cap)).unzip();
+        type Channels<T> = (Vec<Sender<Tagged<T>>>, Vec<Receiver<Tagged<T>>>);
+        let (txs, rxs): Channels<T> = (0..parallelism).map(|_| bounded(cap)).unzip();
         let upstream_handles = (self.spawn)(txs, exchange);
         let num_producers = self.parallelism;
         Flow {
@@ -435,11 +431,7 @@ mod tests {
             let sec = item.time.as_millis().div_euclid(1_000);
             *self.counts.entry(sec).or_default() += 1;
         }
-        fn on_watermark(
-            &mut self,
-            wm: EventTime,
-            out: &mut dyn FnMut(StreamItem<(i64, u64)>),
-        ) {
+        fn on_watermark(&mut self, wm: EventTime, out: &mut dyn FnMut(StreamItem<(i64, u64)>)) {
             let due: Vec<i64> = self
                 .counts
                 .keys()
@@ -494,8 +486,7 @@ mod tests {
             .then(2, Exchange::Forward, TagInstance)
             .collect();
         // Each source instance feeds exactly one operator instance.
-        let tags: std::collections::BTreeSet<usize> =
-            out.iter().map(|i| i.value.0).collect();
+        let tags: std::collections::BTreeSet<usize> = out.iter().map(|i| i.value.0).collect();
         assert_eq!(tags.len(), 2);
         assert_eq!(out.len(), 20);
     }

@@ -136,7 +136,7 @@ impl<V> OasrsSampler<V> {
     pub fn for_worker(sizing: SizingPolicy, seed: u64, worker: usize, num_workers: usize) -> Self {
         assert!(num_workers > 0, "need at least one worker");
         assert!(worker < num_workers, "worker index out of range");
-        let shard = |n: usize| (n + num_workers - 1) / num_workers;
+        let shard = |n: usize| n.div_ceil(num_workers);
         let sharded = match sizing {
             SizingPolicy::PerStratum(n) => SizingPolicy::PerStratum(shard(n).max(1)),
             SizingPolicy::SharedTotal(n) => SizingPolicy::SharedTotal(shard(n).max(1)),
@@ -147,10 +147,9 @@ impl<V> OasrsSampler<V> {
                 }
             }
         };
-        // Mix the worker index into the seed (splitmix-style) so workers
-        // draw independent streams.
-        let worker_seed = seed
-            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(worker as u64 + 1));
+        // Per-worker seeds derive through the run-wide rule so workers draw
+        // independent streams and runs reproduce across engines.
+        let worker_seed = sa_types::RunSeed::new(seed).for_worker(worker).value();
         Self::new(sharded, worker_seed)
     }
 
@@ -166,20 +165,12 @@ impl<V> OasrsSampler<V> {
 
     /// Total items offered in the current interval (`ΣC_i`).
     pub fn total_seen(&self) -> u64 {
-        self.strata
-            .iter()
-            .flatten()
-            .map(Reservoir::seen)
-            .sum()
+        self.strata.iter().flatten().map(Reservoir::seen).sum()
     }
 
     /// Total items currently held (`ΣY_i`).
     pub fn total_held(&self) -> u64 {
-        self.strata
-            .iter()
-            .flatten()
-            .map(|r| r.len() as u64)
-            .sum()
+        self.strata.iter().flatten().map(|r| r.len() as u64).sum()
     }
 
     /// Capacity a brand-new stratum would receive right now, given that it
@@ -397,11 +388,9 @@ mod tests {
 
     #[test]
     fn worker_sharding_splits_capacity() {
-        let a: OasrsSampler<f64> =
-            OasrsSampler::for_worker(SizingPolicy::PerStratum(10), 9, 0, 4);
+        let a: OasrsSampler<f64> = OasrsSampler::for_worker(SizingPolicy::PerStratum(10), 9, 0, 4);
         assert_eq!(a.sizing(), SizingPolicy::PerStratum(3));
-        let b: OasrsSampler<f64> =
-            OasrsSampler::for_worker(SizingPolicy::PerStratum(10), 9, 3, 4);
+        let b: OasrsSampler<f64> = OasrsSampler::for_worker(SizingPolicy::PerStratum(10), 9, 3, 4);
         assert_eq!(b.sizing(), SizingPolicy::PerStratum(3));
     }
 
@@ -427,7 +416,11 @@ mod tests {
     fn observe_item_routes_by_stratum() {
         use sa_types::EventTime;
         let mut oasrs = OasrsSampler::new(SizingPolicy::PerStratum(2), 12);
-        oasrs.observe_item(StreamItem::new(StratumId(3), EventTime::from_millis(0), 1.5));
+        oasrs.observe_item(StreamItem::new(
+            StratumId(3),
+            EventTime::from_millis(0),
+            1.5,
+        ));
         let sample = oasrs.finish_interval();
         assert_eq!(sample.stratum(StratumId(3)).unwrap().items, vec![1.5]);
     }

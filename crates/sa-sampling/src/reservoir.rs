@@ -157,7 +157,12 @@ impl<T> Reservoir<T> {
     /// and is used by the `ablation_merge` benchmark; the paper's own
     /// distributed scheme instead unions per-worker reservoirs of size `N/w`
     /// (see `StratifiedSample::union`).
-    pub fn merge_with<R: Rng + ?Sized>(self, other: Reservoir<T>, capacity: usize, rng: &mut R) -> Reservoir<T> {
+    pub fn merge_with<R: Rng + ?Sized>(
+        self,
+        other: Reservoir<T>,
+        capacity: usize,
+        rng: &mut R,
+    ) -> Reservoir<T> {
         assert!(capacity > 0, "reservoir capacity must be positive");
         let (mut a, mut ca) = self.into_parts();
         let (mut b, mut cb) = other.into_parts();

@@ -170,7 +170,13 @@ mod tests {
     #[test]
     fn exact_sample_size() {
         let mut g = rng(1);
-        for &(n, s) in &[(1_000usize, 10usize), (1_000, 500), (1_000, 999), (50, 50), (50, 60)] {
+        for &(n, s) in &[
+            (1_000usize, 10usize),
+            (1_000, 500),
+            (1_000, 999),
+            (50, 50),
+            (50, 60),
+        ] {
             let sample = scasrs_sample((0..n).collect(), s, &mut g);
             assert_eq!(sample.len(), s.min(n), "n={n} s={s}");
         }

@@ -5,8 +5,8 @@ use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use sa_sampling::{
-    sample_by_key_exact, scasrs_sample, scasrs_sample_with_stats, scasrs_thresholds,
-    OasrsSampler, Reservoir, SizingPolicy, SCASRS_DELTA,
+    sample_by_key_exact, scasrs_sample, scasrs_sample_with_stats, scasrs_thresholds, OasrsSampler,
+    Reservoir, SizingPolicy, SCASRS_DELTA,
 };
 use sa_types::StratumId;
 use std::collections::HashMap;
@@ -223,6 +223,68 @@ proptest! {
         prop_assert!(h >= p - 1e-12);
     }
 
+    /// `SizingPolicy::SharedTotal`: whenever a new stratum appears
+    /// mid-interval and triggers a shrink of the incumbents, the summed
+    /// holdings never exceed the budget (unless there are more strata than
+    /// budget slots, where every stratum keeps its guaranteed single slot).
+    #[test]
+    fn shared_total_capacity_never_exceeds_budget(
+        arrivals in proptest::collection::vec(0u32..10, 1..600),
+        budget in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        let mut oasrs = OasrsSampler::new(SizingPolicy::SharedTotal(budget), seed);
+        for (i, &s) in arrivals.iter().enumerate() {
+            oasrs.observe(StratumId(s), i as f64);
+            let strata = oasrs.num_strata();
+            prop_assert!(
+                oasrs.total_held() <= budget.max(strata) as u64,
+                "after item {}: holding {} of budget {} over {} strata",
+                i,
+                oasrs.total_held(),
+                budget,
+                strata
+            );
+        }
+        let sample = oasrs.finish_interval();
+        let strata = sample.num_strata();
+        prop_assert!(sample.total_sampled() <= budget.max(strata) as u64);
+    }
+
+    /// After mid-interval shrinks, every stratum's sample is still a
+    /// sub-multiset of what that stratum actually sent, sized
+    /// `min(C_i, N_i)` for its rebalanced capacity, with Equation-1
+    /// weights.
+    #[test]
+    fn shared_total_shrink_keeps_samples_consistent(
+        arrivals in proptest::collection::vec(0u32..6, 1..500),
+        budget in 1usize..32,
+        seed in any::<u64>(),
+    ) {
+        let mut oasrs = OasrsSampler::new(SizingPolicy::SharedTotal(budget), seed);
+        let mut truth: HashMap<u32, Vec<f64>> = HashMap::new();
+        for (i, &s) in arrivals.iter().enumerate() {
+            oasrs.observe(StratumId(s), i as f64);
+            truth.entry(s).or_default().push(i as f64);
+        }
+        let sample = oasrs.finish_interval();
+        for (&s, sent) in &truth {
+            let st = sample.stratum(StratumId(s)).unwrap();
+            prop_assert_eq!(st.population, sent.len() as u64);
+            prop_assert_eq!(
+                st.sample_size() as usize,
+                sent.len().min(st.capacity),
+                "stratum {}",
+                s
+            );
+            for v in &st.items {
+                prop_assert!(sent.contains(v), "stratum {}: {} not sent", s, v);
+            }
+            let expected_w = (sent.len() as f64 / st.capacity as f64).max(1.0);
+            prop_assert!((st.weight() - expected_w).abs() < 1e-12);
+        }
+    }
+
     /// Exact stratified sampling hits `ceil(f * C_k)` in every stratum.
     #[test]
     fn sample_by_key_exact_sizes(
@@ -244,5 +306,46 @@ proptest! {
             prop_assert_eq!(st.sample_size(), expected, "stratum {}", k);
             prop_assert_eq!(st.population, n as u64);
         }
+    }
+}
+
+/// The uniform-eviction invariant behind `SharedTotal`'s mid-interval
+/// shrink, checked statistically: evicting uniformly from a uniform sample
+/// leaves a uniform sample, and continuing reservoir sampling afterwards
+/// keeps it one. So every item a stratum sent — before or after the shrink
+/// its reservoir suffered when a new stratum appeared — must end up in the
+/// final sample with the same probability.
+#[test]
+fn shared_total_mid_interval_shrink_stays_uniform() {
+    const TRIALS: usize = 6_000;
+    const BUDGET: usize = 8; // stratum 0 alone: 8 slots; after stratum 1: 4
+    const STREAM: usize = 20; // 10 before the shrink, 10 after
+    let mut counts = [0u32; STREAM];
+    for t in 0..TRIALS {
+        let mut oasrs = OasrsSampler::new(SizingPolicy::SharedTotal(BUDGET), t as u64);
+        for v in 0..10 {
+            oasrs.observe(StratumId(0), v as f64);
+        }
+        // A new stratum appears mid-interval: stratum 0's reservoir is
+        // uniformly evicted from 8 down to 4 slots.
+        oasrs.observe(StratumId(1), -1.0);
+        for v in 10..STREAM {
+            oasrs.observe(StratumId(0), v as f64);
+        }
+        let sample = oasrs.finish_interval();
+        let s0 = sample.stratum(StratumId(0)).unwrap();
+        assert_eq!(s0.sample_size(), 4);
+        assert_eq!(s0.population, STREAM as u64);
+        for &v in &s0.items {
+            counts[v as usize] += 1;
+        }
+    }
+    let expected = TRIALS as f64 * 4.0 / STREAM as f64;
+    for (v, &c) in counts.iter().enumerate() {
+        let dev = (c as f64 - expected).abs() / expected;
+        assert!(
+            dev < 0.1,
+            "item {v}: count {c}, expected ~{expected} (dev {dev:.3})"
+        );
     }
 }

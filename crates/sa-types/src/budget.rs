@@ -112,12 +112,10 @@ impl QueryBudget {
     pub fn validate(&self) -> Result<(), crate::SaError> {
         use crate::SaError::InvalidBudget;
         match *self {
-            QueryBudget::SampleFraction(f) if !(f > 0.0 && f <= 1.0) => Err(InvalidBudget(
-                format!("sample fraction {f} outside (0, 1]"),
-            )),
-            QueryBudget::SampleSize(0) => {
-                Err(InvalidBudget("sample size must be positive".into()))
+            QueryBudget::SampleFraction(f) if !(f > 0.0 && f <= 1.0) => {
+                Err(InvalidBudget(format!("sample fraction {f} outside (0, 1]")))
             }
+            QueryBudget::SampleSize(0) => Err(InvalidBudget("sample size must be positive".into())),
             QueryBudget::LatencyMillis(0) => {
                 Err(InvalidBudget("latency budget must be positive".into()))
             }
@@ -224,10 +222,7 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert_eq!(
-            QueryBudget::SampleFraction(0.6).to_string(),
-            "fraction 60%"
-        );
+        assert_eq!(QueryBudget::SampleFraction(0.6).to_string(), "fraction 60%");
         assert_eq!(Confidence::P997.to_string(), "99.7%");
     }
 }

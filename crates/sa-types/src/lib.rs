@@ -30,6 +30,7 @@ mod error;
 mod item;
 mod result;
 mod sample;
+mod seed;
 mod window;
 
 pub use budget::{Confidence, QueryBudget};
@@ -37,4 +38,5 @@ pub use error::SaError;
 pub use item::{EventTime, StratumId, StreamItem};
 pub use result::{ApproxResult, ErrorBound};
 pub use sample::{StratifiedSample, StratumSample};
+pub use seed::RunSeed;
 pub use window::{Window, WindowSpec};

@@ -103,7 +103,10 @@ impl ApproxResult {
     /// The confidence interval `(low, high)` implied by the bound.
     #[inline]
     pub fn interval(&self) -> (f64, f64) {
-        (self.value - self.bound.margin(), self.value + self.bound.margin())
+        (
+            self.value - self.bound.margin(),
+            self.value + self.bound.margin(),
+        )
     }
 
     /// Fraction of the window's items that contributed to the answer.

@@ -183,10 +183,7 @@ impl<V> StratifiedSample<V> {
     /// counters summed).
     pub fn union(&mut self, other: StratifiedSample<V>) {
         for s in other.strata {
-            match self
-                .strata
-                .binary_search_by_key(&s.stratum, |x| x.stratum)
-            {
+            match self.strata.binary_search_by_key(&s.stratum, |x| x.stratum) {
                 Ok(i) => {
                     let dst = &mut self.strata[i];
                     dst.items.extend(s.items);
@@ -267,10 +264,9 @@ mod tests {
 
     #[test]
     fn totals_aggregate_across_strata() {
-        let sample: StratifiedSample<f64> =
-            [s(0, vec![1.0], 4, 1), s(1, vec![2.0, 3.0], 2, 4)]
-                .into_iter()
-                .collect();
+        let sample: StratifiedSample<f64> = [s(0, vec![1.0], 4, 1), s(1, vec![2.0, 3.0], 2, 4)]
+            .into_iter()
+            .collect();
         assert_eq!(sample.total_population(), 6);
         assert_eq!(sample.total_sampled(), 3);
         assert_eq!(sample.num_strata(), 2);
@@ -281,8 +277,9 @@ mod tests {
     #[test]
     fn union_merges_matching_strata_and_inserts_new() {
         let mut a: StratifiedSample<f64> = [s(0, vec![1.0], 5, 2)].into_iter().collect();
-        let b: StratifiedSample<f64> =
-            [s(0, vec![2.0], 7, 2), s(3, vec![9.0], 1, 2)].into_iter().collect();
+        let b: StratifiedSample<f64> = [s(0, vec![2.0], 7, 2), s(3, vec![9.0], 1, 2)]
+            .into_iter()
+            .collect();
         a.union(b);
         assert_eq!(a.num_strata(), 2);
         let s0 = a.stratum(StratumId(0)).unwrap();

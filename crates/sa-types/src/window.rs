@@ -139,7 +139,8 @@ impl WindowSpec {
         let last_start = ts.div_euclid(self.slide_ms) * self.slide_ms;
         // Earliest possible start: the first multiple of slide that is
         // > ts - size, clamped to zero.
-        let earliest = (ts - self.size_ms).div_euclid(self.slide_ms) * self.slide_ms + self.slide_ms;
+        let earliest =
+            (ts - self.size_ms).div_euclid(self.slide_ms) * self.slide_ms + self.slide_ms;
         let first_start = earliest.max(0).min(last_start);
         let size = self.size_ms;
         let slide = self.slide_ms;
@@ -193,7 +194,9 @@ mod tests {
     fn tumbling_assigns_exactly_one_window() {
         let spec = WindowSpec::tumbling_millis(1_000);
         for ms in [0, 1, 999, 1_000, 1_500, 9_999] {
-            let ws: Vec<_> = spec.windows_containing(EventTime::from_millis(ms)).collect();
+            let ws: Vec<_> = spec
+                .windows_containing(EventTime::from_millis(ms))
+                .collect();
             assert_eq!(ws.len(), 1, "t={ms}");
             assert!(ws[0].contains(EventTime::from_millis(ms)));
             assert_eq!(ws[0].start.as_millis() % 1_000, 0);
@@ -204,9 +207,7 @@ mod tests {
     fn sliding_assigns_overlap_windows() {
         let spec = WindowSpec::sliding_secs(10, 5);
         assert_eq!(spec.overlap(), 2);
-        let ws: Vec<_> = spec
-            .windows_containing(EventTime::from_secs(12))
-            .collect();
+        let ws: Vec<_> = spec.windows_containing(EventTime::from_secs(12)).collect();
         assert_eq!(ws.len(), 2);
         assert_eq!(ws[0].start, EventTime::from_secs(5));
         assert_eq!(ws[1].start, EventTime::from_secs(10));

@@ -157,8 +157,13 @@ mod tests {
 
     #[test]
     fn poisson_large_lambda_uses_normal_regime() {
-        let (mean, var) =
-            sample_stats(Distribution::Poisson { lambda: 100_000_000.0 }, 20_000, 3);
+        let (mean, var) = sample_stats(
+            Distribution::Poisson {
+                lambda: 100_000_000.0,
+            },
+            20_000,
+            3,
+        );
         assert!((mean - 1e8).abs() / 1e8 < 1e-4, "mean {mean}");
         assert!((var - 1e8).abs() / 1e8 < 0.05, "var {var}");
     }
@@ -178,7 +183,10 @@ mod tests {
 
     #[test]
     fn lognormal_mean_matches_formula() {
-        let d = Distribution::LogNormal { mu: 1.0, sigma: 0.5 };
+        let d = Distribution::LogNormal {
+            mu: 1.0,
+            sigma: 0.5,
+        };
         let (mean, _) = sample_stats(d, 100_000, 5);
         assert!((mean - d.mean()).abs() / d.mean() < 0.02, "mean {mean}");
     }
@@ -186,7 +194,10 @@ mod tests {
     #[test]
     fn uniform_stays_in_bounds() {
         let mut g = rng(6);
-        let d = Distribution::Uniform { low: 2.0, high: 5.0 };
+        let d = Distribution::Uniform {
+            low: 2.0,
+            high: 5.0,
+        };
         for _ in 0..10_000 {
             let x = d.sample(&mut g);
             assert!((2.0..5.0).contains(&x));
@@ -197,7 +208,11 @@ mod tests {
     #[test]
     fn analytic_means() {
         assert_eq!(
-            Distribution::Gaussian { mean: 7.0, std_dev: 2.0 }.mean(),
+            Distribution::Gaussian {
+                mean: 7.0,
+                std_dev: 2.0
+            }
+            .mean(),
             7.0
         );
         assert_eq!(Distribution::Poisson { lambda: 42.0 }.mean(), 42.0);

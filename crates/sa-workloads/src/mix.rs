@@ -37,12 +37,7 @@ impl SubStream {
     /// Generates this sub-stream's items for `[start, start + duration)`,
     /// evenly spaced at the arrival rate with a stratum-specific phase so
     /// different sub-streams do not collide on identical timestamps.
-    pub fn generate(
-        &self,
-        start: EventTime,
-        duration_ms: i64,
-        seed: u64,
-    ) -> Vec<StreamItem<f64>> {
+    pub fn generate(&self, start: EventTime, duration_ms: i64, seed: u64) -> Vec<StreamItem<f64>> {
         assert!(duration_ms > 0, "duration must be positive");
         let mut rng =
             SmallRng::seed_from_u64(seed ^ (u64::from(self.stratum.0)).wrapping_mul(0xC0FFEE));
@@ -140,17 +135,26 @@ impl Mix {
             SubStream::new(
                 StratumId(0),
                 total_rate * 0.80,
-                Distribution::Gaussian { mean: 100.0, std_dev: 10.0 },
+                Distribution::Gaussian {
+                    mean: 100.0,
+                    std_dev: 10.0,
+                },
             ),
             SubStream::new(
                 StratumId(1),
                 total_rate * 0.19,
-                Distribution::Gaussian { mean: 1_000.0, std_dev: 100.0 },
+                Distribution::Gaussian {
+                    mean: 1_000.0,
+                    std_dev: 100.0,
+                },
             ),
             SubStream::new(
                 StratumId(2),
                 total_rate * 0.01,
-                Distribution::Gaussian { mean: 10_000.0, std_dev: 1_000.0 },
+                Distribution::Gaussian {
+                    mean: 10_000.0,
+                    std_dev: 1_000.0,
+                },
             ),
         ])
     }
@@ -173,7 +177,9 @@ impl Mix {
             SubStream::new(
                 StratumId(2),
                 (total_rate * 0.0001).max(0.2),
-                Distribution::Poisson { lambda: 100_000_000.0 },
+                Distribution::Poisson {
+                    lambda: 100_000_000.0,
+                },
             ),
         ])
     }
@@ -332,7 +338,10 @@ mod tests {
         let s = SubStream::new(
             StratumId(0),
             500.0,
-            Distribution::Uniform { low: 0.0, high: 1.0 },
+            Distribution::Uniform {
+                low: 0.0,
+                high: 1.0,
+            },
         );
         let items = s.generate(EventTime::from_millis(0), 4_000, 1);
         assert_eq!(items.len(), 2_000);
@@ -347,7 +356,10 @@ mod tests {
         let s = SubStream::new(
             StratumId(3),
             1_234.0,
-            Distribution::Gaussian { mean: 0.0, std_dev: 1.0 },
+            Distribution::Gaussian {
+                mean: 0.0,
+                std_dev: 1.0,
+            },
         );
         let items = s.generate(EventTime::from_secs(10), 2_000, 2);
         for w in items.windows(2) {
@@ -444,7 +456,10 @@ mod tests {
         let _ = SubStream::new(
             StratumId(0),
             0.0,
-            Distribution::Uniform { low: 0.0, high: 1.0 },
+            Distribution::Uniform {
+                low: 0.0,
+                high: 1.0,
+            },
         );
     }
 }

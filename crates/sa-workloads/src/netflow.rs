@@ -171,9 +171,18 @@ impl NetFlowGenerator {
     fn size_distribution(protocol: Protocol) -> Distribution {
         // Heavy-tailed flow sizes; TCP flows are largest, ICMP smallest.
         match protocol {
-            Protocol::Tcp => Distribution::LogNormal { mu: 8.0, sigma: 1.6 },
-            Protocol::Udp => Distribution::LogNormal { mu: 6.0, sigma: 1.2 },
-            Protocol::Icmp => Distribution::LogNormal { mu: 4.5, sigma: 0.5 },
+            Protocol::Tcp => Distribution::LogNormal {
+                mu: 8.0,
+                sigma: 1.6,
+            },
+            Protocol::Udp => Distribution::LogNormal {
+                mu: 6.0,
+                sigma: 1.2,
+            },
+            Protocol::Icmp => Distribution::LogNormal {
+                mu: 4.5,
+                sigma: 0.5,
+            },
         }
     }
 

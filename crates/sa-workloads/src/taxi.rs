@@ -69,12 +69,30 @@ impl Borough {
     /// Manhattan hops are short; airport/outer-borough trips run long.
     fn distance_distribution(self) -> Distribution {
         match self {
-            Borough::Manhattan => Distribution::LogNormal { mu: 0.75, sigma: 0.55 },
-            Borough::Brooklyn => Distribution::LogNormal { mu: 1.20, sigma: 0.60 },
-            Borough::Queens => Distribution::LogNormal { mu: 2.10, sigma: 0.45 },
-            Borough::Bronx => Distribution::LogNormal { mu: 1.60, sigma: 0.55 },
-            Borough::StatenIsland => Distribution::LogNormal { mu: 2.30, sigma: 0.40 },
-            Borough::Newark => Distribution::LogNormal { mu: 2.80, sigma: 0.30 },
+            Borough::Manhattan => Distribution::LogNormal {
+                mu: 0.75,
+                sigma: 0.55,
+            },
+            Borough::Brooklyn => Distribution::LogNormal {
+                mu: 1.20,
+                sigma: 0.60,
+            },
+            Borough::Queens => Distribution::LogNormal {
+                mu: 2.10,
+                sigma: 0.45,
+            },
+            Borough::Bronx => Distribution::LogNormal {
+                mu: 1.60,
+                sigma: 0.55,
+            },
+            Borough::StatenIsland => Distribution::LogNormal {
+                mu: 2.30,
+                sigma: 0.40,
+            },
+            Borough::Newark => Distribution::LogNormal {
+                mu: 2.80,
+                sigma: 0.30,
+            },
         }
     }
 }
@@ -261,8 +279,7 @@ mod tests {
             let count = stream.iter().filter(|i| i.stratum == b.stratum()).count();
             assert!(count > 0, "{b} missing");
         }
-        let strata: std::collections::BTreeSet<u32> =
-            stream.iter().map(|i| i.stratum.0).collect();
+        let strata: std::collections::BTreeSet<u32> = stream.iter().map(|i| i.stratum.0).collect();
         assert_eq!(strata.len(), 6);
     }
 

@@ -20,7 +20,11 @@ fn main() {
         .generate_with_rates(&[100.0, 2_000.0, 8_000.0], 8_000, 4)
         .into_iter()
         .map(|i| {
-            sa_types::StreamItem::new(i.stratum, EventTime::from_millis(i.time.as_millis() + 8_000), i.value)
+            sa_types::StreamItem::new(
+                i.stratum,
+                EventTime::from_millis(i.time.as_millis() + 8_000),
+                i.value,
+            )
         })
         .collect();
     let stream = merge_by_time(vec![first, second]);

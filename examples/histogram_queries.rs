@@ -59,11 +59,7 @@ fn main() {
         elephants.bound.margin()
     );
 
-    let icmp = estimate_count(
-        &sample,
-        |f| f.protocol == Protocol::Icmp,
-        Confidence::P95,
-    );
+    let icmp = estimate_count(&sample, |f| f.protocol == Protocol::Icmp, Confidence::P95);
     let exact_icmp = flows
         .iter()
         .filter(|i| i.value.protocol == Protocol::Icmp)

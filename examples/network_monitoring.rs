@@ -18,10 +18,9 @@ fn main() {
     println!("replaying {} flow records", lines.len());
 
     // The §6.2 query: total bytes per protocol per 10s window sliding by 5s.
-    let query = Query::new(|line: &String| {
-        FlowRecord::parse_line(line).expect("valid line").bytes as f64
-    })
-    .with_window(WindowSpec::sliding_secs(10, 5));
+    let query =
+        Query::new(|line: &String| FlowRecord::parse_line(line).expect("valid line").bytes as f64)
+            .with_window(WindowSpec::sliding_secs(10, 5));
     let config = BatchedConfig::new(Cluster::new(2)).with_batch_interval_ms(500);
 
     let native = run_batched(

@@ -54,7 +54,10 @@ fn main() {
     );
 
     println!("\nper-window means (the two models must agree statistically):");
-    println!("{:>12} {:>14} {:>14} {:>12}", "window start", "batched", "pipelined", "divergence");
+    println!(
+        "{:>12} {:>14} {:>14} {:>12}",
+        "window start", "batched", "pipelined", "divergence"
+    );
     for (b, p) in batched.windows.iter().zip(&pipelined.windows) {
         if b.mean.population_size == 0 {
             continue;

@@ -6,9 +6,7 @@
 
 use sa_types::WindowSpec;
 use sa_workloads::{Borough, TaxiGenerator, TaxiRide};
-use streamapprox::{
-    run_pipelined, FixedFraction, PipelinedConfig, PipelinedSystem, Query,
-};
+use streamapprox::{run_pipelined, FixedFraction, PipelinedConfig, PipelinedSystem, Query};
 
 fn main() {
     // 15,000 rides/second for 12 seconds, replayed in the wire format the
@@ -17,7 +15,9 @@ fn main() {
     println!("replaying {} taxi rides", rides.len());
 
     let query = Query::new(|line: &String| {
-        TaxiRide::parse_line(line).expect("valid ride record").distance_miles
+        TaxiRide::parse_line(line)
+            .expect("valid ride record")
+            .distance_miles
     })
     .with_window(WindowSpec::sliding_secs(10, 5));
     let config = PipelinedConfig::new().with_sample_workers(2);

@@ -55,10 +55,7 @@ fn stratified_systems_beat_srs_on_skewed_streams() {
     let sa = mean_loss(BatchedSystem::StreamApprox, 0.3, 0..10);
     let sts = mean_loss(BatchedSystem::Sts, 0.3, 0..10);
     let srs = mean_loss(BatchedSystem::Srs, 0.3, 0..10);
-    assert!(
-        sa < srs,
-        "StreamApprox loss {sa} not below SRS loss {srs}"
-    );
+    assert!(sa < srs, "StreamApprox loss {sa} not below SRS loss {srs}");
     assert!(sts < srs, "STS loss {sts} not below SRS loss {srs}");
 }
 

@@ -112,7 +112,10 @@ fn batch_interval_does_not_change_window_totals() {
             Some(r) => {
                 assert_eq!(r.len(), sums.len(), "interval {interval}");
                 for (a, b) in r.iter().zip(&sums) {
-                    assert!((a - b).abs() < 1e-6 * a.abs().max(1.0), "interval {interval}");
+                    assert!(
+                        (a - b).abs() < 1e-6 * a.abs().max(1.0),
+                        "interval {interval}"
+                    );
                 }
             }
         }
@@ -164,6 +167,116 @@ fn cluster_topology_does_not_change_native_answers() {
     for (a, b) in single.windows.iter().zip(&multi.windows) {
         assert!((a.sum.value - b.sum.value).abs() < 1e-6 * a.sum.value.abs().max(1.0));
     }
+}
+
+/// The refactor's correctness oracle: for a deterministic seeded stream,
+/// both engines' StreamApprox runs must produce per-window mean intervals
+/// that (a) overlap the exact answer and (b) overlap each other — the
+/// shared runtime guarantees both engines estimate from the same kind of
+/// weighted sample, so their confidence intervals bracket the same truth.
+#[test]
+fn sampled_mean_intervals_overlap_exact_and_each_other() {
+    let stream = items(7);
+    let exact = run_batched(
+        &BatchedConfig::new(Cluster::new(2)).with_batch_interval_ms(500),
+        BatchedSystem::Native,
+        &query(),
+        &mut FixedFraction(1.0),
+        stream.clone(),
+    );
+    let batched = run_batched(
+        &BatchedConfig::new(Cluster::new(2)).with_batch_interval_ms(500),
+        BatchedSystem::StreamApprox,
+        &query(),
+        &mut FixedFraction(0.5),
+        stream.clone(),
+    );
+    let pipelined = run_pipelined(
+        &PipelinedConfig::new(),
+        PipelinedSystem::StreamApprox,
+        &query(),
+        &mut FixedFraction(0.5),
+        stream,
+    );
+    assert_eq!(batched.windows.len(), exact.windows.len());
+    assert_eq!(pipelined.windows.len(), exact.windows.len());
+    let mut contain_exact = 0usize;
+    let mut total = 0usize;
+    for ((b, p), e) in batched
+        .windows
+        .iter()
+        .zip(&pipelined.windows)
+        .zip(&exact.windows)
+    {
+        assert_eq!(b.window, e.window);
+        assert_eq!(p.window, e.window);
+        if e.sum.population_size == 0 {
+            continue;
+        }
+        total += 2;
+        let (b_lo, b_hi) = b.mean.interval();
+        let (p_lo, p_hi) = p.mean.interval();
+        assert!(b_lo <= b_hi, "{}: degenerate batched interval", b.window);
+        assert!(p_lo <= p_hi, "{}: degenerate pipelined interval", p.window);
+        // The two engines' intervals must overlap each other, every window.
+        assert!(
+            b_lo <= p_hi && p_lo <= b_hi,
+            "{}: batched [{b_lo}, {b_hi}] disjoint from pipelined [{p_lo}, {p_hi}]",
+            b.window
+        );
+        // And bracket the exact answer (a per-window 95% statement, so a
+        // small minority of windows may miss; most must contain it).
+        let truth = e.mean.value;
+        contain_exact += usize::from(b_lo <= truth && truth <= b_hi);
+        contain_exact += usize::from(p_lo <= truth && truth <= p_hi);
+    }
+    assert!(total > 0, "stream produced no populated windows");
+    assert!(
+        contain_exact * 10 >= total * 9,
+        "only {contain_exact}/{total} intervals contain the exact mean"
+    );
+}
+
+/// One `RunSeed` pins down every sampling decision: re-running either
+/// engine with the same seed reproduces the windows bit for bit, and a
+/// different seed draws a genuinely different sample.
+#[test]
+fn runs_are_reproducible_from_one_seed() {
+    let stream = items(8);
+    let batched_config = || {
+        BatchedConfig::new(Cluster::new(2))
+            .with_batch_interval_ms(500)
+            .with_seed(0xFEED_u64)
+    };
+    let run_b = || {
+        run_batched(
+            &batched_config(),
+            BatchedSystem::StreamApprox,
+            &query(),
+            &mut FixedFraction(0.3),
+            stream.clone(),
+        )
+    };
+    let (a, b) = (run_b(), run_b());
+    assert_eq!(a.windows, b.windows, "batched run not reproducible");
+
+    let run_p = |seed: u64| {
+        run_pipelined(
+            &PipelinedConfig::new().with_seed(seed),
+            PipelinedSystem::StreamApprox,
+            &query(),
+            &mut FixedFraction(0.3),
+            stream.clone(),
+        )
+    };
+    let (c, d) = (run_p(0xFEED), run_p(0xFEED));
+    assert_eq!(c.windows, d.windows, "pipelined run not reproducible");
+
+    let other = run_p(0xBEEF);
+    assert_ne!(
+        c.windows, other.windows,
+        "different seeds drew identical samples"
+    );
 }
 
 #[test]

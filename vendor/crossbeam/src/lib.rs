@@ -1,0 +1,344 @@
+//! Offline stand-in for `crossbeam`: MPMC channels and a `WaitGroup`.
+//!
+//! Semantics match the real crate where this workspace relies on them:
+//! senders and receivers are cloneable, `recv` on a channel whose senders
+//! are all gone drains the queue and then errors, `send` into a channel
+//! whose receivers are all gone errors, and bounded `send` blocks while
+//! the queue is full.
+
+#![forbid(unsafe_code)]
+
+pub mod channel {
+    //! Multi-producer multi-consumer FIFO channels.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+        capacity: Option<usize>,
+    }
+
+    /// The sending half of a channel; clone freely.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of a channel; clone freely (clones share the
+    /// queue, each message is delivered once).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Sending failed because every receiver is gone; returns the message.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Receiving failed because the channel is empty and every sender is
+    /// gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    /// Creates a channel with no capacity limit.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// Creates a channel holding at most `capacity` in-flight messages;
+    /// `send` blocks while full. Unlike real crossbeam the shim has no
+    /// zero-capacity rendezvous mode — capacity 0 is treated as 1.
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        with_capacity(Some(capacity.max(1)))
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `msg`, blocking while a bounded channel is full.
+        ///
+        /// # Errors
+        ///
+        /// Returns the message if every receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.state.lock().expect("channel lock");
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                let full = self
+                    .shared
+                    .capacity
+                    .is_some_and(|cap| state.queue.len() >= cap);
+                if !full {
+                    state.queue.push_back(msg);
+                    self.shared.not_empty.notify_one();
+                    return Ok(());
+                }
+                state = self.shared.not_full.wait(state).expect("channel lock");
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues the next message, blocking while the channel is empty.
+        ///
+        /// # Errors
+        ///
+        /// Errors once the channel is empty and every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.state.lock().expect("channel lock");
+            loop {
+                if let Some(msg) = state.queue.pop_front() {
+                    self.shared.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.shared.not_empty.wait(state).expect("channel lock");
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().expect("channel lock").senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().expect("channel lock").receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.state.lock().expect("channel lock");
+            state.senders -= 1;
+            if state.senders == 0 {
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.state.lock().expect("channel lock");
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_within_one_producer() {
+            let (tx, rx) = unbounded();
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+            let got: Vec<i32> = (0..10).map(|_| rx.recv().unwrap()).collect();
+            assert_eq!(got, (0..10).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn recv_drains_then_errors_after_senders_drop() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn send_errors_after_receivers_drop() {
+            let (tx, rx) = unbounded();
+            drop(rx);
+            assert_eq!(tx.send(7), Err(SendError(7)));
+        }
+
+        #[test]
+        fn cloned_receivers_share_the_queue() {
+            let (tx, rx1) = unbounded();
+            let rx2 = rx1.clone();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            let a = rx1.recv().unwrap();
+            let b = rx2.recv().unwrap();
+            let mut got = vec![a, b];
+            got.sort_unstable();
+            assert_eq!(got, vec![1, 2]);
+        }
+
+        #[test]
+        fn bounded_blocks_until_consumed() {
+            let (tx, rx) = bounded(2);
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            let producer = std::thread::spawn(move || tx.send(3).unwrap());
+            assert_eq!(rx.recv(), Ok(1));
+            producer.join().unwrap();
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.recv(), Ok(3));
+        }
+    }
+}
+
+pub mod sync {
+    //! Thread synchronization primitives.
+
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Inner {
+        count: Mutex<usize>,
+        all_done: Condvar,
+    }
+
+    /// Waits for a set of tasks to finish: every clone represents one
+    /// outstanding task; dropping a clone retires it and [`WaitGroup::wait`]
+    /// blocks until all are retired.
+    pub struct WaitGroup {
+        inner: Arc<Inner>,
+    }
+
+    impl WaitGroup {
+        /// A group with one outstanding reference (the caller's).
+        pub fn new() -> Self {
+            WaitGroup {
+                inner: Arc::new(Inner {
+                    count: Mutex::new(1),
+                    all_done: Condvar::new(),
+                }),
+            }
+        }
+
+        /// Drops this reference and blocks until every other clone is
+        /// dropped too.
+        pub fn wait(self) {
+            let inner = Arc::clone(&self.inner);
+            drop(self);
+            let mut count = inner.count.lock().expect("waitgroup lock");
+            while *count > 0 {
+                count = inner.all_done.wait(count).expect("waitgroup lock");
+            }
+        }
+    }
+
+    impl Default for WaitGroup {
+        fn default() -> Self {
+            WaitGroup::new()
+        }
+    }
+
+    impl Clone for WaitGroup {
+        fn clone(&self) -> Self {
+            *self.inner.count.lock().expect("waitgroup lock") += 1;
+            WaitGroup {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl Drop for WaitGroup {
+        fn drop(&mut self) {
+            let mut count = self.inner.count.lock().expect("waitgroup lock");
+            *count -= 1;
+            if *count == 0 {
+                self.inner.all_done.notify_all();
+            }
+        }
+    }
+
+    impl std::fmt::Debug for WaitGroup {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("WaitGroup { .. }")
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        #[test]
+        fn wait_blocks_until_all_clones_drop() {
+            let wg = WaitGroup::new();
+            let done = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let wg = wg.clone();
+                    let done = Arc::clone(&done);
+                    std::thread::spawn(move || {
+                        done.fetch_add(1, Ordering::SeqCst);
+                        drop(wg);
+                    })
+                })
+                .collect();
+            wg.wait();
+            assert_eq!(done.load(Ordering::SeqCst), 4);
+            for h in handles {
+                h.join().unwrap();
+            }
+        }
+
+        #[test]
+        fn wait_returns_immediately_with_no_clones() {
+            WaitGroup::new().wait();
+        }
+    }
+}

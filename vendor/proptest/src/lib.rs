@@ -1,0 +1,275 @@
+//! Offline stand-in for `proptest`: deterministic randomized property
+//! testing with the subset of the real API this workspace uses.
+//!
+//! Supported: the [`proptest!`] macro (with an optional
+//! `#![proptest_config(...)]` header), range strategies over the primitive
+//! numeric types, tuple strategies, [`any`], [`collection::vec`], and the
+//! `prop_assert*` macros. Unsupported (by design, to stay dependency-free
+//! and small): shrinking of failing cases, `prop_map`-style combinators,
+//! and persistence of failure seeds — a failing case prints its inputs via
+//! the assertion message instead.
+
+#![forbid(unsafe_code)]
+
+// Let the crate's own tests use the same `proptest::...` paths downstream
+// crates write.
+extern crate self as proptest;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// How a property test runs; only the case count is configurable.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of random values for one property-test argument.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                if start == end {
+                    return start;
+                }
+                // Exclusive draw plus the end value with its own share:
+                // simple and adequate for a test-input generator.
+                let v = rng.gen_range(start..end);
+                if rng.gen_bool(1.0 / 64.0) {
+                    end
+                } else {
+                    v
+                }
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+
+/// Types with a full-range random generator, for [`any`].
+pub trait Arbitrary {
+    /// Draws an unconstrained random value.
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SmallRng) -> $t {
+                rng.gen()
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool);
+
+/// Strategy over a type's whole value range; see [`any`].
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The strategy generating arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use super::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Generates `Vec`s whose length is drawn from `size` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+            let len = if self.size.is_empty() {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Seeds the per-test RNG: deterministic in the test name and case index,
+/// overridable via `PROPTEST_SEED` for exploration.
+pub fn case_rng(test_name: &str, case: u32) -> SmallRng {
+    let base: u64 = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC0FF_EE00_5EED);
+    let mut hash = base ^ 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        hash = (hash ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    SmallRng::seed_from_u64(hash.wrapping_add(u64::from(case)))
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that checks the body over random cases. An optional
+/// leading `#![proptest_config(...)]` sets the case count for the block.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            for case in 0..config.cases {
+                let mut proptest_rng = $crate::case_rng(stringify!($name), case);
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut proptest_rng);)+
+                $body
+            }
+        }
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr)) => {};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `assert!` under a property: fails the whole test case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Generated values respect their range strategies.
+        #[test]
+        fn ranges_are_respected(a in 1i64..500, b in 0.25f64..0.75, c in 0usize..4) {
+            prop_assert!((1..500).contains(&a));
+            prop_assert!((0.25..0.75).contains(&b));
+            prop_assert!(c < 4);
+        }
+
+        /// Tuple and vec strategies compose.
+        #[test]
+        fn collections_compose(
+            pairs in proptest::collection::vec((0u32..6, any::<u64>()), 0..10),
+        ) {
+            prop_assert!(pairs.len() < 10);
+            for (k, _v) in &pairs {
+                prop_assert!(*k < 6);
+            }
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_name() {
+        let a: Vec<u64> = (0..4)
+            .map(|c| super::any::<u64>().generate(&mut super::case_rng("t", c)))
+            .collect();
+        let b: Vec<u64> = (0..4)
+            .map(|c| super::any::<u64>().generate(&mut super::case_rng("t", c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

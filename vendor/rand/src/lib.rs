@@ -1,0 +1,294 @@
+//! Offline stand-in for the `rand` crate (0.8-compatible surface).
+//!
+//! Implements exactly the API this workspace uses: [`RngCore`], [`Rng`]
+//! (`gen`, `gen_range`, `gen_bool`), [`SeedableRng::seed_from_u64`] and
+//! [`rngs::SmallRng`]. `SmallRng` is a genuine xoshiro256++ generator with
+//! SplitMix64 seed expansion — the same construction real `rand` uses for
+//! its 64-bit `SmallRng` — so the statistical quality of sampling
+//! decisions matches the real crate.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// The core of a random number generator: a source of `u64`s.
+pub trait RngCore {
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next random `u32` (top bits of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be sampled uniformly from their full value range (the
+/// `Standard` distribution of real `rand`; floats sample `[0, 1)`).
+pub trait StandardSample: Sized {
+    /// Draws one value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+/// Unit-interval `f64` from the top 53 bits of one `u64`.
+#[inline]
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Unit-interval `f32` from the top 24 bits of one draw.
+#[inline]
+fn unit_f32<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+    (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            #[inline]
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardSample for f64 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng)
+    }
+}
+
+impl StandardSample for f32 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f32(rng)
+    }
+}
+
+impl StandardSample for bool {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Uniform `u64` in `[0, span)` by Lemire's multiply-shift rejection —
+/// unbiased for every span.
+#[inline]
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    loop {
+        let m = u128::from(rng.next_u64()) * u128::from(span);
+        let low = m as u64;
+        if low >= span || low >= span.wrapping_neg() % span {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+/// Ranges a value can be drawn uniformly from.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + uniform_below(rng, span) as $t
+            }
+        }
+    )*};
+}
+range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! range_sint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + uniform_below(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+range_sint!(i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + (self.end - self.start) * unit_f64(rng)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + (self.end - self.start) * unit_f32(rng)
+    }
+}
+
+/// User-facing random value generation, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value of `T` from its standard distribution (full integer
+    /// range; `[0, 1)` for floats).
+    #[inline]
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// RNGs constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (expanded internally).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod rngs {
+    //! The concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator: xoshiro256++ seeded via
+    /// SplitMix64, matching real `rand`'s 64-bit `SmallRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::Rng;
+
+        #[test]
+        fn deterministic_for_a_seed() {
+            let mut a = SmallRng::seed_from_u64(42);
+            let mut b = SmallRng::seed_from_u64(42);
+            for _ in 0..100 {
+                assert_eq!(a.next_u64(), b.next_u64());
+            }
+        }
+
+        #[test]
+        fn different_seeds_diverge() {
+            let mut a = SmallRng::seed_from_u64(1);
+            let mut b = SmallRng::seed_from_u64(2);
+            assert_ne!(
+                (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+                (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+            );
+        }
+
+        #[test]
+        fn unit_floats_stay_in_range_and_cover_it() {
+            let mut rng = SmallRng::seed_from_u64(7);
+            let mut sum = 0.0;
+            for _ in 0..10_000 {
+                let x: f64 = rng.gen();
+                assert!((0.0..1.0).contains(&x));
+                sum += x;
+            }
+            let mean = sum / 10_000.0;
+            assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        }
+
+        #[test]
+        fn gen_range_is_roughly_uniform() {
+            let mut rng = SmallRng::seed_from_u64(9);
+            let mut counts = [0usize; 10];
+            for _ in 0..100_000 {
+                counts[rng.gen_range(0usize..10)] += 1;
+            }
+            for c in counts {
+                assert!((8_000..12_000).contains(&c), "bucket count {c}");
+            }
+        }
+
+        #[test]
+        fn signed_ranges_hit_bounds() {
+            let mut rng = SmallRng::seed_from_u64(11);
+            for _ in 0..1_000 {
+                let v = rng.gen_range(-5i64..5);
+                assert!((-5..5).contains(&v));
+            }
+        }
+    }
+}

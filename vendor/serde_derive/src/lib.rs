@@ -1,0 +1,19 @@
+//! Empty-expansion `#[derive(Serialize, Deserialize)]` stand-ins.
+//!
+//! Nothing in this workspace consumes the serde trait impls, so the
+//! derives expand to nothing; `#[serde(...)]` attributes are accepted and
+//! ignored.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
