@@ -17,16 +17,23 @@
 //! This module is a thin adapter: it expresses only the engine-specific
 //! parts above (dataset formation, cluster shuffles). The per-interval
 //! loop — cost-policy feedback, sampler lifecycle, window assembly,
-//! estimation — is the shared [`crate::runtime::ApproxRuntime`].
+//! estimation — is the shared [`crate::runtime::ApproxRuntime`], and the
+//! drive loop itself is [`BatchedEngine`], an incremental
+//! [`Engine`](crate::Engine) that forms micro-batches as items arrive.
+//! [`run_batched`] is a convenience wrapper: one session, one
+//! `push_batch`, one `finish`.
 
 use crate::combine::PanePayload;
-use crate::cost::{CostPolicy, SizingDirective};
-use crate::output::RunOutput;
+use crate::cost::{CostPolicy, PolicyHandle, SizingDirective};
+use crate::engine::Engine;
+use crate::output::{RunOutput, WindowResult};
 use crate::query::Query;
-use crate::runtime::{ApproxRuntime, ExactAccumulator};
-use sa_batched::{Cluster, MicroBatch, MicroBatcher, Pds};
+use crate::runtime::{ApproxRuntime, ExactAccumulator, PaneCursor};
+use crate::session::StreamApprox;
+use sa_batched::{Cluster, MicroBatch, Pds};
 use sa_estimate::StratumStats;
-use sa_types::{RunSeed, StratumId, StreamItem};
+use sa_types::EventTime;
+use sa_types::{RunSeed, SaError, StratumId, StreamItem, Window};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -120,11 +127,19 @@ fn chunks_of<T>(mut items: Vec<T>, n: usize) -> Vec<Vec<T>> {
 /// Runs one batched system over a recorded stream, returning the completed
 /// windows and run metrics.
 ///
+/// This is the one-shot convenience over an incremental
+/// [`crate::ApproxSession`]: it builds a batched session, pushes the whole
+/// recording, and finishes. Pushing the same items through a session by
+/// hand — item by item or in arbitrary chunks — produces bit-for-bit the
+/// same windows.
+///
 /// # Panics
 ///
 /// Panics if an SRS/STS baseline is driven by a non-fraction budget (the
 /// baselines are defined in terms of a sampling fraction; use
-/// [`crate::FixedFraction`]).
+/// [`crate::FixedFraction`]), or if `items` is not in non-decreasing
+/// event-time order.
+#[must_use = "the run's windows and metrics are its only product"]
 pub fn run_batched<R>(
     config: &BatchedConfig,
     system: BatchedSystem,
@@ -135,36 +150,125 @@ pub fn run_batched<R>(
 where
     R: Send + Sync + Clone + 'static,
 {
-    let mut runtime = ApproxRuntime::new(query, policy, config.seed, config.sample_workers.max(1));
-    for (pane_idx, batch) in
-        MicroBatcher::new(items.into_iter(), config.batch_interval_ms).enumerate()
-    {
-        let directive = runtime.interval_sizing();
+    let mut session = StreamApprox::new(query.clone(), policy)
+        .batched(config.clone(), system)
+        .start();
+    session
+        .push_batch(items)
+        .expect("recorded streams are event-time ordered");
+    session.finish()
+}
+
+/// The batched substrate as an incremental [`Engine`]: buffers the current
+/// micro-batch, and every time an item crosses the batch-interval boundary
+/// runs the pane job exactly as the one-shot path would — dataset
+/// formation, cluster shuffles, OASRS before RDD formation — then advances
+/// the runtime's watermark. Quiet intervals between items become empty
+/// panes, mirroring `MicroBatcher`.
+pub(crate) struct BatchedEngine<'p, R> {
+    config: BatchedConfig,
+    system: BatchedSystem,
+    query: Query<R>,
+    runtime: ApproxRuntime<'p, R>,
+    pane_items: Vec<StreamItem<R>>,
+    cursor: PaneCursor,
+    pane_idx: u64,
+}
+
+impl<'p, R> BatchedEngine<'p, R>
+where
+    R: Send + Sync + Clone + 'static,
+{
+    pub(crate) fn new(
+        config: BatchedConfig,
+        system: BatchedSystem,
+        query: Query<R>,
+        policy: impl Into<PolicyHandle<'p>>,
+    ) -> Self {
+        let runtime = ApproxRuntime::new(&query, policy, config.seed, config.sample_workers.max(1));
+        let cursor = PaneCursor::new(config.batch_interval_ms, query.window());
+        BatchedEngine {
+            config,
+            system,
+            query,
+            runtime,
+            pane_items: Vec::new(),
+            cursor,
+            pane_idx: 0,
+        }
+    }
+
+    /// Closes the current pane — runs the pane job over the buffered
+    /// items (possibly none, for a quiet interval) and advances the
+    /// watermark to the pane end.
+    fn close_pane(&mut self) {
+        let (start, end) = self.cursor.pane().expect("close_pane needs an open pane");
+        let window = Window::new(EventTime::from_millis(start), EventTime::from_millis(end));
+        let batch = MicroBatch {
+            window,
+            items: std::mem::take(&mut self.pane_items),
+        };
+        let directive = self.runtime.interval_sizing();
         let pane_started = Instant::now();
         let arrived = batch.items.len() as u64;
-        let pane_window = batch.window;
-        let payload = match (system, directive) {
+        let payload = match (self.system, directive) {
             (BatchedSystem::Native, _) | (_, SizingDirective::Everything) => {
-                native_pane(config, query, batch)
+                native_pane(&self.config, &self.query, batch)
             }
             (BatchedSystem::StreamApprox, d) => {
-                streamapprox_pane(config, query, batch, d, &mut runtime)
+                streamapprox_pane(&self.config, &self.query, batch, d, &mut self.runtime)
             }
             (BatchedSystem::Srs, SizingDirective::Fraction(f)) => {
-                srs_pane(config, query, batch, f, pane_idx as u64)
+                srs_pane(&self.config, &self.query, batch, f, self.pane_idx)
             }
             (BatchedSystem::Sts, SizingDirective::Fraction(f)) => {
-                sts_pane(config, query, batch, f, pane_idx as u64)
+                sts_pane(&self.config, &self.query, batch, f, self.pane_idx)
             }
             (BatchedSystem::Srs | BatchedSystem::Sts, d) => {
-                panic!("the {system} baseline needs a fraction budget, got {d:?}")
+                panic!(
+                    "the {} baseline needs a fraction budget, got {d:?}",
+                    self.system
+                )
             }
         };
         let process_nanos = pane_started.elapsed().as_nanos() as u64;
-        runtime.ingest_interval(pane_window, payload, arrived, process_nanos);
-        runtime.close_interval(pane_window.end);
+        self.runtime
+            .ingest_interval(window, payload, arrived, process_nanos);
+        self.runtime.close_interval(window.end);
+        self.pane_idx += 1;
     }
-    runtime.drain_windows()
+}
+
+impl<R> Engine<R> for BatchedEngine<'_, R>
+where
+    R: Send + Sync + Clone + 'static,
+{
+    fn push(&mut self, item: StreamItem<R>) -> Result<(), SaError> {
+        // The shared cursor aligns the first pane to the first item's
+        // interval, yields quiet intervals as empty panes (mirroring the
+        // one-shot batcher), and jumps oversized gaps.
+        let t = item.time.as_millis();
+        while self.cursor.needs_close(t) {
+            self.close_pane();
+            self.cursor.next(t);
+        }
+        self.pane_items.push(item);
+        Ok(())
+    }
+
+    fn poll_windows(&mut self) -> Vec<WindowResult> {
+        self.runtime.take_windows()
+    }
+
+    fn finish(mut self: Box<Self>) -> RunOutput {
+        // A trailing pane exists exactly when items arrived since the last
+        // boundary; quiet trailing intervals produce no pane, mirroring
+        // the one-shot batcher.
+        if !self.pane_items.is_empty() {
+            self.close_pane();
+        }
+        self.runtime.finish()
+    }
 }
 
 /// StreamApprox pane: distributed OASRS on raw items, then a data-parallel

@@ -46,6 +46,64 @@ pub trait CostPolicy: Send {
     }
 }
 
+/// A cost policy held either by borrow or by value, so run wrappers can
+/// keep handing the runtime a caller's `&mut dyn CostPolicy` while
+/// budget-built sessions own their policy outright.
+///
+/// Everything that accepts `impl Into<PolicyHandle>` therefore takes a
+/// `&mut` reference to any concrete policy, a `&mut dyn CostPolicy`, or a
+/// `Box<dyn CostPolicy>` interchangeably.
+pub enum PolicyHandle<'p> {
+    /// A policy borrowed from the caller (the caller observes the
+    /// feedback-driven state the run leaves behind).
+    Borrowed(&'p mut dyn CostPolicy),
+    /// A policy the runtime owns (built from a [`sa_types::QueryBudget`]).
+    Owned(Box<dyn CostPolicy>),
+}
+
+impl CostPolicy for PolicyHandle<'_> {
+    fn interval_sizing(&mut self) -> SizingDirective {
+        match self {
+            PolicyHandle::Borrowed(p) => p.interval_sizing(),
+            PolicyHandle::Owned(p) => p.interval_sizing(),
+        }
+    }
+
+    fn observe(&mut self, feedback: &IntervalFeedback) {
+        match self {
+            PolicyHandle::Borrowed(p) => p.observe(feedback),
+            PolicyHandle::Owned(p) => p.observe(feedback),
+        }
+    }
+}
+
+impl std::fmt::Debug for PolicyHandle<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolicyHandle::Borrowed(_) => f.write_str("PolicyHandle::Borrowed(..)"),
+            PolicyHandle::Owned(_) => f.write_str("PolicyHandle::Owned(..)"),
+        }
+    }
+}
+
+impl<'p, P: CostPolicy> From<&'p mut P> for PolicyHandle<'p> {
+    fn from(policy: &'p mut P) -> Self {
+        PolicyHandle::Borrowed(policy)
+    }
+}
+
+impl<'p> From<&'p mut dyn CostPolicy> for PolicyHandle<'p> {
+    fn from(policy: &'p mut dyn CostPolicy) -> Self {
+        PolicyHandle::Borrowed(policy)
+    }
+}
+
+impl From<Box<dyn CostPolicy>> for PolicyHandle<'static> {
+    fn from(policy: Box<dyn CostPolicy>) -> Self {
+        PolicyHandle::Owned(policy)
+    }
+}
+
 /// Fixed sampling fraction — the knob every throughput experiment in the
 /// paper sweeps (10%–90%).
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -1,0 +1,58 @@
+//! The engine contract behind incremental sessions.
+//!
+//! The paper's architecture (§4) separates *what* StreamApprox does every
+//! interval — sample under a budget, estimate with error bounds, assemble
+//! windows — from *where* it runs: a batched dataset engine, a pipelined
+//! operator engine, or a plain consumer loop off a stream aggregator.
+//! [`Engine`] is that separation as a trait: each substrate accepts items
+//! one at a time, surfaces windows as their watermark closes them, and
+//! settles into a [`RunOutput`] at end of stream. Every implementation
+//! embeds the shared runtime parts ([`crate::ApproxRuntime`],
+//! [`crate::IntervalWorker`], [`crate::WindowFinalizer`]) and adds only
+//! its substrate's execution strategy.
+//!
+//! Applications normally do not touch this trait: they build an
+//! [`crate::ApproxSession`] through the [`crate::StreamApprox`] builder,
+//! which picks the engine and layers input validation on top. Implement
+//! `Engine` to plug a new substrate (a sharded engine, a remote runner)
+//! into the same session API via
+//! [`crate::ApproxSession::from_engine`].
+
+use crate::output::{RunOutput, WindowResult};
+use sa_types::{SaError, StreamItem};
+
+/// One execution substrate driving the approximation runtime
+/// incrementally.
+///
+/// # Contract
+///
+/// * [`push`](Engine::push) receives items in non-decreasing event-time
+///   order ([`crate::ApproxSession`] enforces this before delegating, so
+///   implementations may trust it).
+/// * [`poll_windows`](Engine::poll_windows) returns each completed window
+///   exactly once, in watermark order, without blocking on future input.
+///   Threaded engines may surface a window a moment after the items that
+///   complete it were pushed; single-threaded engines surface it on the
+///   very push that crosses the window boundary.
+/// * [`finish`](Engine::finish) flushes every still-open window and
+///   returns the run's output: the windows not yet taken through
+///   `poll_windows`, plus ingestion/aggregation counters covering the
+///   whole run.
+pub trait Engine<R> {
+    /// Ingests one item.
+    ///
+    /// # Errors
+    ///
+    /// [`SaError::Disconnected`] if the substrate has shut down (e.g. an
+    /// operator thread died); implementations must not panic on transport
+    /// failure.
+    fn push(&mut self, item: StreamItem<R>) -> Result<(), SaError>;
+
+    /// Takes the windows completed since the last poll.
+    fn poll_windows(&mut self) -> Vec<WindowResult>;
+
+    /// Ends the stream: flushes trailing windows and returns the
+    /// completed run.
+    #[must_use = "finish returns the run's windows and metrics"]
+    fn finish(self: Box<Self>) -> RunOutput;
+}

@@ -15,7 +15,45 @@
 //! from the weighted sample with rigorous error bounds, trading accuracy
 //! for throughput under a user-specified budget.
 //!
-//! # Quick start
+//! # Quick start: a live session
+//!
+//! Streams are unbounded, so the primary API is incremental: build a
+//! [`StreamApprox`] session, `push` items as they arrive, and poll each
+//! window's `output ± error bound` as the watermark closes it — long
+//! before the stream ends.
+//!
+//! ```
+//! use streamapprox::{Query, StreamApprox};
+//! use sa_types::{EventTime, QueryBudget, StratumId, StreamItem, WindowSpec};
+//!
+//! let query = Query::new(|v: &f64| *v).with_window(WindowSpec::tumbling_millis(2_000));
+//! let mut session = StreamApprox::with_budget(query, QueryBudget::SampleFraction(0.3))
+//!     .expect("valid budget")
+//!     .start();
+//!
+//! // A stream with two sub-streams of very different sizes, arriving live.
+//! for i in 0..10_000i64 {
+//!     let stratum = if i % 100 == 0 { StratumId(1) } else { StratumId(0) };
+//!     let item = StreamItem::new(stratum, EventTime::from_millis(i), f64::from(i as u32 % 50));
+//!     session.push(item).expect("event-time ordered");
+//!
+//!     // Answers stream out while input keeps arriving.
+//!     for window in session.poll_windows() {
+//!         let (lo, hi) = window.mean.interval();
+//!         assert!(lo <= window.mean.value && window.mean.value <= hi);
+//!     }
+//! }
+//!
+//! let out = session.finish();
+//! assert!(out.items_aggregated < out.items_ingested);
+//! ```
+//!
+//! # One-shot convenience
+//!
+//! For recorded streams, [`run_batched`]/[`run_pipelined`] wrap a session
+//! (build → push everything → finish) and add the paper's baseline
+//! systems; results are bit-for-bit identical to pushing the same items
+//! incrementally.
 //!
 //! ```
 //! use streamapprox::{
@@ -24,7 +62,6 @@
 //! use sa_batched::Cluster;
 //! use sa_types::{EventTime, StratumId, StreamItem, WindowSpec};
 //!
-//! // A stream with two sub-streams of very different sizes.
 //! let items: Vec<StreamItem<f64>> = (0..10_000)
 //!     .map(|i| {
 //!         let stratum = if i % 100 == 0 { StratumId(1) } else { StratumId(0) };
@@ -34,8 +71,6 @@
 //!
 //! let config = BatchedConfig::new(Cluster::new(2));
 //! let query = Query::new(|v: &f64| *v).with_window(WindowSpec::tumbling_millis(2_000));
-//!
-//! // Sample 30% of the stream; answers come with error bounds.
 //! let out = run_batched(
 //!     &config,
 //!     BatchedSystem::StreamApprox,
@@ -44,25 +79,30 @@
 //!     items,
 //! );
 //! assert!(out.items_aggregated < out.items_ingested);
-//! for window in &out.windows {
-//!     let (lo, hi) = window.mean.interval();
-//!     assert!(lo <= hi);
-//! }
 //! ```
 //!
 //! # Map of the crate
 //!
 //! * [`Query`] — what to aggregate, over which sliding window, at which
 //!   confidence.
+//! * [`StreamApprox`] / [`ApproxSession`] — the incremental session API:
+//!   `push`/`push_batch`/`ingest_consumer` in, `poll_windows`,
+//!   `watermark`, `status` and `finish` out.
+//! * [`Engine`] — the substrate contract behind sessions; implemented by
+//!   the batched dataset engine, the pipelined operator engine, and the
+//!   aggregated consumer path ([`AggregatedConfig`]), each embedding the
+//!   shared runtime. Implement it to plug in your own substrate via
+//!   [`ApproxSession::from_engine`].
 //! * [`CostPolicy`] and its implementations ([`FixedFraction`],
 //!   [`FixedPerStratum`], [`AccuracyPolicy`], [`LatencyPolicy`],
 //!   [`TokenPolicy`]) — the paper's "virtual cost function" (§7) mapping a
 //!   [`sa_types::QueryBudget`] to per-interval sample sizes;
-//!   [`policy_for_budget`] builds one from a budget.
+//!   [`policy_for_budget`] builds one from a budget, [`PolicyHandle`]
+//!   holds one borrowed or owned.
 //! * [`ApproxRuntime`] (with [`IntervalWorker`] and [`WindowFinalizer`]) —
 //!   the engine-agnostic approximation runtime: the shared per-interval
 //!   loop of sampling, cost-policy feedback, window assembly and
-//!   estimation that every engine adapter drives.
+//!   estimation that every engine embeds.
 //! * [`run_batched`] with [`BatchedSystem`] — Spark-style execution:
 //!   StreamApprox plus the SRS/STS/native baselines.
 //! * [`run_pipelined`] with [`PipelinedSystem`] — Flink-style execution:
@@ -75,27 +115,33 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod aggregated;
 mod batched;
 mod combine;
 mod cost;
+mod engine;
 mod output;
 mod pipelined;
 mod query;
 mod runtime;
+mod session;
 mod stratify;
 mod windowing;
 
+pub use aggregated::AggregatedConfig;
 pub use batched::{run_batched, BatchedConfig, BatchedSystem};
 pub use combine::{combine_window, PanePayload};
 pub use cost::{
     confidence_for_budget, policy_for_budget, AccuracyPolicy, CostPolicy, FixedFraction,
-    FixedPerStratum, IntervalFeedback, LatencyPolicy, SizingDirective, TokenPolicy,
+    FixedPerStratum, IntervalFeedback, LatencyPolicy, PolicyHandle, SizingDirective, TokenPolicy,
 };
+pub use engine::Engine;
 pub use output::{RunOutput, WindowResult};
 pub use pipelined::{run_pipelined, PipelinedConfig, PipelinedSystem};
 pub use query::Query;
 pub use runtime::{
     sampler_sizing, ApproxRuntime, ExactAccumulator, IntervalWorker, WindowFinalizer,
 };
+pub use session::{ApproxSession, ConsumerIngest, StreamApprox};
 pub use stratify::{restratify, QuantileStratifier};
 pub use windowing::PaneWindower;

@@ -17,12 +17,14 @@
 
 use crate::combine::PanePayload;
 use crate::cost::CostPolicy;
+use crate::engine::Engine;
 use crate::output::{RunOutput, WindowResult};
 use crate::query::Query;
 use crate::runtime::{sampler_sizing, IntervalWorker, WindowFinalizer};
+use crate::session::StreamApprox;
 use sa_estimate::StratumStats;
-use sa_pipelined::{Exchange, Flow, Operator};
-use sa_types::{EventTime, RunSeed, StratumId, StreamItem, Window};
+use sa_pipelined::{Exchange, Flow, FlowHandle, Operator, PushSource};
+use sa_types::{EventTime, RunSeed, SaError, StratumId, StreamItem, Window};
 use std::time::Instant;
 
 /// Which pipelined system to run.
@@ -53,6 +55,12 @@ pub struct PipelinedConfig {
     pub seed: RunSeed,
     /// How often the source advances the watermark (event-time ms).
     pub watermark_interval_ms: i64,
+    /// Expected items in the first pane — the fraction policy's
+    /// first-interval capacity hint (from the second pane on, OASRS adapts
+    /// capacities from real arrival counters). [`run_pipelined`] derives
+    /// this from the recorded stream; live sessions supply an estimate, or
+    /// leave the default `0` to start from the sampler's minimum capacity.
+    pub expected_pane_items: usize,
 }
 
 impl PipelinedConfig {
@@ -63,6 +71,7 @@ impl PipelinedConfig {
             sample_workers: 2,
             seed: RunSeed::DEFAULT,
             watermark_interval_ms: 100,
+            expected_pane_items: 0,
         }
     }
 
@@ -78,6 +87,13 @@ impl PipelinedConfig {
     #[must_use]
     pub fn with_seed(mut self, seed: impl Into<RunSeed>) -> Self {
         self.seed = seed.into();
+        self
+    }
+
+    /// Sets the first-pane volume hint for fraction budgets.
+    #[must_use]
+    pub fn with_expected_pane_items(mut self, items: usize) -> Self {
+        self.expected_pane_items = items;
         self
     }
 }
@@ -235,6 +251,18 @@ impl Operator<StageOut, RunnerOut> for WindowEstimator {
 /// The cost policy is consulted once at startup for its sizing directive;
 /// within the run, OASRS's own per-interval adaptation (capacity follows
 /// `fraction × previous arrivals`) provides the adaptivity of §4.2.2.
+///
+/// This is the one-shot convenience over an incremental
+/// [`crate::ApproxSession`]: it derives the first-pane volume hint from
+/// the recording, builds a pipelined session, pushes everything, and
+/// finishes. A session configured with the same
+/// [`PipelinedConfig::expected_pane_items`] and fed the same items —
+/// item by item or chunked — produces bit-for-bit the same windows.
+///
+/// # Panics
+///
+/// Panics if `items` is not in non-decreasing event-time order.
+#[must_use = "the run's windows and metrics are its only product"]
 pub fn run_pipelined<R>(
     config: &PipelinedConfig,
     system: PipelinedSystem,
@@ -245,57 +273,141 @@ pub fn run_pipelined<R>(
 where
     R: Send + Sync + 'static,
 {
-    let started = Instant::now();
-    let pane_ms = query.window().slide_millis();
-    let w = config.sample_workers.max(1);
-    let proj = query.projection();
-    let seed = config.seed;
-    let confidence = query.confidence();
-    let window_spec = query.window();
     // Estimate pane volume for the fraction policy's first interval.
+    let pane_ms = query.window().slide_millis();
     let first_pane_guess = items
         .iter()
         .take_while(|i| i.time.as_millis() < pane_ms)
         .count();
-    let sizing = if matches!(system, PipelinedSystem::Native) {
-        None
-    } else {
-        sampler_sizing(policy.interval_sizing(), first_pane_guess, w)
-    };
+    let mut session = StreamApprox::new(query.clone(), policy)
+        .pipelined(config.with_expected_pane_items(first_pane_guess), system)
+        .start();
+    session
+        .push_batch(items)
+        .expect("recorded streams are event-time ordered");
+    session.finish()
+}
 
-    let collected = Flow::source(items, config.watermark_interval_ms)
-        .then(w, Exchange::Rebalance, move |i| PaneStage {
-            worker: IntervalWorker::for_worker(sizing, seed, i, w, std::sync::Arc::clone(&proj)),
-            pane_ms,
-            current_pane_start: None,
-        })
-        .then(1, Exchange::Rebalance, move |_| WindowEstimator {
-            finalizer: WindowFinalizer::new(window_spec, confidence),
+/// The pipelined substrate as an incremental [`Engine`]: the full operator
+/// topology — push source, parallel sampling/stats stage, window estimator
+/// — runs on its own threads from the moment the engine is built, and
+/// `push` feeds it live through the source with backpressure. Windows
+/// surface through the sink as watermarks close them, a beat after the
+/// items that completed them (the stages are concurrent); `finish` ends
+/// the stream, drains the sink, and joins the topology.
+pub(crate) struct PipelinedEngine<R: Send + 'static> {
+    source: PushSource<R>,
+    sink: FlowHandle<RunnerOut>,
+    started: Instant,
+    ingested: u64,
+    aggregated: u64,
+}
+
+impl<R> PipelinedEngine<R>
+where
+    R: Send + Sync + 'static,
+{
+    pub(crate) fn new(
+        config: &PipelinedConfig,
+        system: PipelinedSystem,
+        query: &Query<R>,
+        policy: &mut dyn CostPolicy,
+    ) -> Self {
+        let started = Instant::now();
+        let pane_ms = query.window().slide_millis();
+        let w = config.sample_workers.max(1);
+        let proj = query.projection();
+        let seed = config.seed;
+        let confidence = query.confidence();
+        let window_spec = query.window();
+        let sizing = if matches!(system, PipelinedSystem::Native) {
+            None
+        } else {
+            sampler_sizing(policy.interval_sizing(), config.expected_pane_items, w)
+        };
+
+        let (source, flow) = Flow::source_push(config.watermark_interval_ms);
+        let sink = flow
+            .then(w, Exchange::Rebalance, move |i| PaneStage {
+                worker: IntervalWorker::for_worker(
+                    sizing,
+                    seed,
+                    i,
+                    w,
+                    std::sync::Arc::clone(&proj),
+                ),
+                pane_ms,
+                current_pane_start: None,
+            })
+            .then(1, Exchange::Rebalance, move |_| WindowEstimator {
+                finalizer: WindowFinalizer::new(window_spec, confidence),
+                ingested: 0,
+                sampled: 0,
+            })
+            .into_handle();
+        PipelinedEngine {
+            source,
+            sink,
+            started,
             ingested: 0,
-            sampled: 0,
-        })
-        .collect();
-
-    let mut windows = Vec::new();
-    let mut ingested = 0u64;
-    let mut aggregated = 0u64;
-    for item in collected {
-        match item.value {
-            RunnerOut::Window(result) => windows.push(*result),
-            RunnerOut::Done {
-                ingested: i,
-                sampled: s,
-            } => {
-                ingested += i;
-                aggregated += s;
-            }
+            aggregated: 0,
         }
     }
-    windows.sort_by_key(|w| (w.window.end, w.window.start));
-    RunOutput {
-        windows,
-        items_ingested: ingested,
-        items_aggregated: aggregated,
-        elapsed: started.elapsed(),
+
+    /// Splits a drained sink batch into windows and end-of-stream
+    /// counters.
+    fn absorb(
+        emitted: Vec<StreamItem<RunnerOut>>,
+        ingested: &mut u64,
+        aggregated: &mut u64,
+    ) -> Vec<WindowResult> {
+        let mut windows = Vec::new();
+        for item in emitted {
+            match item.value {
+                RunnerOut::Window(result) => windows.push(*result),
+                RunnerOut::Done {
+                    ingested: i,
+                    sampled: s,
+                } => {
+                    *ingested += i;
+                    *aggregated += s;
+                }
+            }
+        }
+        windows
+    }
+}
+
+impl<R> Engine<R> for PipelinedEngine<R>
+where
+    R: Send + Sync + 'static,
+{
+    fn push(&mut self, item: StreamItem<R>) -> Result<(), SaError> {
+        self.source.push(item)
+    }
+
+    fn poll_windows(&mut self) -> Vec<WindowResult> {
+        let emitted = self.sink.try_drain();
+        Self::absorb(emitted, &mut self.ingested, &mut self.aggregated)
+    }
+
+    fn finish(self: Box<Self>) -> RunOutput {
+        let PipelinedEngine {
+            source,
+            sink,
+            started,
+            mut ingested,
+            mut aggregated,
+        } = *self;
+        drop(source); // end-of-stream: final MAX watermark flushes every window
+        let emitted = sink.drain_to_end();
+        let mut windows = Self::absorb(emitted, &mut ingested, &mut aggregated);
+        windows.sort_by_key(|w| (w.window.end, w.window.start));
+        RunOutput {
+            windows,
+            items_ingested: ingested,
+            items_aggregated: aggregated,
+            elapsed: started.elapsed(),
+        }
     }
 }

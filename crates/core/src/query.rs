@@ -24,11 +24,22 @@ use std::sync::Arc;
 ///     .with_confidence(Confidence::P95);
 /// assert_eq!(query.project(&"abcd".to_string()), 4.0);
 /// ```
-#[derive(Clone)]
 pub struct Query<R> {
     projection: Arc<dyn Fn(&R) -> f64 + Send + Sync>,
     window: WindowSpec,
     confidence: Confidence,
+}
+
+// Not derived: a derive would demand `R: Clone`, but the query only holds
+// the projection by `Arc`, so it clones for any record type.
+impl<R> Clone for Query<R> {
+    fn clone(&self) -> Self {
+        Query {
+            projection: Arc::clone(&self.projection),
+            window: self.window,
+            confidence: self.confidence,
+        }
+    }
 }
 
 impl<R> Query<R> {

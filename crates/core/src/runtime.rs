@@ -24,14 +24,14 @@
 //!   from a single control thread: cost-policy consultation and feedback,
 //!   sampler-pool lifecycle, interval ingestion, window finalization and
 //!   run metrics, behind the `ingest_interval` / `close_interval` /
-//!   `drain_windows` API.
+//!   `take_windows` / `finish` API.
 //!
 //! What remains in the engine adapters is only what is genuinely
 //! engine-specific: micro-batch dataset formation and cluster shuffles in
 //! `batched`, operator pipelines and exchanges in `pipelined`.
 
 use crate::combine::{combine_window, PanePayload};
-use crate::cost::{CostPolicy, IntervalFeedback, SizingDirective};
+use crate::cost::{CostPolicy, IntervalFeedback, PolicyHandle, SizingDirective};
 use crate::output::{RunOutput, WindowResult};
 use crate::query::Query;
 use crate::windowing::PaneWindower;
@@ -181,6 +181,72 @@ impl<R> IntervalWorker<R> {
     }
 }
 
+/// Event-time pane bookkeeping for push-driven engines: first-pane
+/// alignment, boundary detection, and bounded gap handling. The batched
+/// and aggregated engines share this one implementation so their
+/// pane-for-pane agreement with the one-shot wrappers is structural, not
+/// merely test-enforced.
+///
+/// Gaps: quiet intervals between items normally become empty panes (one
+/// `close`/`next` step each), exactly like the recorded-stream
+/// micro-batcher. A gap longer than twice `window size + slide` holds
+/// only panes no window spanning data can cover, so the cursor jumps it —
+/// a single item with a far-future timestamp costs one pane, not one per
+/// elapsed interval (the matching window-side bound lives in
+/// [`PaneWindower::advance`]).
+pub(crate) struct PaneCursor {
+    interval_ms: i64,
+    skip_horizon_ms: i64,
+    start: Option<i64>,
+}
+
+impl PaneCursor {
+    /// A cursor cutting panes of `interval_ms` for windows of `spec`.
+    pub(crate) fn new(interval_ms: i64, spec: WindowSpec) -> Self {
+        assert!(interval_ms > 0, "pane interval must be positive");
+        PaneCursor {
+            interval_ms,
+            skip_horizon_ms: 2 * (spec.size_millis() + spec.slide_millis()),
+            start: None,
+        }
+    }
+
+    /// The open pane's `[start, end)`, once the first item has arrived.
+    pub(crate) fn pane(&self) -> Option<(i64, i64)> {
+        self.start.map(|s| (s, s.saturating_add(self.interval_ms)))
+    }
+
+    /// Prepares the cursor for an item at time `t` (non-decreasing):
+    /// `true` means the open pane must be closed first — close it, call
+    /// [`next`](PaneCursor::next), and ask again; `false` means the item
+    /// belongs to the open pane. The first item aligns the first pane to
+    /// its interval.
+    pub(crate) fn needs_close(&mut self, t: i64) -> bool {
+        match self.start {
+            None => {
+                self.start = Some(t.div_euclid(self.interval_ms) * self.interval_ms);
+                false
+            }
+            Some(s) => t >= s.saturating_add(self.interval_ms),
+        }
+    }
+
+    /// Moves to the pane after a close: the adjacent interval, or — when
+    /// the item at `t` is beyond the skip horizon — the item's own pane.
+    pub(crate) fn next(&mut self, t: i64) {
+        let adjacent = self
+            .start
+            .expect("next follows a close")
+            .saturating_add(self.interval_ms);
+        let target = t.div_euclid(self.interval_ms) * self.interval_ms;
+        self.start = Some(if target - adjacent > self.skip_horizon_ms {
+            target
+        } else {
+            adjacent
+        });
+    }
+}
+
 /// Pane-to-window assembly and finalization: owns the [`PaneWindower`]
 /// state and turns completed windows into [`WindowResult`]s via
 /// [`combine_window`]. The engine-facing surface mirrors
@@ -261,14 +327,15 @@ struct SamplerPool<R> {
 /// 3. hands the payload to
 ///    [`ingest_interval`](ApproxRuntime::ingest_interval) and advances the
 ///    watermark with [`close_interval`](ApproxRuntime::close_interval),
-/// 4. collects the finished run from
-///    [`drain_windows`](ApproxRuntime::drain_windows).
+/// 4. drains completed windows incrementally with
+///    [`take_windows`](ApproxRuntime::take_windows) and collects the
+///    finished run from [`finish`](ApproxRuntime::finish).
 ///
 /// Threaded engines that cannot route everything through one object embed
 /// the runtime's parts directly: [`IntervalWorker`] per parallel worker,
 /// [`WindowFinalizer`] in the window stage.
 pub struct ApproxRuntime<'p, R> {
-    policy: &'p mut dyn CostPolicy,
+    policy: PolicyHandle<'p>,
     finalizer: WindowFinalizer,
     pool: Option<SamplerPool<R>>,
     seed: RunSeed,
@@ -279,16 +346,17 @@ pub struct ApproxRuntime<'p, R> {
 }
 
 impl<'p, R> ApproxRuntime<'p, R> {
-    /// A runtime executing `query` under `policy`, with `workers` parallel
-    /// sampling workers seeded from `seed`.
+    /// A runtime executing `query` under `policy` (borrowed or owned, see
+    /// [`PolicyHandle`]), with `workers` parallel sampling workers seeded
+    /// from `seed`.
     pub fn new(
         query: &Query<R>,
-        policy: &'p mut dyn CostPolicy,
+        policy: impl Into<PolicyHandle<'p>>,
         seed: RunSeed,
         workers: usize,
     ) -> Self {
         ApproxRuntime {
-            policy,
+            policy: policy.into(),
             finalizer: WindowFinalizer::new(query.window(), query.confidence()),
             pool: None,
             seed,
@@ -377,9 +445,18 @@ impl<'p, R> ApproxRuntime<'p, R> {
         self.finalizer.close_interval(watermark);
     }
 
+    /// Takes the windows finalized since the last take — the incremental
+    /// drain an [`crate::ApproxSession`] serves `poll_windows` from.
+    pub fn take_windows(&mut self) -> Vec<WindowResult> {
+        self.finalizer.drain_windows()
+    }
+
     /// Ends the run: flushes trailing windows and returns the completed
-    /// [`RunOutput`].
-    pub fn drain_windows(mut self) -> RunOutput {
+    /// [`RunOutput`]. Its `windows` are those not already removed through
+    /// [`take_windows`](ApproxRuntime::take_windows); the item counters
+    /// always cover the whole run.
+    #[must_use = "finish returns the run's windows and metrics"]
+    pub fn finish(mut self) -> RunOutput {
         self.finalizer.finish();
         RunOutput {
             windows: self.finalizer.drain_windows(),
@@ -531,7 +608,7 @@ mod tests {
             1_000,
         );
         rt.close_interval(EventTime::from_millis(1_000));
-        let out = rt.drain_windows();
+        let out = rt.finish();
         assert_eq!(out.items_ingested, 3);
         assert_eq!(out.items_aggregated, 3);
         assert_eq!(out.windows.len(), 1);
@@ -540,6 +617,35 @@ mod tests {
         assert_eq!(policy.observed[0].items, 3);
         assert_eq!(policy.observed[0].process_nanos, 1_000);
         assert!(policy.observed[0].relative_error.is_some());
+    }
+
+    #[test]
+    fn take_windows_drains_incrementally_without_ending_the_run() {
+        let mut policy = Recording::new(SizingDirective::Everything);
+        let q = query();
+        let mut rt: ApproxRuntime<'_, f64> =
+            ApproxRuntime::new(&q, &mut policy, RunSeed::DEFAULT, 1);
+        rt.ingest_interval(
+            pane(0),
+            PanePayload::Stratified(exact_stats(0, &[1.0])),
+            1,
+            10,
+        );
+        rt.close_interval(EventTime::from_millis(1_000));
+        // The first window is observable mid-run...
+        let early = rt.take_windows();
+        assert_eq!(early.len(), 1);
+        assert!(rt.take_windows().is_empty());
+        // ...and the run continues: a second interval still finalizes.
+        rt.ingest_interval(
+            pane(1_000),
+            PanePayload::Stratified(exact_stats(0, &[2.0])),
+            1,
+            10,
+        );
+        let out = rt.finish();
+        assert_eq!(out.windows.len(), 1, "only the undrained window remains");
+        assert_eq!(out.items_ingested, 2, "counters cover the whole run");
     }
 
     #[test]
@@ -586,7 +692,7 @@ mod tests {
         let mut rt: ApproxRuntime<'_, f64> =
             ApproxRuntime::new(&q, &mut policy, RunSeed::DEFAULT, 1);
         rt.ingest_interval(pane(0), PanePayload::Stratified(Vec::new()), 0, 10);
-        let out = rt.drain_windows();
+        let out = rt.finish();
         assert_eq!(out.items_ingested, 0);
         assert_eq!(policy.observed[0].relative_error, None);
     }

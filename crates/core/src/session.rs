@@ -1,0 +1,454 @@
+//! Incremental sessions: the push/poll API over any [`Engine`].
+//!
+//! The paper is about *unbounded* streams, so the primary API is not "hand
+//! me the whole recording" but a live session: build a [`StreamApprox`]
+//! (query + cost policy or budget + engine choice), [`start`] it, `push`
+//! items as they arrive, `poll_windows` for every window the watermark has
+//! closed so far, and `finish` for the final [`RunOutput`]. The one-shot
+//! [`crate::run_batched`]/[`crate::run_pipelined`] entry points are thin
+//! conveniences over exactly this session (build → push everything →
+//! finish), so the two styles are bit-for-bit interchangeable.
+//!
+//! [`start`]: StreamApprox::start
+
+use crate::aggregated::{AggregatedConfig, AggregatedEngine};
+use crate::batched::{BatchedConfig, BatchedEngine, BatchedSystem};
+use crate::cost::{confidence_for_budget, policy_for_budget, PolicyHandle};
+use crate::engine::Engine;
+use crate::output::{RunOutput, WindowResult};
+use crate::pipelined::{PipelinedConfig, PipelinedEngine, PipelinedSystem};
+use crate::query::Query;
+use sa_aggregator::Consumer;
+use sa_types::{EventTime, QueryBudget, SaError, SessionStatus, StreamItem};
+
+/// Deferred engine construction: each builder method captures its config
+/// in a factory closure so that trait bounds stay per-engine — the
+/// batched engine needs `R: Clone` for dataset formation, the pipelined
+/// engine only `Send + Sync + 'static` for its threads, the aggregated
+/// path nothing at all — instead of `start()` demanding their union.
+type BuildFn<'p, R> = dyn FnOnce(Query<R>, PolicyHandle<'p>) -> Box<dyn Engine<R> + 'p> + 'p;
+
+struct EngineFactory<'p, R> {
+    name: &'static str,
+    build: Box<BuildFn<'p, R>>,
+}
+
+fn aggregated_factory<'p, R: 'p>(config: AggregatedConfig) -> EngineFactory<'p, R> {
+    EngineFactory {
+        name: "aggregated",
+        build: Box::new(move |query, policy| {
+            Box::new(AggregatedEngine::new(config, query, policy))
+        }),
+    }
+}
+
+/// Builder for an incremental StreamApprox session: what to compute (a
+/// [`Query`]), under which cost policy or budget, on which engine.
+///
+/// The default engine is the aggregated consumer path — the lightest
+/// substrate, right for in-process consumer loops. Pick the batched or
+/// pipelined engine to run the paper's Spark/Flink-style substrates (and
+/// their baseline systems).
+///
+/// # Example
+///
+/// ```
+/// use streamapprox::{Query, StreamApprox};
+/// use sa_types::{EventTime, QueryBudget, StratumId, StreamItem, WindowSpec};
+///
+/// let query = Query::new(|v: &f64| *v).with_window(WindowSpec::tumbling_millis(1_000));
+/// let mut session = StreamApprox::with_budget(query, QueryBudget::SampleFraction(0.4))
+///     .expect("valid budget")
+///     .start();
+/// for i in 0..5_000i64 {
+///     let item = StreamItem::new(StratumId(0), EventTime::from_millis(i), f64::from(i as u32 % 10));
+///     session.push(item).expect("in-order push");
+/// }
+/// // Windows are observable while the stream is still open...
+/// assert!(!session.poll_windows().is_empty());
+/// // ...and finish() flushes the rest.
+/// let out = session.finish();
+/// assert!(out.items_aggregated < out.items_ingested);
+/// ```
+pub struct StreamApprox<'p, R> {
+    query: Query<R>,
+    policy: PolicyHandle<'p>,
+    factory: EngineFactory<'p, R>,
+}
+
+impl<'p, R: 'p> StreamApprox<'p, R> {
+    /// A builder executing `query` under `policy` — any
+    /// [`crate::CostPolicy`] by `&mut` (the caller keeps the policy and
+    /// observes the state feedback leaves behind) or an owned
+    /// `Box<dyn CostPolicy>`.
+    pub fn new(query: Query<R>, policy: impl Into<PolicyHandle<'p>>) -> Self {
+        StreamApprox {
+            query,
+            policy: policy.into(),
+            factory: aggregated_factory(AggregatedConfig::new()),
+        }
+    }
+
+    /// A builder owning the policy a [`QueryBudget`] implies; the query's
+    /// confidence is aligned with the budget's (accuracy budgets carry
+    /// their own confidence level).
+    ///
+    /// # Errors
+    ///
+    /// Returns the budget's validation error if its parameters are out of
+    /// range.
+    pub fn with_budget(
+        query: Query<R>,
+        budget: QueryBudget,
+    ) -> Result<StreamApprox<'static, R>, SaError>
+    where
+        R: 'static,
+    {
+        let confidence = confidence_for_budget(budget);
+        let policy = policy_for_budget(budget)?;
+        Ok(StreamApprox {
+            query: query.with_confidence(confidence),
+            policy: policy.into(),
+            factory: aggregated_factory(AggregatedConfig::new()),
+        })
+    }
+
+    /// Runs the session on the batched (Spark-Streaming-style) engine.
+    #[must_use]
+    pub fn batched(mut self, config: BatchedConfig, system: BatchedSystem) -> Self
+    where
+        R: Send + Sync + Clone + 'static,
+    {
+        self.factory = EngineFactory {
+            name: "batched",
+            build: Box::new(move |query, policy| {
+                Box::new(BatchedEngine::new(config, system, query, policy))
+            }),
+        };
+        self
+    }
+
+    /// Runs the session on the pipelined (Flink-style) engine.
+    #[must_use]
+    pub fn pipelined(mut self, config: PipelinedConfig, system: PipelinedSystem) -> Self
+    where
+        R: Send + Sync + 'static,
+    {
+        self.factory = EngineFactory {
+            name: "pipelined",
+            build: Box::new(move |query, mut policy| {
+                // The pipelined engine consults the policy once at
+                // startup (§4.2.2 adaptivity lives in OASRS itself), so
+                // the engine does not carry the policy borrow.
+                Box::new(PipelinedEngine::new(&config, system, &query, &mut policy))
+            }),
+        };
+        self
+    }
+
+    /// Runs the session on the aggregated consumer path (the default).
+    #[must_use]
+    pub fn aggregated(mut self, config: AggregatedConfig) -> Self {
+        self.factory = aggregated_factory(config);
+        self
+    }
+
+    /// Starts the session: builds the chosen engine (threaded engines
+    /// start executing immediately) and returns the push/poll handle.
+    pub fn start(self) -> ApproxSession<'p, R> {
+        let StreamApprox {
+            query,
+            policy,
+            factory,
+        } = self;
+        ApproxSession::from_engine((factory.build)(query, policy))
+    }
+}
+
+impl<R> std::fmt::Debug for StreamApprox<'_, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamApprox")
+            .field("query", &self.query)
+            .field("policy", &self.policy)
+            .field("engine", &self.factory.name)
+            .finish()
+    }
+}
+
+/// What one [`ApproxSession::ingest_consumer`] call did with the items it
+/// polled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConsumerIngest {
+    /// Items accepted into the session.
+    pub ingested: usize,
+    /// Items behind the session watermark, dropped as late data.
+    pub dropped_late: usize,
+}
+
+/// A running incremental session over one [`Engine`].
+///
+/// The session is the ordering gatekeeper: items must arrive in
+/// non-decreasing event-time order (merge out-of-order sources with
+/// `sa_aggregator::merge_by_time` first), and every accepted item advances
+/// the [`watermark`](ApproxSession::watermark). Engines behind the session
+/// trust that ordering.
+///
+/// Dropping a session without [`finish`](ApproxSession::finish) discards
+/// windows still open; threaded engines shut their topology down cleanly
+/// either way.
+pub struct ApproxSession<'p, R> {
+    engine: Box<dyn Engine<R> + 'p>,
+    watermark: Option<EventTime>,
+    pushed: u64,
+    completed: u64,
+}
+
+impl<'p, R> ApproxSession<'p, R> {
+    /// Wraps a custom engine in the session API — the extension point for
+    /// substrates this crate does not ship (sharded engines, remote
+    /// runners).
+    pub fn from_engine(engine: Box<dyn Engine<R> + 'p>) -> Self {
+        ApproxSession {
+            engine,
+            watermark: None,
+            pushed: 0,
+            completed: 0,
+        }
+    }
+
+    /// Ingests one item.
+    ///
+    /// # Errors
+    ///
+    /// [`SaError::OutOfOrder`] if the item's event time is behind the
+    /// session watermark (the item is not ingested; the session remains
+    /// usable), or [`SaError::Disconnected`] if the engine has shut down.
+    pub fn push(&mut self, item: StreamItem<R>) -> Result<(), SaError> {
+        if let Some(watermark) = self.watermark {
+            if item.time < watermark {
+                return Err(SaError::OutOfOrder {
+                    item: item.time,
+                    watermark,
+                });
+            }
+        }
+        let time = item.time;
+        self.engine.push(item)?;
+        self.watermark = Some(time);
+        self.pushed += 1;
+        Ok(())
+    }
+
+    /// Ingests a batch of items, stopping at the first rejected one.
+    ///
+    /// # Errors
+    ///
+    /// As [`push`](ApproxSession::push); items before the failing one have
+    /// been ingested.
+    pub fn push_batch(
+        &mut self,
+        items: impl IntoIterator<Item = StreamItem<R>>,
+    ) -> Result<(), SaError> {
+        for item in items {
+            self.push(item)?;
+        }
+        Ok(())
+    }
+
+    /// Polls an aggregator consumer once and ingests what it returns —
+    /// the paper's deployment loop (aggregator → consumer → engine) in one
+    /// call. Returns what happened to the polled items; both counters are
+    /// `0` when the consumer is caught up (see `Consumer::is_caught_up`
+    /// for distinguishing idle from finished).
+    ///
+    /// Polling has already advanced the consumer's offsets, so items it
+    /// returns cannot be retried: ones behind the session watermark are
+    /// **dropped as late data** — standard streaming semantics — and
+    /// counted in [`ConsumerIngest::dropped_late`] rather than aborting
+    /// the batch. A topic whose delivery order respects event time (a
+    /// single-partition topic — the paper's aggregator combines
+    /// sub-streams into *one* input stream, §2.1 — or one session per
+    /// partition) never drops anything.
+    ///
+    /// # Errors
+    ///
+    /// [`SaError::Disconnected`] if the engine has shut down; items
+    /// polled but not yet pushed are lost with it (the run is over).
+    pub fn ingest_consumer(
+        &mut self,
+        consumer: &mut Consumer<R>,
+        max_messages: usize,
+    ) -> Result<ConsumerIngest, SaError>
+    where
+        R: Clone,
+    {
+        let mut ingested = 0usize;
+        let mut dropped_late = 0usize;
+        for item in consumer.poll_items(max_messages) {
+            match self.push(item) {
+                Ok(()) => ingested += 1,
+                Err(SaError::OutOfOrder { .. }) => dropped_late += 1,
+                Err(other) => return Err(other),
+            }
+        }
+        Ok(ConsumerIngest {
+            ingested,
+            dropped_late,
+        })
+    }
+
+    /// Takes the windows completed since the last poll, in watermark
+    /// order, without blocking on future input. On threaded engines a
+    /// window may surface a moment after the pushes that completed it; on
+    /// single-threaded engines it surfaces on the boundary-crossing push
+    /// itself.
+    pub fn poll_windows(&mut self) -> Vec<WindowResult> {
+        let windows = self.engine.poll_windows();
+        self.completed += windows.len() as u64;
+        windows
+    }
+
+    /// The event-time high-water mark of accepted input: the time of the
+    /// latest pushed item, `None` before the first. Items behind it are
+    /// rejected as out of order.
+    pub fn watermark(&self) -> Option<EventTime> {
+        self.watermark
+    }
+
+    /// A snapshot of the session's progress counters.
+    pub fn status(&self) -> SessionStatus {
+        SessionStatus {
+            items_pushed: self.pushed,
+            windows_completed: self.completed,
+            watermark: self.watermark,
+        }
+    }
+
+    /// Ends the stream: flushes every still-open window and returns the
+    /// completed run. The output's `windows` are those not already taken
+    /// via [`poll_windows`](ApproxSession::poll_windows) — a session that
+    /// never polled gets the full set, exactly like the one-shot entry
+    /// points — and the item counters always cover the whole run.
+    #[must_use = "finish returns the run's windows and metrics"]
+    pub fn finish(self) -> RunOutput {
+        self.engine.finish()
+    }
+}
+
+impl<R> std::fmt::Debug for ApproxSession<'_, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ApproxSession")
+            .field("watermark", &self.watermark)
+            .field("items_pushed", &self.pushed)
+            .field("windows_completed", &self.completed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::FixedFraction;
+    use sa_types::{StratumId, WindowSpec};
+
+    fn item(ms: i64, v: f64) -> StreamItem<f64> {
+        StreamItem::new(StratumId(0), EventTime::from_millis(ms), v)
+    }
+
+    fn query() -> Query<f64> {
+        Query::new(|v: &f64| *v).with_window(WindowSpec::tumbling_millis(1_000))
+    }
+
+    #[test]
+    fn out_of_order_push_is_rejected_and_session_survives() {
+        let mut policy = FixedFraction(1.0);
+        let mut session = StreamApprox::new(query(), &mut policy).start();
+        session.push(item(500, 1.0)).expect("in order");
+        let err = session.push(item(100, 2.0)).unwrap_err();
+        assert!(matches!(err, SaError::OutOfOrder { .. }));
+        // The session keeps working after a rejected item.
+        session
+            .push(item(500, 3.0))
+            .expect("equal time is in order");
+        session.push(item(1_500, 4.0)).expect("in order");
+        let out = session.finish();
+        assert_eq!(out.items_ingested, 3);
+    }
+
+    #[test]
+    fn status_tracks_pushes_polls_and_watermark() {
+        let mut policy = FixedFraction(1.0);
+        let mut session = StreamApprox::new(query(), &mut policy).start();
+        assert_eq!(
+            session.status(),
+            SessionStatus {
+                items_pushed: 0,
+                windows_completed: 0,
+                watermark: None,
+            }
+        );
+        for ms in [0, 400, 1_200, 2_600] {
+            session.push(item(ms, 1.0)).expect("in order");
+        }
+        let polled = session.poll_windows();
+        let status = session.status();
+        assert_eq!(status.items_pushed, 4);
+        assert_eq!(status.windows_completed, polled.len() as u64);
+        assert_eq!(status.watermark, Some(EventTime::from_millis(2_600)));
+        assert!(
+            !polled.is_empty(),
+            "watermark 2.6s closed the [0,1s) window"
+        );
+    }
+
+    #[test]
+    fn budget_builder_sets_confidence_and_owns_policy() {
+        let budget = QueryBudget::Accuracy {
+            max_relative_error: 0.05,
+            confidence: sa_types::Confidence::P997,
+        };
+        let mut session = StreamApprox::with_budget(query(), budget)
+            .expect("valid budget")
+            .start();
+        for ms in 0..2_000 {
+            session
+                .push(item(ms, f64::from(ms as u32 % 7)))
+                .expect("in order");
+        }
+        let out = session.finish();
+        assert!(!out.windows.is_empty());
+        assert_eq!(
+            out.windows[0].mean.bound.confidence(),
+            sa_types::Confidence::P997
+        );
+        assert!(StreamApprox::with_budget(query(), QueryBudget::SampleFraction(0.0)).is_err());
+    }
+
+    #[test]
+    fn invalid_engine_is_a_session_not_a_panic() {
+        // from_engine accepts any Engine implementation.
+        struct Null;
+        impl Engine<f64> for Null {
+            fn push(&mut self, _: StreamItem<f64>) -> Result<(), SaError> {
+                Err(SaError::Disconnected("null engine"))
+            }
+            fn poll_windows(&mut self) -> Vec<WindowResult> {
+                Vec::new()
+            }
+            fn finish(self: Box<Self>) -> RunOutput {
+                RunOutput {
+                    windows: Vec::new(),
+                    items_ingested: 0,
+                    items_aggregated: 0,
+                    elapsed: std::time::Duration::ZERO,
+                }
+            }
+        }
+        let mut session = ApproxSession::from_engine(Box::new(Null));
+        let err = session.push(item(0, 1.0)).unwrap_err();
+        assert!(matches!(err, SaError::Disconnected(_)));
+        // A rejected push must not advance the watermark.
+        assert_eq!(session.watermark(), None);
+        assert_eq!(session.status().items_pushed, 0);
+    }
+}

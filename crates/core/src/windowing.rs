@@ -72,12 +72,59 @@ impl<P: Clone> PaneWindower<P> {
     /// Advances the watermark and returns every window that completed,
     /// with the payloads of its panes in pane order. Windows whose panes
     /// were all empty still appear (with an empty payload list) so callers
-    /// can emit explicit empty results.
+    /// can emit explicit empty results — except across a quiet gap longer
+    /// than twice `window size + slide`: the interior of such a gap holds
+    /// only windows no pane can ever touch, so they are skipped rather
+    /// than materialized one per slide (a live session must stay O(1) per
+    /// watermark advance, however far event time jumps). Windows
+    /// overlapping data at either edge of the gap still complete normally.
     pub fn advance(&mut self, watermark: EventTime) -> Vec<(Window, Vec<P>)> {
         if watermark <= self.watermark {
             return Vec::new();
         }
-        let done = completed_windows(self.spec, self.watermark, watermark);
+        let span = self.spec.size_millis() + self.spec.slide_millis();
+        let prev = self.watermark.as_millis();
+        let wm = watermark.as_millis();
+        let done = if wm.saturating_sub(prev) > 2 * span {
+            // Bridge the jump with bounded strips of window ends: near
+            // the old frontier, near the new one, and across every stored
+            // pane (a window containing a pane starting at `k` ends in
+            // `(k, k + size]`). Everything else in the jump is quiet by
+            // construction. Strips are clamped to `(prev, wm]`, merged
+            // while overlapping, and enumerated in order, so each window
+            // appears exactly once and end-order is preserved.
+            let mut strips = vec![(prev, prev.saturating_add(span)), (wm - span, wm)];
+            // One strip per stored pane — not one strip across them all,
+            // which would span the very gap being skipped when panes sit
+            // on both of its sides.
+            let size = self.spec.size_millis();
+            strips.extend(self.panes.keys().map(|&k| (k, k.saturating_add(size))));
+            for s in &mut strips {
+                s.0 = s.0.clamp(prev, wm);
+                s.1 = s.1.clamp(prev, wm);
+            }
+            strips.retain(|s| s.1 > s.0);
+            strips.sort_unstable();
+            let mut merged: Vec<(i64, i64)> = Vec::new();
+            for s in strips {
+                match merged.last_mut() {
+                    Some(m) if s.0 <= m.1 => m.1 = m.1.max(s.1),
+                    _ => merged.push(s),
+                }
+            }
+            merged
+                .into_iter()
+                .flat_map(|(a, b)| {
+                    completed_windows(
+                        self.spec,
+                        EventTime::from_millis(a),
+                        EventTime::from_millis(b),
+                    )
+                })
+                .collect()
+        } else {
+            completed_windows(self.spec, self.watermark, watermark)
+        };
         self.watermark = watermark;
         let out: Vec<(Window, Vec<P>)> = done
             .into_iter()
@@ -207,5 +254,22 @@ mod tests {
         assert_eq!(done[0].1, vec![7]);
         assert!(done[1].1.is_empty());
         assert!(done[2].1.is_empty());
+    }
+
+    #[test]
+    fn huge_watermark_jump_is_bounded_and_keeps_edge_windows() {
+        // One pane of data, then the watermark leaps ~32 years of event
+        // time: the quiet interior must be skipped (bounded work and
+        // output), while windows covering the stored pane still emit.
+        let spec = WindowSpec::tumbling_millis(1_000);
+        let mut w: PaneWindower<i64> = PaneWindower::new(spec);
+        w.add_pane(pane(0, 1_000), 7);
+        let done = w.advance(EventTime::from_millis(1_000_000_000_000));
+        assert!(done.len() <= 8, "gap materialized {} windows", done.len());
+        assert_eq!(done[0].1, vec![7], "edge window lost its pane");
+        // A pane arriving after the jump still completes normally.
+        w.add_pane(pane(1_000_000_000_000, 1_000), 9);
+        let after = w.advance(EventTime::from_millis(1_000_000_001_000));
+        assert!(after.iter().any(|(_, ps)| ps == &vec![9]));
     }
 }

@@ -100,6 +100,76 @@ proptest! {
         prop_assert_eq!(seen, (0..partitions).collect::<Vec<_>>());
     }
 
+    /// Group members together consume every published item exactly once:
+    /// their partition sets are disjoint and exhaustive (even with more
+    /// members than partitions, where some own nothing), and their polls
+    /// union to the full stream with no duplicates.
+    #[test]
+    fn group_members_consume_disjointly_and_exhaustively(
+        spec in proptest::collection::vec((0u32..4, 0i64..50), 0..300),
+        partitions in 1usize..8,
+        group_size in 1usize..9,
+        message_size in 1usize..64,
+    ) {
+        let stream = items(&spec);
+        let n = stream.len();
+        let topic = Topic::new("t", partitions);
+        let mut producer = Producer::new(topic.clone(), Partitioner::RoundRobin);
+        replay_into(stream, &mut producer, message_size);
+
+        let mut consumers: Vec<Consumer<u32>> = (0..group_size)
+            .map(|member| Consumer::group(topic.clone(), member, group_size))
+            .collect();
+        // Disjoint and exhaustive partition assignment.
+        let mut owned: Vec<usize> = consumers.iter().flat_map(|c| c.partitions()).collect();
+        owned.sort_unstable();
+        let expected: Vec<usize> = (0..partitions).collect();
+        prop_assert_eq!(owned, expected);
+        // Together the members see each item exactly once (values are
+        // unique indices, so sorted equality detects both loss and
+        // duplication).
+        let mut values: Vec<u32> = consumers
+            .iter_mut()
+            .flat_map(|c| c.poll_items(usize::MAX))
+            .map(|i| i.value)
+            .collect();
+        values.sort_unstable();
+        let all: Vec<u32> = (0..n as u32).collect();
+        prop_assert_eq!(values, all);
+        for c in &consumers {
+            prop_assert!(c.is_caught_up());
+        }
+    }
+
+    /// `poll_items` and `is_caught_up` agree at every step of an
+    /// interleaved produce/consume schedule: the consumer reports caught
+    /// up exactly when it has returned every item published so far.
+    #[test]
+    fn poll_items_and_is_caught_up_agree_after_interleaved_sends(
+        rounds in proptest::collection::vec(
+            (proptest::collection::vec((0u32..4, 0i64..20), 0..30), 0usize..6),
+            1..10,
+        ),
+        partitions in 1usize..5,
+    ) {
+        let topic = Topic::new("t", partitions);
+        let mut producer = Producer::new(topic.clone(), Partitioner::RoundRobin);
+        let mut consumer = Consumer::whole_topic(topic);
+        let mut produced = 0usize;
+        let mut consumed = 0usize;
+        for (spec, max_poll) in rounds {
+            for chunk in items(&spec).chunks(7) {
+                prop_assert!(producer.send(chunk.to_vec()).is_some());
+                produced += chunk.len();
+            }
+            consumed += consumer.poll_items(max_poll).len();
+            prop_assert_eq!(consumer.is_caught_up(), consumed == produced);
+        }
+        consumed += consumer.poll_items(usize::MAX).len();
+        prop_assert_eq!(consumed, produced);
+        prop_assert!(consumer.is_caught_up());
+    }
+
     /// Poll with any max never yields a message twice and eventually
     /// drains the topic.
     #[test]

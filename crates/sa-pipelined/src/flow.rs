@@ -3,8 +3,8 @@
 
 use crate::message::{Signal, Tagged};
 use crate::operator::Operator;
-use crossbeam::channel::{bounded, Receiver, Sender};
-use sa_types::{EventTime, StreamItem};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TryRecvError};
+use sa_types::{EventTime, SaError, StreamItem};
 use std::hash::{BuildHasher, BuildHasherDefault, DefaultHasher};
 use std::thread::JoinHandle;
 
@@ -38,6 +38,9 @@ struct Routing<T> {
     exchange: Exchange,
     producer_idx: usize,
     rr_next: usize,
+    /// Set once any downstream receiver is gone (operator death), so
+    /// producers can stop instead of feeding a dead pipeline forever.
+    dead: bool,
 }
 
 impl<T> Routing<T> {
@@ -54,7 +57,15 @@ impl<T> Routing<T> {
             exchange,
             producer_idx,
             rr_next,
+            dead: false,
         }
+    }
+
+    /// Whether some downstream receiver has disappeared. A source that
+    /// observes this should stop: its own feed channel then closes, which
+    /// is how `PushSource::push` learns the flow is gone.
+    fn is_dead(&self) -> bool {
+        self.dead
     }
 
     fn send_item(&mut self, item: StreamItem<T>) {
@@ -75,27 +86,41 @@ impl<T> Routing<T> {
         buffer.push(item);
         if buffer.len() >= RECORD_BUFFER {
             let batch = std::mem::take(buffer);
-            // A closed receiver means downstream shut down (e.g. panicked
-            // test); dropping the batch is the only sane response.
-            let _ = self.senders[target].send((self.producer_idx, Signal::Items(batch)));
+            // A closed receiver means downstream shut down (a panicked
+            // operator or a dropped sink); drop the batch and remember.
+            if self.senders[target]
+                .send((self.producer_idx, Signal::Items(batch)))
+                .is_err()
+            {
+                self.dead = true;
+            }
         }
     }
 
     /// Flushes every partial buffer (watermarks and end-of-stream must not
     /// overtake buffered records).
     fn flush(&mut self) {
+        let mut died = false;
         for (target, buffer) in self.buffers.iter_mut().enumerate() {
             if !buffer.is_empty() {
                 let batch = std::mem::take(buffer);
-                let _ = self.senders[target].send((self.producer_idx, Signal::Items(batch)));
+                if self.senders[target]
+                    .send((self.producer_idx, Signal::Items(batch)))
+                    .is_err()
+                {
+                    died = true;
+                }
             }
         }
+        self.dead |= died;
     }
 
     fn broadcast_watermark(&mut self, wm: EventTime) {
         self.flush();
         for s in &self.senders {
-            let _ = s.send((self.producer_idx, Signal::Watermark(wm)));
+            if s.send((self.producer_idx, Signal::Watermark(wm))).is_err() {
+                self.dead = true;
+            }
         }
     }
 
@@ -169,6 +194,129 @@ fn instance_loop<I, O, Op>(
 
 type SpawnFn<T> = Box<dyn FnOnce(Vec<Sender<Tagged<T>>>, Exchange) -> Vec<JoinHandle<()>> + Send>;
 
+/// The shared source loop: watermark whenever event time advances by
+/// `watermark_interval_ms`, then forward the item. Used by both the
+/// vector-backed sources and the push source, so a pushed stream produces
+/// bit-for-bit the same signal sequence as the same stream replayed from a
+/// `Vec`.
+fn drive_source<T>(
+    items: impl Iterator<Item = StreamItem<T>>,
+    watermark_interval_ms: i64,
+    routing: &mut Routing<T>,
+) {
+    let mut last_wm = EventTime::MIN;
+    for item in items {
+        if last_wm == EventTime::MIN || item.time.millis_since(last_wm) >= watermark_interval_ms {
+            last_wm = item.time;
+            routing.broadcast_watermark(item.time);
+        }
+        routing.send_item(item);
+        // A dead downstream cannot recover; exiting closes this source's
+        // feed channel, surfacing the failure to the feeder (a live
+        // PushSource gets `Disconnected` instead of silently-ignored
+        // pushes).
+        if routing.is_dead() {
+            break;
+        }
+    }
+    routing.broadcast_watermark(EventTime::MAX);
+    routing.broadcast_end();
+}
+
+/// The feeding half of a push-driven source stage (see
+/// [`Flow::source_push`]): items pushed here enter the dataflow live, with
+/// the same watermarking a vector-backed source applies.
+///
+/// Dropping the handle (or calling [`PushSource::finish`]) ends the
+/// stream: the source emits a final `EventTime::MAX` watermark and
+/// end-of-stream, flushing every window still open downstream.
+#[derive(Debug)]
+pub struct PushSource<T> {
+    tx: Sender<StreamItem<T>>,
+}
+
+impl<T> PushSource<T> {
+    /// Feeds one item into the dataflow. Blocks while the pipeline is
+    /// saturated (bounded channels give the push path backpressure).
+    ///
+    /// Items must be pushed in non-decreasing event-time order — the
+    /// source trusts its caller exactly as it trusts a pre-sorted `Vec`.
+    ///
+    /// # Errors
+    ///
+    /// [`SaError::Disconnected`] if the dataflow has shut down (e.g. a
+    /// downstream operator panicked — the source notices its dead
+    /// downstream and exits, closing this feed). Detection is prompt but
+    /// asynchronous: the few pushes in flight when the operator dies may
+    /// still return `Ok`.
+    pub fn push(&self, item: StreamItem<T>) -> Result<(), SaError> {
+        self.tx
+            .send(item)
+            .map_err(|_| SaError::Disconnected("pipelined push source"))
+    }
+
+    /// Ends the stream. Equivalent to dropping the handle; provided so
+    /// call sites can make the end-of-stream explicit.
+    pub fn finish(self) {}
+}
+
+/// A running dataflow's sink side, produced by [`Flow::into_handle`]:
+/// drains emitted items incrementally while the pipeline executes.
+///
+/// The sink channel is unbounded so a caller that polls lazily never
+/// stalls the pipeline — results are small aggregates, the firehose of raw
+/// items stays behind the bounded inter-operator channels.
+#[derive(Debug)]
+pub struct FlowHandle<T> {
+    rx: Receiver<Tagged<T>>,
+    handles: Vec<JoinHandle<()>>,
+    producers: usize,
+    ended: usize,
+}
+
+impl<T> FlowHandle<T> {
+    /// Takes every item emitted since the last drain, without blocking.
+    pub fn try_drain(&mut self) -> Vec<StreamItem<T>> {
+        let mut out = Vec::new();
+        loop {
+            match self.rx.try_recv() {
+                Ok((_, Signal::Items(batch))) => out.extend(batch),
+                Ok((_, Signal::Watermark(_))) => {}
+                Ok((_, Signal::End)) => self.ended += 1,
+                Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
+            }
+        }
+        out
+    }
+
+    /// Whether every producer has signalled end-of-stream.
+    pub fn is_ended(&self) -> bool {
+        self.ended >= self.producers
+    }
+
+    /// Blocks until the dataflow completes, returning the remaining items
+    /// and joining every operator thread.
+    ///
+    /// End the sources first — drop the [`PushSource`] of a push-driven
+    /// flow — or this blocks forever waiting for an end-of-stream that
+    /// cannot come.
+    pub fn drain_to_end(mut self) -> Vec<StreamItem<T>> {
+        let mut out = Vec::new();
+        while self.ended < self.producers {
+            match self.rx.recv() {
+                Ok((_, Signal::Items(batch))) => out.extend(batch),
+                Ok((_, Signal::Watermark(_))) => {}
+                Ok((_, Signal::End)) => self.ended += 1,
+                Err(_) => break,
+            }
+        }
+        for h in self.handles {
+            let _ = h.join();
+        }
+        out
+    }
+}
+
 /// A dataflow under construction, typed by the items its last stage emits.
 ///
 /// Stages spawn as the topology is built (each `then` call wires and starts
@@ -234,24 +382,56 @@ impl<T: Send + 'static> Flow<T> {
                         std::thread::Builder::new()
                             .name(format!("sa-source-{idx}"))
                             .spawn(move || {
-                                let mut last_wm = EventTime::MIN;
-                                for item in items {
-                                    if last_wm == EventTime::MIN
-                                        || item.time.millis_since(last_wm) >= watermark_interval_ms
-                                    {
-                                        last_wm = item.time;
-                                        routing.broadcast_watermark(item.time);
-                                    }
-                                    routing.send_item(item);
-                                }
-                                routing.broadcast_watermark(EventTime::MAX);
-                                routing.broadcast_end();
+                                drive_source(
+                                    items.into_iter(),
+                                    watermark_interval_ms,
+                                    &mut routing,
+                                );
                             })
                             .expect("spawning source thread")
                     })
                     .collect()
             }),
         }
+    }
+
+    /// A single-instance source fed live through the returned
+    /// [`PushSource`] handle instead of a pre-recorded vector, with the
+    /// same event-time watermarking as [`Flow::source`]: pushing a stream
+    /// item by item produces exactly the signals replaying it from a `Vec`
+    /// would.
+    ///
+    /// The internal feed channel is bounded at
+    /// [`DEFAULT_CHANNEL_CAPACITY`], so pushes block (backpressure) while
+    /// the pipeline is saturated rather than buffering unboundedly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `watermark_interval_ms` is not positive.
+    pub fn source_push(watermark_interval_ms: i64) -> (PushSource<T>, Flow<T>) {
+        assert!(
+            watermark_interval_ms > 0,
+            "watermark interval must be positive"
+        );
+        let (tx, rx) = bounded::<StreamItem<T>>(DEFAULT_CHANNEL_CAPACITY);
+        let flow = Flow {
+            parallelism: 1,
+            channel_capacity: DEFAULT_CHANNEL_CAPACITY,
+            spawn: Box::new(move |senders, exchange| {
+                let mut routing = Routing::new(senders, exchange, 0);
+                vec![std::thread::Builder::new()
+                    .name("sa-source-push".into())
+                    .spawn(move || {
+                        drive_source(
+                            std::iter::from_fn(|| rx.recv().ok()),
+                            watermark_interval_ms,
+                            &mut routing,
+                        );
+                    })
+                    .expect("spawning push source thread")]
+            }),
+        };
+        (PushSource { tx }, flow)
     }
 
     /// Overrides the inter-stage channel capacity for stages added after
@@ -307,26 +487,24 @@ impl<T: Send + 'static> Flow<T> {
         }
     }
 
+    /// Attaches a sink and starts the dataflow, returning a [`FlowHandle`]
+    /// that drains emitted items incrementally while execution proceeds.
+    pub fn into_handle(self) -> FlowHandle<T> {
+        let (tx, rx) = unbounded();
+        let producers = self.parallelism;
+        let handles = (self.spawn)(vec![tx], Exchange::Rebalance);
+        FlowHandle {
+            rx,
+            handles,
+            producers,
+            ended: 0,
+        }
+    }
+
     /// Attaches a sink, runs the dataflow to completion, and returns every
     /// emitted item in arrival order at the sink.
     pub fn collect(self) -> Vec<StreamItem<T>> {
-        let (tx, rx) = bounded(self.channel_capacity);
-        let producers = self.parallelism;
-        let handles = (self.spawn)(vec![tx], Exchange::Rebalance);
-        let mut out = Vec::new();
-        let mut ended = 0usize;
-        while ended < producers {
-            match rx.recv() {
-                Ok((_, Signal::Items(batch))) => out.extend(batch),
-                Ok((_, Signal::Watermark(_))) => {}
-                Ok((_, Signal::End)) => ended += 1,
-                Err(_) => break,
-            }
-        }
-        for h in handles {
-            let _ = h.join();
-        }
-        out
+        self.into_handle().drain_to_end()
     }
 }
 
@@ -489,6 +667,93 @@ mod tests {
         let tags: std::collections::BTreeSet<usize> = out.iter().map(|i| i.value.0).collect();
         assert_eq!(tags.len(), 2);
         assert_eq!(out.len(), 20);
+    }
+
+    #[test]
+    fn push_source_matches_vector_source() {
+        // The same stream pushed item by item must reach the sink as the
+        // same multiset the vector source delivers.
+        let stream = items(300);
+        let from_vec = Flow::source(stream.clone(), 50)
+            .then(2, Exchange::Rebalance, |_| Identity)
+            .collect();
+        let (push, flow) = Flow::source_push(50);
+        let handle = flow
+            .then(2, Exchange::Rebalance, |_| Identity)
+            .into_handle();
+        for item in stream {
+            push.push(item).expect("pipeline alive");
+        }
+        push.finish();
+        let from_push = handle.drain_to_end();
+        let mut a: Vec<u32> = from_vec.iter().map(|i| i.value).collect();
+        let mut b: Vec<u32> = from_push.iter().map(|i| i.value).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn handle_drains_incrementally_before_end() {
+        let (push, flow) = Flow::source_push(10);
+        let mut handle = flow.then(1, Exchange::Forward, |_| Identity).into_handle();
+        for item in items(100) {
+            push.push(item).expect("pipeline alive");
+        }
+        // The pipeline runs concurrently; wait (bounded) for some output
+        // to arrive before the stream has ended.
+        let mut early = Vec::new();
+        for _ in 0..1_000 {
+            early.extend(handle.try_drain());
+            if !early.is_empty() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(!early.is_empty(), "no output while the stream is open");
+        assert!(!handle.is_ended());
+        push.finish();
+        let rest = handle.drain_to_end();
+        assert_eq!(early.len() + rest.len(), 100);
+    }
+
+    #[test]
+    fn operator_death_eventually_surfaces_to_push() {
+        /// An operator that dies on its first item.
+        struct Exploder;
+        impl Operator<u32, u32> for Exploder {
+            fn on_item(&mut self, _item: StreamItem<u32>, _out: &mut dyn FnMut(StreamItem<u32>)) {
+                panic!("operator died (expected in this test)");
+            }
+        }
+        let (push, flow) = Flow::source_push(10);
+        let _handle = flow.then(1, Exchange::Forward, |_| Exploder).into_handle();
+        let mut got_err = false;
+        for i in 0..1_000_000i64 {
+            let item = StreamItem::new(StratumId(0), EventTime::from_millis(i), 1u32);
+            if push.push(item).is_err() {
+                got_err = true;
+                break;
+            }
+        }
+        assert!(got_err, "push never reported the dead pipeline");
+    }
+
+    #[test]
+    fn push_into_dead_pipeline_reports_disconnect() {
+        // A source whose feed receiver is gone (the source thread died)
+        // must surface as a Disconnected error, not a panic.
+        let (tx, rx) = crossbeam::channel::bounded::<StreamItem<u32>>(4);
+        drop(rx);
+        let push = PushSource { tx };
+        let err = push
+            .push(StreamItem::new(
+                StratumId(0),
+                EventTime::from_millis(0),
+                1u32,
+            ))
+            .unwrap_err();
+        assert!(matches!(err, sa_types::SaError::Disconnected(_)));
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //!   this trait.
 //! * [`Flow`] — topology builder: `source → then(…) → … → collect()`, with
 //!   [`Exchange`] strategies `Forward`, `Rebalance` and `KeyByStratum`.
+//!   Live ingestion uses [`Flow::source_push`] (a [`PushSource`] feeding
+//!   the running dataflow) and [`Flow::into_handle`] (a [`FlowHandle`]
+//!   draining results while execution proceeds) — the substrate of the
+//!   `streamapprox` crate's incremental sessions.
 //!
 //! # Example
 //!
@@ -37,6 +41,6 @@ mod flow;
 mod message;
 mod operator;
 
-pub use flow::{Exchange, Flow, DEFAULT_CHANNEL_CAPACITY, RECORD_BUFFER};
+pub use flow::{Exchange, Flow, FlowHandle, PushSource, DEFAULT_CHANNEL_CAPACITY, RECORD_BUFFER};
 pub use message::{Signal, Tagged};
 pub use operator::{Filter, Identity, Map, Operator};

@@ -1,5 +1,6 @@
 //! The shared error type.
 
+use crate::item::EventTime;
 use std::error::Error;
 use std::fmt;
 
@@ -28,6 +29,16 @@ pub enum SaError {
     /// A stream endpoint (channel, topic, consumer) was closed while data
     /// was still expected.
     Disconnected(&'static str),
+    /// An item was pushed into a session behind its event-time watermark.
+    /// Sessions require non-decreasing event times; replay out-of-order
+    /// sources through a time-merge (e.g. `sa_aggregator::merge_by_time`)
+    /// first.
+    OutOfOrder {
+        /// Event time of the rejected item.
+        item: EventTime,
+        /// The session watermark the item fell behind.
+        watermark: EventTime,
+    },
 }
 
 impl fmt::Display for SaError {
@@ -37,6 +48,10 @@ impl fmt::Display for SaError {
             SaError::EmptyInput(what) => write!(f, "empty input: {what}"),
             SaError::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),
             SaError::Disconnected(what) => write!(f, "disconnected: {what}"),
+            SaError::OutOfOrder { item, watermark } => write!(
+                f,
+                "out-of-order item: event time {item} behind watermark {watermark}"
+            ),
         }
     }
 }
@@ -61,6 +76,10 @@ mod tests {
             SaError::EmptyInput("window"),
             SaError::InvalidConfig("y".into()),
             SaError::Disconnected("sink"),
+            SaError::OutOfOrder {
+                item: EventTime::from_millis(5),
+                watermark: EventTime::from_millis(9),
+            },
         ];
         for e in samples {
             let msg = e.to_string();

@@ -31,6 +31,7 @@ mod item;
 mod result;
 mod sample;
 mod seed;
+mod session;
 mod window;
 
 pub use budget::{Confidence, QueryBudget};
@@ -39,4 +40,5 @@ pub use item::{EventTime, StratumId, StreamItem};
 pub use result::{ApproxResult, ErrorBound};
 pub use sample::{StratifiedSample, StratumSample};
 pub use seed::RunSeed;
+pub use session::SessionStatus;
 pub use window::{Window, WindowSpec};

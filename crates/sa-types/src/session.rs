@@ -1,0 +1,54 @@
+//! Session status reporting.
+
+use crate::item::EventTime;
+
+/// A point-in-time snapshot of an incremental session's progress,
+/// returned by `ApproxSession::status` in the `streamapprox` crate.
+///
+/// The counters describe what the *caller* has observed through the
+/// session handle: items accepted by `push`, windows drained through
+/// `poll_windows`, and the event-time frontier of the accepted input.
+/// Engine-internal progress (e.g. panes in flight inside a threaded
+/// pipeline) is deliberately not exposed — it would race the caller.
+///
+/// # Example
+///
+/// ```
+/// use sa_types::{EventTime, SessionStatus};
+///
+/// let status = SessionStatus {
+///     items_pushed: 1_000,
+///     windows_completed: 3,
+///     watermark: Some(EventTime::from_secs(4)),
+/// };
+/// assert!(status.watermark.is_some());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionStatus {
+    /// Items accepted by `push`/`push_batch` so far.
+    pub items_pushed: u64,
+    /// Windows the caller has drained through `poll_windows` so far (not
+    /// counting those returned by `finish`).
+    pub windows_completed: u64,
+    /// The event-time high-water mark of accepted input: the time of the
+    /// latest pushed item, `None` before the first item. Pushing an item
+    /// behind this watermark is an out-of-order error.
+    pub watermark: Option<EventTime>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_is_comparable_and_copy() {
+        let a = SessionStatus {
+            items_pushed: 7,
+            windows_completed: 1,
+            watermark: None,
+        };
+        let b = a; // Copy
+        assert_eq!(a, b);
+        assert!(format!("{a:?}").contains("items_pushed: 7"));
+    }
+}

@@ -8,7 +8,7 @@ use sa_types::{Confidence, StratumId, WindowSpec};
 use sa_workloads::{Mix, NetFlowGenerator, TaxiGenerator};
 use streamapprox::{
     run_batched, run_pipelined, BatchedConfig, BatchedSystem, FixedFraction, PipelinedConfig,
-    PipelinedSystem, Query,
+    PipelinedSystem, Query, StreamApprox,
 };
 
 fn batched_config() -> BatchedConfig {
@@ -149,7 +149,9 @@ fn taxi_case_study_per_borough_means() {
 
 #[test]
 fn full_pipeline_via_aggregator() {
-    // Generators → replay tool → topic → consumer → engine, as deployed.
+    // Generators → replay tool → topic → consumer-fed session, as
+    // deployed: the session ingests straight off the consumer in a poll
+    // loop and serves windows while the topic still holds unread input.
     let mix = Mix::gaussian([1_000.0, 200.0, 20.0]);
     let substreams: Vec<_> = mix
         .substreams()
@@ -158,27 +160,38 @@ fn full_pipeline_via_aggregator() {
         .collect();
     let total: usize = substreams.iter().map(Vec::len).sum();
 
-    let topic = Topic::new("input", 4);
+    // One partition: the aggregator combines the sub-streams into the
+    // system's single time-ordered input stream (§2.1).
+    let topic = Topic::new("input", 1);
     let mut producer = Producer::new(topic.clone(), Partitioner::RoundRobin);
     replay_into(merge_by_time(substreams), &mut producer, 200);
 
-    let mut consumer = Consumer::whole_topic(topic);
-    let mut items = consumer.poll_items(usize::MAX);
-    assert_eq!(items.len(), total);
-    // Round-robin partitions interleave: restore event-time order, as the
-    // engines' batchers require.
-    items.sort_by_key(|i| i.time);
-
     let query = Query::new(|v: &f64| *v).with_window(WindowSpec::tumbling_millis(1_000));
-    let out = run_batched(
-        &batched_config(),
-        BatchedSystem::StreamApprox,
-        &query,
-        &mut FixedFraction(0.5),
-        items,
-    );
+    let mut policy = FixedFraction(0.5);
+    let mut session = StreamApprox::new(query, &mut policy)
+        .batched(batched_config(), BatchedSystem::StreamApprox)
+        .start();
+    let mut consumer = Consumer::whole_topic(topic);
+    let mut live_windows = 0usize;
+    loop {
+        let ingest = session
+            .ingest_consumer(&mut consumer, 3)
+            .expect("engine alive");
+        assert_eq!(
+            ingest.dropped_late, 0,
+            "single-partition replay is time-ordered"
+        );
+        live_windows += session.poll_windows().len();
+        if ingest.ingested == 0 && consumer.is_caught_up() {
+            break;
+        }
+    }
+    let out = session.finish();
     assert_eq!(out.items_ingested, total as u64);
-    assert!(!out.windows.is_empty());
+    assert!(
+        live_windows > 0,
+        "no window observable during the consumer loop"
+    );
 }
 
 #[test]

@@ -9,7 +9,7 @@ use sa_types::WindowSpec;
 use sa_workloads::Mix;
 use streamapprox::{
     run_batched, run_pipelined, BatchedConfig, BatchedSystem, FixedFraction, PipelinedConfig,
-    PipelinedSystem, Query,
+    PipelinedSystem, Query, StreamApprox,
 };
 
 fn items(seed: u64) -> Vec<sa_types::StreamItem<f64>> {
@@ -277,6 +277,95 @@ fn runs_are_reproducible_from_one_seed() {
         c.windows, other.windows,
         "different seeds drew identical samples"
     );
+}
+
+/// The session-API equivalence oracle, batched engine: pushing the same
+/// seeded stream item by item or in ragged chunks through an
+/// `ApproxSession` is bit-for-bit identical to the one-shot path — the
+/// redesign's guarantee that `run_batched` is a mere convenience.
+#[test]
+fn incremental_push_matches_oneshot_batched() {
+    let stream = items(31);
+    let config = BatchedConfig::new(Cluster::new(2))
+        .with_batch_interval_ms(500)
+        .with_seed(0xFEED_u64);
+    for system in [BatchedSystem::StreamApprox, BatchedSystem::Native] {
+        let oneshot = run_batched(
+            &config,
+            system,
+            &query(),
+            &mut FixedFraction(0.3),
+            stream.clone(),
+        );
+        // Chunk sizes 1 (item by item) and a ragged prime (chunked).
+        for chunk_size in [1usize, 37] {
+            let mut policy = FixedFraction(0.3);
+            let mut session = StreamApprox::new(query(), &mut policy)
+                .batched(config.clone(), system)
+                .start();
+            let mut windows = Vec::new();
+            for chunk in stream.chunks(chunk_size) {
+                session.push_batch(chunk.iter().cloned()).expect("in order");
+                // Interleave polling with pushing: draining mid-run must
+                // not perturb anything.
+                windows.extend(session.poll_windows());
+            }
+            let out = session.finish();
+            windows.extend(out.windows);
+            assert_eq!(
+                windows, oneshot.windows,
+                "{system}: chunk size {chunk_size} diverged from one-shot"
+            );
+            assert_eq!(out.items_ingested, oneshot.items_ingested);
+            assert_eq!(out.items_aggregated, oneshot.items_aggregated);
+        }
+    }
+}
+
+/// The session-API equivalence oracle, pipelined engine: with the same
+/// first-pane hint `run_pipelined` derives, incremental push reproduces
+/// the one-shot windows bit for bit at a fixed seed.
+#[test]
+fn incremental_push_matches_oneshot_pipelined() {
+    let stream = items(32);
+    let config = PipelinedConfig::new().with_seed(0xFEED_u64);
+    for system in [PipelinedSystem::StreamApprox, PipelinedSystem::Native] {
+        let oneshot = run_pipelined(
+            &config,
+            system,
+            &query(),
+            &mut FixedFraction(0.3),
+            stream.clone(),
+        );
+        // run_pipelined seeds the fraction policy's first interval from
+        // the recording; an equivalent live session states the same hint.
+        let first_pane_guess = stream
+            .iter()
+            .take_while(|i| i.time.as_millis() < query().window().slide_millis())
+            .count();
+        for chunk_size in [1usize, 53] {
+            let mut policy = FixedFraction(0.3);
+            let mut session = StreamApprox::new(query(), &mut policy)
+                .pipelined(config.with_expected_pane_items(first_pane_guess), system)
+                .start();
+            let mut windows = Vec::new();
+            for chunk in stream.chunks(chunk_size) {
+                session.push_batch(chunk.iter().cloned()).expect("in order");
+                windows.extend(session.poll_windows());
+            }
+            let out = session.finish();
+            windows.extend(out.windows);
+            // No re-sort: the session contract promises watermark order,
+            // so polled windows concatenated with finish's remainder must
+            // already match the one-shot (sorted) output exactly.
+            assert_eq!(
+                windows, oneshot.windows,
+                "{system}: chunk size {chunk_size} diverged from one-shot"
+            );
+            assert_eq!(out.items_ingested, oneshot.items_ingested);
+            assert_eq!(out.items_aggregated, oneshot.items_aggregated);
+        }
+    }
 }
 
 #[test]

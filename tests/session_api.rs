@@ -1,0 +1,408 @@
+//! The incremental session API: early window observability (the
+//! unbounded-stream property the one-shot API could not express),
+//! ordering enforcement, status reporting, the aggregated consumer-path
+//! engine, and consumer-fed sessions.
+
+use sa_aggregator::{replay_into, Consumer, Partitioner, Producer, Topic};
+use sa_batched::Cluster;
+use sa_types::{EventTime, SaError, SessionStatus, StratumId, StreamItem, WindowSpec};
+use sa_workloads::Mix;
+use streamapprox::{
+    run_batched, AggregatedConfig, BatchedConfig, BatchedSystem, FixedFraction, PipelinedConfig,
+    PipelinedSystem, Query, StreamApprox,
+};
+
+fn items(seed: u64) -> Vec<StreamItem<f64>> {
+    Mix::gaussian([3_000.0, 800.0, 80.0]).generate(5_000, seed)
+}
+
+fn query() -> Query<f64> {
+    Query::new(|v: &f64| *v).with_window(WindowSpec::sliding_millis(2_000, 1_000))
+}
+
+fn batched_config() -> BatchedConfig {
+    BatchedConfig::new(Cluster::new(2)).with_batch_interval_ms(500)
+}
+
+/// The headline property: a window result is observable through
+/// `poll_windows()` while the session still has input ahead of it — no
+/// "wait for the whole Vec".
+#[test]
+fn windows_are_observable_before_the_stream_ends() {
+    let stream = items(21);
+    let total = stream.len();
+    let mut policy = FixedFraction(0.4);
+    let mut session = StreamApprox::new(query(), &mut policy)
+        .batched(batched_config(), BatchedSystem::StreamApprox)
+        .start();
+
+    // Push only items from the first ~2.1 seconds of the 5-second stream;
+    // well over half of it is still unpushed, but the [0s,2s) window has
+    // closed.
+    let cutoff = EventTime::from_millis(2_100);
+    let mut fed = 0usize;
+    let mut early_windows = Vec::new();
+    for item in &stream {
+        if item.time >= cutoff {
+            break;
+        }
+        session.push(*item).expect("in order");
+        fed += 1;
+        early_windows.extend(session.poll_windows());
+    }
+    assert!(fed < total / 2, "cutoff should leave most of the stream");
+    assert!(
+        !early_windows.is_empty(),
+        "no window observable before end of input"
+    );
+    for w in &early_windows {
+        assert!(w.window.end <= cutoff, "window {} not closed yet", w.window);
+        let (lo, hi) = w.mean.interval();
+        assert!(lo <= hi);
+    }
+
+    // Feeding the rest and finishing yields exactly the one-shot result.
+    session
+        .push_batch(stream.iter().skip(fed).cloned())
+        .expect("in order");
+    let late = session.finish();
+    let mut all = early_windows;
+    all.extend(late.windows);
+    let oneshot = run_batched(
+        &batched_config(),
+        BatchedSystem::StreamApprox,
+        &query(),
+        &mut FixedFraction(0.4),
+        stream,
+    );
+    assert_eq!(all, oneshot.windows, "early polling changed the results");
+    assert_eq!(late.items_ingested, oneshot.items_ingested);
+    assert_eq!(late.items_aggregated, oneshot.items_aggregated);
+}
+
+/// The same unbounded-stream property on the pipelined engine, whose
+/// stages run concurrently: windows surface while the source is open.
+#[test]
+fn pipelined_windows_surface_while_the_stream_is_open() {
+    let stream = items(22);
+    let mut policy = FixedFraction(0.5);
+    let mut session = StreamApprox::new(query(), &mut policy)
+        .pipelined(PipelinedConfig::new(), PipelinedSystem::StreamApprox)
+        .start();
+    let cutoff = EventTime::from_millis(4_000);
+    let mut pushed_all = true;
+    for item in &stream {
+        if item.time >= cutoff {
+            pushed_all = false;
+            break;
+        }
+        session.push(*item).expect("in order");
+    }
+    assert!(!pushed_all, "stream should extend past the cutoff");
+    // The topology processes asynchronously: wait (bounded) for the first
+    // closed window to cross the sink.
+    let mut early = Vec::new();
+    for _ in 0..2_000 {
+        early.extend(session.poll_windows());
+        if !early.is_empty() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    assert!(
+        !early.is_empty(),
+        "no pipelined window surfaced while input remained"
+    );
+    let _ = session.finish();
+}
+
+/// The aggregated consumer-path engine: incremental and chunked feeding
+/// are bit-for-bit identical, and the sampled answer tracks the truth.
+#[test]
+fn aggregated_engine_is_chunk_invariant_and_accurate() {
+    let stream = items(23);
+    let run = |chunk: usize| {
+        let mut policy = FixedFraction(0.3);
+        let mut session = StreamApprox::new(query(), &mut policy)
+            .aggregated(AggregatedConfig::new().with_seed(7u64))
+            .start();
+        let mut windows = Vec::new();
+        for chunk in stream.chunks(chunk) {
+            session.push_batch(chunk.iter().cloned()).expect("in order");
+            windows.extend(session.poll_windows());
+        }
+        let out = session.finish();
+        windows.extend(out.windows.clone());
+        (windows, out.items_ingested, out.items_aggregated)
+    };
+    let (one, ingested_one, aggregated_one) = run(1);
+    let (chunked, ingested_chunked, aggregated_chunked) = run(97);
+    assert_eq!(one, chunked, "chunking changed aggregated-engine results");
+    assert_eq!(ingested_one, ingested_chunked);
+    assert_eq!(aggregated_one, aggregated_chunked);
+    assert!(aggregated_one < ingested_one, "sampling actually happened");
+
+    // Accuracy: compare against batched native ground truth per window.
+    let exact = run_batched(
+        &batched_config(),
+        BatchedSystem::Native,
+        &query(),
+        &mut FixedFraction(1.0),
+        stream,
+    );
+    for w in &one {
+        let truth = exact
+            .windows
+            .iter()
+            .find(|e| e.window == w.window)
+            .expect("window present in native run");
+        if truth.mean.value != 0.0 {
+            let loss = sa_estimate::accuracy_loss(w.mean.value, truth.mean.value);
+            assert!(loss < 0.2, "{}: loss {loss}", w.window);
+        }
+    }
+}
+
+/// A session fed straight from an aggregator consumer — the deployment
+/// loop that used to be ad-hoc glue (poll everything, sort, run one-shot)
+/// — produces exactly the one-shot result.
+#[test]
+fn consumer_fed_session_matches_oneshot() {
+    let mix = Mix::gaussian([1_000.0, 200.0, 20.0]);
+    let substreams: Vec<_> = mix
+        .substreams()
+        .iter()
+        .map(|s| s.generate(EventTime::from_millis(0), 2_000, 7))
+        .collect();
+    let merged = sa_aggregator::merge_by_time(substreams);
+    let total = merged.len();
+
+    // One partition: the aggregator's job in the paper is to combine the
+    // sub-streams into a single time-ordered input stream (§2.1).
+    let topic = Topic::new("input", 1);
+    let mut producer = Producer::new(topic.clone(), Partitioner::RoundRobin);
+    replay_into(merged.clone(), &mut producer, 200);
+
+    let mut policy = FixedFraction(0.5);
+    let mut session = StreamApprox::new(
+        Query::new(|v: &f64| *v).with_window(WindowSpec::tumbling_millis(1_000)),
+        &mut policy,
+    )
+    .batched(batched_config(), BatchedSystem::StreamApprox)
+    .start();
+    let mut consumer = Consumer::whole_topic(topic);
+    let mut windows = Vec::new();
+    loop {
+        let ingest = session
+            .ingest_consumer(&mut consumer, 5)
+            .expect("engine alive");
+        assert_eq!(
+            ingest.dropped_late, 0,
+            "single-partition replay is time-ordered"
+        );
+        windows.extend(session.poll_windows());
+        if ingest.ingested == 0 && consumer.is_caught_up() {
+            break;
+        }
+    }
+    let out = session.finish();
+    assert_eq!(out.items_ingested, total as u64);
+    windows.extend(out.windows);
+
+    let oneshot = run_batched(
+        &batched_config(),
+        BatchedSystem::StreamApprox,
+        &Query::new(|v: &f64| *v).with_window(WindowSpec::tumbling_millis(1_000)),
+        &mut FixedFraction(0.5),
+        merged,
+    );
+    assert_eq!(windows, oneshot.windows);
+}
+
+/// A consumer whose delivery interleaves partitions out of event-time
+/// order cannot have its already-polled items retried, so the session
+/// drops the late ones explicitly and keeps the rest — no silent loss of
+/// in-order items, and the run completes.
+#[test]
+fn consumer_late_items_are_dropped_not_lost() {
+    // Two partitions round-robin: per-item messages land alternately, so
+    // a whole-topic consumer sees times interleaved out of order.
+    let topic = Topic::new("ragged", 2);
+    let mut producer = Producer::new(topic.clone(), Partitioner::RoundRobin);
+    for ms in [0i64, 500, 100, 600, 200, 700] {
+        producer.send(vec![StreamItem::new(
+            StratumId(0),
+            EventTime::from_millis(ms),
+            1.0f64,
+        )]);
+    }
+    let mut policy = FixedFraction(1.0);
+    let mut session = StreamApprox::new(
+        Query::new(|v: &f64| *v).with_window(WindowSpec::tumbling_millis(1_000)),
+        &mut policy,
+    )
+    .start();
+    let mut consumer = Consumer::whole_topic(topic);
+    let mut ingested = 0usize;
+    let mut dropped = 0usize;
+    loop {
+        // One message per poll: the fair rotation alternates partitions,
+        // so delivery interleaves 0, 500, 100, ... — the 100 is late.
+        let ingest = session
+            .ingest_consumer(&mut consumer, 1)
+            .expect("engine alive");
+        ingested += ingest.ingested;
+        dropped += ingest.dropped_late;
+        if ingest.ingested == 0 && consumer.is_caught_up() {
+            break;
+        }
+    }
+    assert_eq!(ingested + dropped, 6, "every polled item accounted for");
+    assert!(
+        dropped > 0,
+        "interleaved partitions must produce late items"
+    );
+    let out = session.finish();
+    assert_eq!(out.items_ingested, ingested as u64);
+}
+
+/// A single item with a far-future timestamp must cost O(1) work, not one
+/// empty pane per elapsed interval — the live API accepts untrusted
+/// timestamps, so a year-long event-time gap cannot hang the session or
+/// flood it with empty windows. Incremental and one-shot stay identical.
+#[test]
+fn far_future_item_is_bounded_work_on_every_engine() {
+    let mut stream: Vec<StreamItem<f64>> = (0..2_000)
+        .map(|ms| StreamItem::new(StratumId(0), EventTime::from_millis(ms), 1.0))
+        .collect();
+    // ~32 years of event time later.
+    stream.push(StreamItem::new(
+        StratumId(0),
+        EventTime::from_millis(1_000_000_000_000),
+        5.0,
+    ));
+
+    // Batched: session == one-shot across the gap, few windows, fast.
+    let mut policy = FixedFraction(0.5);
+    let mut session = StreamApprox::new(query(), &mut policy)
+        .batched(batched_config(), BatchedSystem::StreamApprox)
+        .start();
+    session
+        .push_batch(stream.iter().copied())
+        .expect("in order");
+    let out = session.finish();
+    assert!(
+        out.windows.len() < 20,
+        "gap materialized {} windows",
+        out.windows.len()
+    );
+    let oneshot = run_batched(
+        &batched_config(),
+        BatchedSystem::StreamApprox,
+        &query(),
+        &mut FixedFraction(0.5),
+        stream.clone(),
+    );
+    assert_eq!(out.windows, oneshot.windows);
+    // The data at both edges of the gap is still answered.
+    assert_eq!(out.items_ingested, 2_001);
+
+    // Aggregated: same bounded behavior.
+    let mut p2 = FixedFraction(0.5);
+    let mut agg = StreamApprox::new(query(), &mut p2).start();
+    agg.push_batch(stream.iter().copied()).expect("in order");
+    let agg_out = agg.finish();
+    assert!(agg_out.windows.len() < 20);
+    assert_eq!(agg_out.items_ingested, 2_001);
+}
+
+/// Ordering is enforced uniformly at the session layer, for every engine.
+#[test]
+fn out_of_order_items_are_rejected_on_every_engine() {
+    let late = StreamItem::new(StratumId(0), EventTime::from_millis(10), 1.0f64);
+    let early = StreamItem::new(StratumId(0), EventTime::from_millis(5), 2.0f64);
+
+    let mut p1 = FixedFraction(0.5);
+    let mut batched = StreamApprox::new(query(), &mut p1)
+        .batched(batched_config(), BatchedSystem::StreamApprox)
+        .start();
+    batched.push(late).expect("in order");
+    assert!(matches!(
+        batched.push(early),
+        Err(SaError::OutOfOrder { .. })
+    ));
+    let _ = batched.finish();
+
+    let mut p2 = FixedFraction(0.5);
+    let mut pipelined = StreamApprox::new(query(), &mut p2)
+        .pipelined(PipelinedConfig::new(), PipelinedSystem::StreamApprox)
+        .start();
+    pipelined.push(late).expect("in order");
+    assert!(matches!(
+        pipelined.push(early),
+        Err(SaError::OutOfOrder { .. })
+    ));
+    let _ = pipelined.finish();
+
+    let mut p3 = FixedFraction(0.5);
+    let mut aggregated = StreamApprox::new(query(), &mut p3).start();
+    aggregated.push(late).expect("in order");
+    assert!(matches!(
+        aggregated.push(early),
+        Err(SaError::OutOfOrder { .. })
+    ));
+    let _ = aggregated.finish();
+}
+
+/// The status snapshot follows the session through its life.
+#[test]
+fn status_reflects_session_progress() {
+    let mut policy = FixedFraction(1.0);
+    let mut session = StreamApprox::new(
+        Query::new(|v: &f64| *v).with_window(WindowSpec::tumbling_millis(1_000)),
+        &mut policy,
+    )
+    .batched(batched_config(), BatchedSystem::Native)
+    .start();
+    assert_eq!(
+        session.status(),
+        SessionStatus {
+            items_pushed: 0,
+            windows_completed: 0,
+            watermark: None,
+        }
+    );
+    for ms in [0i64, 600, 1_200, 2_400] {
+        session
+            .push(StreamItem::new(
+                StratumId(0),
+                EventTime::from_millis(ms),
+                1.0,
+            ))
+            .expect("in order");
+    }
+    let polled = session.poll_windows();
+    let status = session.status();
+    assert_eq!(status.items_pushed, 4);
+    assert_eq!(status.watermark, Some(EventTime::from_millis(2_400)));
+    assert_eq!(status.windows_completed, polled.len() as u64);
+    assert!(!polled.is_empty());
+    let _ = session.finish();
+}
+
+/// Debug coverage for the builder-facing configuration types, so test
+/// failures can print them.
+#[test]
+fn configs_and_query_are_debuggable() {
+    let q = format!("{:?}", query());
+    assert!(q.contains("Query") && q.contains("window"));
+    let b = format!("{:?}", batched_config());
+    assert!(b.contains("BatchedConfig") && b.contains("batch_interval_ms"));
+    let p = format!("{:?}", PipelinedConfig::new());
+    assert!(p.contains("PipelinedConfig") && p.contains("expected_pane_items"));
+    let a = format!("{:?}", AggregatedConfig::default());
+    assert!(a.contains("AggregatedConfig") && a.contains("pane_interval_ms"));
+    let mut policy = FixedFraction(0.5);
+    let builder = StreamApprox::new(query(), &mut policy);
+    assert!(format!("{builder:?}").contains("StreamApprox"));
+}

@@ -53,6 +53,15 @@ pub mod channel {
     #[derive(Debug, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Why a [`Receiver::try_recv`] returned no message.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty but senders remain.
+        Empty,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
     fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
@@ -127,6 +136,26 @@ pub mod channel {
                     return Err(RecvError);
                 }
                 state = self.shared.not_empty.wait(state).expect("channel lock");
+            }
+        }
+
+        /// Dequeues the next message without blocking.
+        ///
+        /// # Errors
+        ///
+        /// [`TryRecvError::Empty`] when no message is queued but senders
+        /// remain; [`TryRecvError::Disconnected`] once the channel is empty
+        /// and every sender is gone.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.shared.state.lock().expect("channel lock");
+            if let Some(msg) = state.queue.pop_front() {
+                self.shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if state.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
             }
         }
     }
@@ -222,6 +251,16 @@ pub mod channel {
             let mut got = vec![a, b];
             got.sort_unstable();
             assert_eq!(got, vec![1, 2]);
+        }
+
+        #[test]
+        fn try_recv_distinguishes_empty_from_disconnected() {
+            let (tx, rx) = unbounded();
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            tx.send(5).unwrap();
+            assert_eq!(rx.try_recv(), Ok(5));
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
         }
 
         #[test]
