@@ -19,7 +19,7 @@
 //! [`crate::ApproxSession::from_engine`].
 
 use crate::output::{RunOutput, WindowResult};
-use sa_types::{SaError, StreamItem};
+use sa_types::{SaError, ShardIngest, StreamItem};
 
 /// One execution substrate driving the approximation runtime
 /// incrementally.
@@ -50,6 +50,14 @@ pub trait Engine<R> {
 
     /// Takes the windows completed since the last poll.
     fn poll_windows(&mut self) -> Vec<WindowResult>;
+
+    /// Per-shard sampler counters for data-parallel substrates, in shard
+    /// order, as of the last closed interval. Single-worker substrates
+    /// keep the default empty answer; `ApproxSession::status` surfaces
+    /// this through `SessionStatus::shards`.
+    fn shard_ingest(&self) -> Vec<ShardIngest> {
+        Vec::new()
+    }
 
     /// Ends the stream: flushes trailing windows and returns the
     /// completed run.

@@ -89,7 +89,9 @@
 //!   `push`/`push_batch`/`ingest_consumer` in, `poll_windows`,
 //!   `watermark`, `status` and `finish` out.
 //! * [`Engine`] — the substrate contract behind sessions; implemented by
-//!   the batched dataset engine, the pipelined operator engine, and the
+//!   the batched dataset engine, the pipelined operator engine, the
+//!   sharded data-parallel engine ([`ShardedConfig`]: hash-partitioned
+//!   worker threads over mergeable stratified samplers), and the
 //!   aggregated consumer path ([`AggregatedConfig`]), each embedding the
 //!   shared runtime. Implement it to plug in your own substrate via
 //!   [`ApproxSession::from_engine`].
@@ -125,6 +127,7 @@ mod pipelined;
 mod query;
 mod runtime;
 mod session;
+mod sharded;
 mod stratify;
 mod windowing;
 
@@ -140,8 +143,10 @@ pub use output::{RunOutput, WindowResult};
 pub use pipelined::{run_pipelined, PipelinedConfig, PipelinedSystem};
 pub use query::Query;
 pub use runtime::{
-    sampler_sizing, ApproxRuntime, ExactAccumulator, IntervalWorker, WindowFinalizer,
+    sampler_sizing, ApproxRuntime, ExactAccumulator, IntervalWorker, ShardSet, WindowFinalizer,
+    WorkerPane,
 };
-pub use session::{ApproxSession, ConsumerIngest, StreamApprox};
+pub use session::{ApproxSession, StreamApprox};
+pub use sharded::ShardedConfig;
 pub use stratify::{restratify, QuantileStratifier};
 pub use windowing::PaneWindower;

@@ -35,9 +35,10 @@ use crate::cost::{CostPolicy, IntervalFeedback, PolicyHandle, SizingDirective};
 use crate::output::{RunOutput, WindowResult};
 use crate::query::Query;
 use crate::windowing::PaneWindower;
+use rand::Rng;
 use sa_estimate::{estimate_mean, StratumStats, Welford};
-use sa_sampling::{OasrsSampler, SizingPolicy};
-use sa_types::{Confidence, EventTime, RunSeed, StratumId, Window, WindowSpec};
+use sa_sampling::{merge_all_stratified, OasrsSampler, SizingPolicy};
+use sa_types::{Confidence, EventTime, RunSeed, StratifiedSample, StratumId, Window, WindowSpec};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -102,6 +103,21 @@ enum WorkerKind<R> {
     Exact(ExactAccumulator<R>),
 }
 
+/// What one worker's interval closed into, before any cross-worker
+/// combination.
+///
+/// Sampling workers keep the *items* (a weighted [`StratifiedSample`]) so
+/// shard-local samples can be merged by the seen-count-weighted reservoir
+/// union before estimation; exact workers reduce to per-stratum
+/// [`StratumStats`] immediately (Welford statistics merge exactly, no
+/// items needed).
+pub enum WorkerPane<R> {
+    /// The interval's weighted stratified sample (sampling execution).
+    Sampled(StratifiedSample<R>),
+    /// The interval's exact per-stratum statistics (native execution).
+    Exact(Vec<StratumStats>),
+}
+
 /// One parallel worker's interval state: OASRS sampling under a budget,
 /// exact accumulation without one. Engines call
 /// [`observe`](IntervalWorker::observe) per item and
@@ -147,6 +163,39 @@ impl<R> IntervalWorker<R> {
         }
     }
 
+    /// Builds shard `shard`'s worker for a mergeable-sampler engine: the
+    /// sampler keeps the *full* per-stratum capacity — unlike
+    /// [`for_worker`](IntervalWorker::for_worker), which splits capacities
+    /// `N/w` — because shard-local samples are merged back down to
+    /// capacity by the weighted reservoir union at interval close (see
+    /// [`ShardSet::merge_panes`]). Only the RNG stream is decorrelated per
+    /// shard, through the same [`RunSeed::for_worker`] rule, so shard 0 of
+    /// a 1-shard set draws bit-for-bit the sample worker 0 of a 1-worker
+    /// pool would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sizing policy is invalid.
+    pub fn for_shard(
+        sizing: Option<SizingPolicy>,
+        seed: RunSeed,
+        shard: usize,
+        proj: Arc<dyn Fn(&R) -> f64 + Send + Sync>,
+    ) -> Self {
+        let kind = match sizing {
+            Some(sizing) => {
+                WorkerKind::Sampling(OasrsSampler::new(sizing, seed.for_worker(shard).value()))
+            }
+            None => WorkerKind::Exact(ExactAccumulator::new(Arc::clone(&proj))),
+        };
+        IntervalWorker {
+            kind,
+            proj,
+            ingested: 0,
+            sampled: 0,
+        }
+    }
+
     /// Offers one item.
     #[inline]
     pub fn observe(&mut self, stratum: StratumId, value: R) {
@@ -160,24 +209,182 @@ impl<R> IntervalWorker<R> {
     /// Closes the current interval into per-stratum statistics and re-arms
     /// for the next one.
     pub fn close_interval(&mut self) -> Vec<StratumStats> {
-        let stats: Vec<StratumStats> = match &mut self.kind {
-            WorkerKind::Sampling(sampler) => {
-                let sample = sampler.finish_interval();
+        match self.close_interval_parts() {
+            WorkerPane::Sampled(sample) => {
                 let proj = &self.proj;
                 sample
                     .iter()
                     .map(|stratum| StratumStats::from_sample(stratum, |r| proj(r)))
                     .collect()
             }
-            WorkerKind::Exact(acc) => acc.close_interval(),
-        };
-        self.sampled += stats.iter().map(StratumStats::sample_size).sum::<u64>();
-        stats
+            WorkerPane::Exact(stats) => stats,
+        }
+    }
+
+    /// Closes the current interval into a [`WorkerPane`] and re-arms for
+    /// the next one — the pre-combination form sharded engines ship
+    /// between threads so sampling shards can merge *samples* (not
+    /// statistics) before estimation.
+    pub fn close_interval_parts(&mut self) -> WorkerPane<R> {
+        match &mut self.kind {
+            WorkerKind::Sampling(sampler) => {
+                let sample = sampler.finish_interval();
+                self.sampled += sample.total_sampled();
+                WorkerPane::Sampled(sample)
+            }
+            WorkerKind::Exact(acc) => {
+                let stats = acc.close_interval();
+                self.sampled += stats.iter().map(StratumStats::sample_size).sum::<u64>();
+                WorkerPane::Exact(stats)
+            }
+        }
     }
 
     /// Items offered / items aggregated over this worker's lifetime.
     pub fn counters(&self) -> (u64, u64) {
         (self.ingested, self.sampled)
+    }
+}
+
+/// The shard-aware sampler lifecycle for data-parallel engines: routing,
+/// per-shard [`IntervalWorker`] construction (rebuilt only when the cost
+/// policy's directive changes, so capacity adaptation keeps its history —
+/// the shard-level mirror of [`ApproxRuntime::checkout_samplers`]), and
+/// the deterministic canonical merge of shard-local interval closes.
+///
+/// Merge semantics follow the sizing policy's budget distribution:
+///
+/// * Under a **fraction** directive, every shard's sampler adapts its
+///   capacities to its *own* arrival share, so the shards already split
+///   the budget — the combine is the plain capacity-summing
+///   `StratifiedSample::union` (§3.2).
+/// * Under **fixed-size** directives (per-stratum / shared-total), every
+///   shard duplicates the one fixed budget at full capacity and the
+///   shard samples are united by the seen-count-weighted reservoir union
+///   (`sa_sampling::merge_all_stratified`), preserving uniform inclusion
+///   probabilities while holding the merged sample at the budgeted size.
+/// * Exact (native) shards reduce to per-stratum Welford statistics which
+///   concatenate; the window combiner's canonical sort-and-merge
+///   (`combine.rs`) makes the result independent of shard scheduling.
+///
+/// Shards are always merged in ascending shard-index order — mirroring
+/// `combine.rs`'s canonical stats order — so a run is bit-for-bit
+/// reproducible from its seed.
+pub struct ShardSet<R> {
+    shards: usize,
+    seed: RunSeed,
+    proj: Arc<dyn Fn(&R) -> f64 + Send + Sync>,
+    directive: Option<SizingDirective>,
+}
+
+impl<R> ShardSet<R> {
+    /// A shard set of `shards` workers seeded from `seed`, projecting
+    /// records through `proj` at estimation time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize, seed: RunSeed, proj: Arc<dyn Fn(&R) -> f64 + Send + Sync>) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        ShardSet {
+            shards,
+            seed,
+            proj,
+            directive: None,
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Deterministic hash route for the `seq`-th accepted item of the
+    /// stream: the run-wide [`RunSeed::derive`] mixing rule over
+    /// `(seq, stratum)`, so every stratum spreads across all shards (the
+    /// mergeable-sampler layer is what makes cross-shard strata sound)
+    /// and a run routes identically on every replay.
+    pub fn route(&self, stratum: StratumId, seq: u64) -> usize {
+        if self.shards == 1 {
+            return 0;
+        }
+        (RunSeed::new(seq).derive(u64::from(stratum.0)).value() % self.shards as u64) as usize
+    }
+
+    /// Hands out one fresh [`IntervalWorker`] per shard when `directive`
+    /// differs from the one currently armed; `None` when the armed workers
+    /// can keep running (their capacity adaptation history is preserved,
+    /// exactly like the single-threaded sampler pool).
+    ///
+    /// `expected_items` seeds a fraction policy's first-interval capacity
+    /// guess, spread across shards.
+    pub fn rearm(
+        &mut self,
+        directive: SizingDirective,
+        expected_items: usize,
+    ) -> Option<Vec<IntervalWorker<R>>> {
+        if self.directive == Some(directive) {
+            return None;
+        }
+        self.directive = Some(directive);
+        let sizing = sampler_sizing(directive, expected_items, self.shards);
+        Some(
+            (0..self.shards)
+                .map(|i| IntervalWorker::for_shard(sizing, self.seed, i, Arc::clone(&self.proj)))
+                .collect(),
+        )
+    }
+
+    /// Merges one interval's per-shard closes — given in ascending shard
+    /// order — into the interval's [`PanePayload`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if sampled and exact shard panes are mixed (all shards of
+    /// one interval run the same directive).
+    pub fn merge_panes<G: Rng + ?Sized>(
+        &self,
+        panes: Vec<WorkerPane<R>>,
+        rng: &mut G,
+    ) -> PanePayload {
+        let mut samples = Vec::new();
+        let mut stats = Vec::new();
+        for pane in panes {
+            match pane {
+                WorkerPane::Sampled(sample) => samples.push(sample),
+                WorkerPane::Exact(exact) => stats.extend(exact),
+            }
+        }
+        if samples.is_empty() {
+            return PanePayload::Stratified(stats);
+        }
+        assert!(
+            stats.is_empty(),
+            "mixed sampled and exact shard panes in one interval"
+        );
+        let merged = match self.directive {
+            Some(SizingDirective::Fraction(_)) => {
+                // Shards split the fraction budget by adapting to their own
+                // arrival shares: the capacity-summing union is the
+                // faithful combine.
+                let mut union: Option<StratifiedSample<R>> = None;
+                for sample in samples {
+                    match &mut union {
+                        None => union = Some(sample),
+                        Some(u) => u.union(sample),
+                    }
+                }
+                union.expect("at least one sampled shard pane")
+            }
+            _ => merge_all_stratified(samples, rng),
+        };
+        let proj = &self.proj;
+        PanePayload::Stratified(
+            merged
+                .iter()
+                .map(|stratum| StratumStats::from_sample(stratum, |r| proj(r)))
+                .collect(),
+        )
     }
 }
 
@@ -471,7 +678,7 @@ impl<'p, R> ApproxRuntime<'p, R> {
 mod tests {
     use super::*;
     use crate::cost::FixedFraction;
-    use sa_types::StratifiedSample;
+    use rand::SeedableRng;
 
     fn query() -> Query<f64> {
         Query::new(|v: &f64| *v).with_window(WindowSpec::tumbling_millis(1_000))
@@ -722,6 +929,102 @@ mod tests {
         };
         assert_eq!(merged.population, 100);
         assert_eq!(merged.sample_size(), 10);
+    }
+
+    #[test]
+    fn for_shard_of_one_matches_worker_zero_of_one() {
+        // The N=1 bit-for-bit guarantee rests on this: shard 0 of a
+        // 1-shard set and worker 0 of a 1-worker pool draw the same
+        // sample from the same seed.
+        let proj: Arc<dyn Fn(&f64) -> f64 + Send + Sync> = Arc::new(|v| *v);
+        let sizing = Some(SizingPolicy::PerStratum(5));
+        let mut shard = IntervalWorker::for_shard(sizing, RunSeed::new(9), 0, Arc::clone(&proj));
+        let mut worker = IntervalWorker::for_worker(sizing, RunSeed::new(9), 0, 1, proj);
+        for v in 0..200 {
+            shard.observe(StratumId(v % 3), f64::from(v));
+            worker.observe(StratumId(v % 3), f64::from(v));
+        }
+        assert_eq!(shard.close_interval(), worker.close_interval());
+    }
+
+    #[test]
+    fn shard_set_rearms_only_on_directive_change() {
+        let proj: Arc<dyn Fn(&f64) -> f64 + Send + Sync> = Arc::new(|v| *v);
+        let mut set: ShardSet<f64> = ShardSet::new(2, RunSeed::DEFAULT, proj);
+        let first = set.rearm(SizingDirective::PerStratum(4), 100);
+        assert_eq!(first.expect("first arm builds workers").len(), 2);
+        assert!(set.rearm(SizingDirective::PerStratum(4), 100).is_none());
+        assert!(set.rearm(SizingDirective::Fraction(0.5), 100).is_some());
+    }
+
+    #[test]
+    fn shard_set_routes_deterministically_across_all_shards() {
+        let proj: Arc<dyn Fn(&f64) -> f64 + Send + Sync> = Arc::new(|v| *v);
+        let set: ShardSet<f64> = ShardSet::new(4, RunSeed::DEFAULT, proj);
+        let mut hit = [0usize; 4];
+        for seq in 0..4_000u64 {
+            let shard = set.route(StratumId(seq as u32 % 3), seq);
+            assert_eq!(shard, set.route(StratumId(seq as u32 % 3), seq));
+            hit[shard] += 1;
+        }
+        for (shard, &count) in hit.iter().enumerate() {
+            assert!(count > 700, "shard {shard} starved: {count}/4000");
+        }
+    }
+
+    #[test]
+    fn shard_set_merges_fixed_budgets_down_to_capacity() {
+        let proj: Arc<dyn Fn(&f64) -> f64 + Send + Sync> = Arc::new(|v| *v);
+        let mut set: ShardSet<f64> = ShardSet::new(2, RunSeed::new(5), proj);
+        let mut workers = set
+            .rearm(SizingDirective::PerStratum(6), 0)
+            .expect("first arm");
+        for v in 0..40 {
+            workers[0].observe(StratumId(0), f64::from(v));
+            workers[1].observe(StratumId(0), f64::from(v + 40));
+        }
+        let panes: Vec<WorkerPane<f64>> = workers
+            .iter_mut()
+            .map(IntervalWorker::close_interval_parts)
+            .collect();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let PanePayload::Stratified(stats) = set.merge_panes(panes, &mut rng) else {
+            panic!("stratified payload expected");
+        };
+        assert_eq!(stats.len(), 1);
+        // Full population represented, sample held at the one budget.
+        assert_eq!(stats[0].population, 80);
+        assert_eq!(stats[0].sample_size(), 6);
+    }
+
+    #[test]
+    fn shard_set_merges_fraction_shards_by_union() {
+        let proj: Arc<dyn Fn(&f64) -> f64 + Send + Sync> = Arc::new(|v| *v);
+        let mut set: ShardSet<f64> = ShardSet::new(2, RunSeed::new(6), proj);
+        let mut workers = set
+            .rearm(SizingDirective::Fraction(0.5), 400)
+            .expect("first arm");
+        // Second interval so capacities have adapted to 0.5 × arrivals.
+        let mut last = 0;
+        for _ in 0..2 {
+            for v in 0..100 {
+                workers[0].observe(StratumId(0), f64::from(v));
+                workers[1].observe(StratumId(0), f64::from(v));
+            }
+            let panes: Vec<WorkerPane<f64>> = workers
+                .iter_mut()
+                .map(IntervalWorker::close_interval_parts)
+                .collect();
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
+            let PanePayload::Stratified(stats) = set.merge_panes(panes, &mut rng) else {
+                panic!("stratified payload expected");
+            };
+            assert_eq!(stats[0].population, 200);
+            last = stats[0].sample_size();
+        }
+        // Both shards sampled ~50 of their 100: the union carries ~100 of
+        // the 200 — the fraction budget split across shards, not doubled.
+        assert_eq!(last, 100);
     }
 
     #[test]

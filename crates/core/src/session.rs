@@ -18,8 +18,9 @@ use crate::engine::Engine;
 use crate::output::{RunOutput, WindowResult};
 use crate::pipelined::{PipelinedConfig, PipelinedEngine, PipelinedSystem};
 use crate::query::Query;
+use crate::sharded::{ShardedConfig, ShardedEngine};
 use sa_aggregator::Consumer;
-use sa_types::{EventTime, QueryBudget, SaError, SessionStatus, StreamItem};
+use sa_types::{EventTime, IngestCounters, QueryBudget, SaError, SessionStatus, StreamItem};
 
 /// Deferred engine construction: each builder method captures its config
 /// in a factory closure so that trait bounds stay per-engine — the
@@ -146,6 +147,25 @@ impl<'p, R: 'p> StreamApprox<'p, R> {
         self
     }
 
+    /// Runs the session on the sharded data-parallel engine: items are
+    /// hash-partitioned across `config.shards` worker threads, each
+    /// sampling its sub-stream with full-capacity OASRS, and the
+    /// shard-local samples are merged by the mergeable-sampler layer at
+    /// every interval close (see [`crate::ShardedConfig`]).
+    #[must_use]
+    pub fn sharded(mut self, config: ShardedConfig) -> Self
+    where
+        R: Send + Sync + 'static,
+    {
+        self.factory = EngineFactory {
+            name: "sharded",
+            build: Box::new(move |query, policy| {
+                Box::new(ShardedEngine::new(config, query, policy))
+            }),
+        };
+        self
+    }
+
     /// Runs the session on the aggregated consumer path (the default).
     #[must_use]
     pub fn aggregated(mut self, config: AggregatedConfig) -> Self {
@@ -175,16 +195,6 @@ impl<R> std::fmt::Debug for StreamApprox<'_, R> {
     }
 }
 
-/// What one [`ApproxSession::ingest_consumer`] call did with the items it
-/// polled.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ConsumerIngest {
-    /// Items accepted into the session.
-    pub ingested: usize,
-    /// Items behind the session watermark, dropped as late data.
-    pub dropped_late: usize,
-}
-
 /// A running incremental session over one [`Engine`].
 ///
 /// The session is the ordering gatekeeper: items must arrive in
@@ -199,7 +209,7 @@ pub struct ConsumerIngest {
 pub struct ApproxSession<'p, R> {
     engine: Box<dyn Engine<R> + 'p>,
     watermark: Option<EventTime>,
-    pushed: u64,
+    ingest: IngestCounters,
     completed: u64,
 }
 
@@ -211,7 +221,7 @@ impl<'p, R> ApproxSession<'p, R> {
         ApproxSession {
             engine,
             watermark: None,
-            pushed: 0,
+            ingest: IngestCounters::default(),
             completed: 0,
         }
     }
@@ -221,11 +231,13 @@ impl<'p, R> ApproxSession<'p, R> {
     /// # Errors
     ///
     /// [`SaError::OutOfOrder`] if the item's event time is behind the
-    /// session watermark (the item is not ingested; the session remains
+    /// session watermark (the item is not ingested and counts as dropped
+    /// late data in the session's [`IngestCounters`]; the session remains
     /// usable), or [`SaError::Disconnected`] if the engine has shut down.
     pub fn push(&mut self, item: StreamItem<R>) -> Result<(), SaError> {
         if let Some(watermark) = self.watermark {
             if item.time < watermark {
+                self.ingest.dropped_late += 1;
                 return Err(SaError::OutOfOrder {
                     item: item.time,
                     watermark,
@@ -235,7 +247,7 @@ impl<'p, R> ApproxSession<'p, R> {
         let time = item.time;
         self.engine.push(item)?;
         self.watermark = Some(time);
-        self.pushed += 1;
+        self.ingest.ingested += 1;
         Ok(())
     }
 
@@ -257,14 +269,15 @@ impl<'p, R> ApproxSession<'p, R> {
 
     /// Polls an aggregator consumer once and ingests what it returns —
     /// the paper's deployment loop (aggregator → consumer → engine) in one
-    /// call. Returns what happened to the polled items; both counters are
-    /// `0` when the consumer is caught up (see `Consumer::is_caught_up`
-    /// for distinguishing idle from finished).
+    /// call. Returns the call's [`IngestCounters`] delta (the same
+    /// accounting [`status`](ApproxSession::status) accumulates run-wide);
+    /// both counters are `0` when the consumer is caught up (see
+    /// `Consumer::is_caught_up` for distinguishing idle from finished).
     ///
     /// Polling has already advanced the consumer's offsets, so items it
     /// returns cannot be retried: ones behind the session watermark are
     /// **dropped as late data** — standard streaming semantics — and
-    /// counted in [`ConsumerIngest::dropped_late`] rather than aborting
+    /// counted in [`IngestCounters::dropped_late`] rather than aborting
     /// the batch. A topic whose delivery order respects event time (a
     /// single-partition topic — the paper's aggregator combines
     /// sub-streams into *one* input stream, §2.1 — or one session per
@@ -278,23 +291,19 @@ impl<'p, R> ApproxSession<'p, R> {
         &mut self,
         consumer: &mut Consumer<R>,
         max_messages: usize,
-    ) -> Result<ConsumerIngest, SaError>
+    ) -> Result<IngestCounters, SaError>
     where
         R: Clone,
     {
-        let mut ingested = 0usize;
-        let mut dropped_late = 0usize;
+        let mut delta = IngestCounters::default();
         for item in consumer.poll_items(max_messages) {
             match self.push(item) {
-                Ok(()) => ingested += 1,
-                Err(SaError::OutOfOrder { .. }) => dropped_late += 1,
+                Ok(()) => delta.ingested += 1,
+                Err(SaError::OutOfOrder { .. }) => delta.dropped_late += 1,
                 Err(other) => return Err(other),
             }
         }
-        Ok(ConsumerIngest {
-            ingested,
-            dropped_late,
-        })
+        Ok(delta)
     }
 
     /// Takes the windows completed since the last poll, in watermark
@@ -315,12 +324,17 @@ impl<'p, R> ApproxSession<'p, R> {
         self.watermark
     }
 
-    /// A snapshot of the session's progress counters.
+    /// A snapshot of the session's progress counters: pushes, polls,
+    /// watermark, the unified [`IngestCounters`] across every ingestion
+    /// path, and — on data-parallel engines — per-shard sampler counters
+    /// as of the last closed interval.
     pub fn status(&self) -> SessionStatus {
         SessionStatus {
-            items_pushed: self.pushed,
+            items_pushed: self.ingest.ingested,
             windows_completed: self.completed,
             watermark: self.watermark,
+            ingest: self.ingest,
+            shards: self.engine.shard_ingest(),
         }
     }
 
@@ -339,7 +353,7 @@ impl<R> std::fmt::Debug for ApproxSession<'_, R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ApproxSession")
             .field("watermark", &self.watermark)
-            .field("items_pushed", &self.pushed)
+            .field("ingest", &self.ingest)
             .field("windows_completed", &self.completed)
             .finish()
     }
@@ -385,6 +399,8 @@ mod tests {
                 items_pushed: 0,
                 windows_completed: 0,
                 watermark: None,
+                ingest: IngestCounters::default(),
+                shards: Vec::new(),
             }
         );
         for ms in [0, 400, 1_200, 2_600] {
@@ -399,6 +415,27 @@ mod tests {
             !polled.is_empty(),
             "watermark 2.6s closed the [0,1s) window"
         );
+    }
+
+    #[test]
+    fn late_pushes_count_as_dropped_in_the_unified_ingest() {
+        let mut policy = FixedFraction(1.0);
+        let mut session = StreamApprox::new(query(), &mut policy).start();
+        session.push(item(900, 1.0)).expect("in order");
+        assert!(session.push(item(100, 2.0)).is_err());
+        assert!(session.push(item(200, 3.0)).is_err());
+        let status = session.status();
+        assert_eq!(
+            status.ingest,
+            IngestCounters {
+                ingested: 1,
+                dropped_late: 2,
+            }
+        );
+        assert_eq!(status.ingest.offered(), 3);
+        // Single-worker engines report no shard counters.
+        assert!(status.shards.is_empty());
+        let _ = session.finish();
     }
 
     #[test]

@@ -1,0 +1,432 @@
+//! The sharded data-parallel engine: hash-partitioned OASRS over
+//! mergeable stratified samplers.
+//!
+//! StreamApprox's core scalability claim is that OASRS is *mergeable*:
+//! shard-local samples combine without bias, so sampling parallelizes
+//! across workers with no synchronization on the hot path (§3.2; the
+//! distributed follow-up develops the same idea across nodes). This
+//! engine is that claim as an execution substrate:
+//!
+//! * **Routing** — every accepted item is hash-partitioned
+//!   ([`ShardSet::route`]) across `N` worker shards, each a thread owning
+//!   its own per-stratum [`IntervalWorker`] (OASRS samplers at *full*
+//!   per-stratum capacity, or exact Welford accumulators under native
+//!   execution). Items travel in chunks, so shards sample concurrently
+//!   with ingestion and the pusher never blocks on a sampler.
+//! * **The shared interval clock** — the engine cuts panes on the caller
+//!   thread with the same [`PaneCursor`] the batched and aggregated
+//!   engines use. At every pane boundary it broadcasts a close, and each
+//!   shard answers with its interval's [`WorkerPane`]: the weighted
+//!   stratified *sample* (not statistics), plus its lifetime counters.
+//! * **Canonical merge** — shard panes are merged in ascending shard
+//!   order by the mergeable-sampler layer ([`ShardSet::merge_panes`]):
+//!   the seen-count-weighted reservoir union for fixed-size budgets, the
+//!   capacity-summing union for fraction budgets, plain concatenation of
+//!   Welford statistics for exact shards. Only then is the pane estimated
+//!   and handed to the shared [`ApproxRuntime`] for window assembly.
+//!
+//! # Watermark and ordering semantics
+//!
+//! The session in front of this engine enforces global event-time order,
+//! and each shard's channel is FIFO, so a shard observes its sub-stream
+//! in stream order. The engine's watermark only advances at a pane close,
+//! *after* every shard has answered the close barrier — no shard can
+//! contribute items to a pane whose windows the finalizer already sealed,
+//! so sharding never reorders or loses data relative to the
+//! single-threaded engines. With one shard the engine is bit-for-bit
+//! identical to the batched engine at the same seed and pane interval
+//! (`tests/engine_parity.rs` holds that oracle); with many shards the
+//! answers agree statistically, within the estimators' confidence bounds.
+
+use crate::combine::PanePayload;
+use crate::cost::PolicyHandle;
+use crate::engine::Engine;
+use crate::output::{RunOutput, WindowResult};
+use crate::query::Query;
+use crate::runtime::{ApproxRuntime, IntervalWorker, PaneCursor, ShardSet, WorkerPane};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sa_types::{EventTime, RunSeed, SaError, ShardIngest, StreamItem, Window};
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Configuration of the sharded engine for one session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardedConfig {
+    /// Number of worker shards (threads).
+    pub shards: usize,
+    /// Sampling-interval length in event-time milliseconds; `None` uses
+    /// the query's window slide, the paper's interval choice (§5.5).
+    pub pane_interval_ms: Option<i64>,
+    /// Items buffered per shard before a chunk is shipped to its thread;
+    /// larger chunks amortize channel traffic, smaller ones reduce the
+    /// sampling lag behind ingestion.
+    pub chunk_items: usize,
+    /// Seed for every sampling (and merge) decision.
+    pub seed: RunSeed,
+    /// Expected items in the first pane — the fraction policy's
+    /// first-interval capacity hint, exactly as on the pipelined engine;
+    /// from the second pane on, sizing adapts from real arrival counters.
+    pub expected_pane_items: usize,
+}
+
+impl ShardedConfig {
+    /// A configuration with `shards` worker threads and defaults
+    /// otherwise: slide-sized panes, 1024-item chunks, default seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        ShardedConfig {
+            shards,
+            pane_interval_ms: None,
+            chunk_items: 1_024,
+            seed: RunSeed::DEFAULT,
+            expected_pane_items: 0,
+        }
+    }
+
+    /// Overrides the sampling-interval length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ms` is not positive.
+    #[must_use]
+    pub fn with_pane_interval_ms(mut self, ms: i64) -> Self {
+        assert!(ms > 0, "pane interval must be positive");
+        self.pane_interval_ms = Some(ms);
+        self
+    }
+
+    /// Sets the per-shard chunk size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is zero.
+    #[must_use]
+    pub fn with_chunk_items(mut self, items: usize) -> Self {
+        assert!(items > 0, "chunk size must be positive");
+        self.chunk_items = items;
+        self
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: impl Into<RunSeed>) -> Self {
+        self.seed = seed.into();
+        self
+    }
+
+    /// Sets the first-pane volume hint for fraction budgets.
+    #[must_use]
+    pub fn with_expected_pane_items(mut self, items: usize) -> Self {
+        self.expected_pane_items = items;
+        self
+    }
+}
+
+/// Commands the engine sends a shard thread.
+enum ToShard<R> {
+    /// Replace the shard's interval worker (first pane, or the cost
+    /// policy changed its directive).
+    Arm(Box<IntervalWorker<R>>),
+    /// A chunk of routed items to observe, in stream order.
+    Chunk(Vec<StreamItem<R>>),
+    /// Close the current interval and answer with a [`ShardClose`].
+    Close,
+}
+
+/// One shard's answer to a close barrier.
+struct ShardClose<R> {
+    shard: usize,
+    pane: WorkerPane<R>,
+    ingested: u64,
+    sampled: u64,
+}
+
+/// The shard worker loop: owns the shard's [`IntervalWorker`] between
+/// rearms and runs until the engine drops its sender.
+fn shard_loop<R>(
+    shard: usize,
+    commands: mpsc::Receiver<ToShard<R>>,
+    results: mpsc::Sender<ShardClose<R>>,
+) {
+    let mut worker: Option<IntervalWorker<R>> = None;
+    while let Ok(command) = commands.recv() {
+        match command {
+            ToShard::Arm(fresh) => worker = Some(*fresh),
+            ToShard::Chunk(items) => {
+                let worker = worker.as_mut().expect("shard armed before items");
+                for item in items {
+                    worker.observe(item.stratum, item.value);
+                }
+            }
+            ToShard::Close => {
+                let worker = worker.as_mut().expect("shard armed before close");
+                let pane = worker.close_interval_parts();
+                let (ingested, sampled) = worker.counters();
+                if results
+                    .send(ShardClose {
+                        shard,
+                        pane,
+                        ingested,
+                        sampled,
+                    })
+                    .is_err()
+                {
+                    return; // Engine gone: nothing left to answer to.
+                }
+            }
+        }
+    }
+}
+
+/// The sharded substrate as an incremental [`Engine`]; see the module
+/// docs for the execution model.
+pub(crate) struct ShardedEngine<'p, R> {
+    runtime: ApproxRuntime<'p, R>,
+    shard_set: ShardSet<R>,
+    config: ShardedConfig,
+    cursor: PaneCursor,
+    senders: Vec<mpsc::Sender<ToShard<R>>>,
+    results: mpsc::Receiver<ShardClose<R>>,
+    threads: Vec<JoinHandle<()>>,
+    buffers: Vec<Vec<StreamItem<R>>>,
+    counters: Vec<ShardIngest>,
+    /// Counter totals folded in from workers retired by a directive
+    /// change: a [`ShardClose`] reports the *current* worker's lifetime
+    /// counters, so the session-facing totals are `base + worker`.
+    counter_base: Vec<ShardIngest>,
+    pane_open: bool,
+    first_pane: bool,
+    pane_arrived: u64,
+    prev_pane_arrived: usize,
+    pane_idx: u64,
+    seq: u64,
+    alive: bool,
+}
+
+impl<'p, R> ShardedEngine<'p, R>
+where
+    R: Send + Sync + 'static,
+{
+    pub(crate) fn new(
+        config: ShardedConfig,
+        query: Query<R>,
+        policy: impl Into<PolicyHandle<'p>>,
+    ) -> Self {
+        let pane_ms = config
+            .pane_interval_ms
+            .unwrap_or_else(|| query.window().slide_millis());
+        let cursor = PaneCursor::new(pane_ms, query.window());
+        let runtime = ApproxRuntime::new(&query, policy, config.seed, config.shards);
+        let shard_set = ShardSet::new(config.shards, config.seed, query.projection());
+        let (result_tx, results) = mpsc::channel();
+        let mut senders = Vec::with_capacity(config.shards);
+        let mut threads = Vec::with_capacity(config.shards);
+        for shard in 0..config.shards {
+            let (tx, rx) = mpsc::channel();
+            let results = result_tx.clone();
+            senders.push(tx);
+            threads.push(std::thread::spawn(move || shard_loop(shard, rx, results)));
+        }
+        ShardedEngine {
+            runtime,
+            shard_set,
+            config,
+            cursor,
+            senders,
+            results,
+            threads,
+            buffers: (0..config.shards)
+                .map(|_| Vec::with_capacity(config.chunk_items))
+                .collect(),
+            counters: (0..config.shards)
+                .map(|shard| ShardIngest {
+                    shard,
+                    ..ShardIngest::default()
+                })
+                .collect(),
+            counter_base: (0..config.shards)
+                .map(|shard| ShardIngest {
+                    shard,
+                    ..ShardIngest::default()
+                })
+                .collect(),
+            pane_open: false,
+            first_pane: true,
+            pane_arrived: 0,
+            prev_pane_arrived: 0,
+            pane_idx: 0,
+            seq: 0,
+            alive: true,
+        }
+    }
+
+    fn send(&mut self, shard: usize, command: ToShard<R>) -> Result<(), SaError> {
+        if self.senders[shard].send(command).is_err() {
+            self.alive = false;
+            return Err(SaError::Disconnected("sharded worker thread died"));
+        }
+        Ok(())
+    }
+
+    /// Opens the cursor's current pane if none is open: consults the cost
+    /// policy and, when its directive changed (or this is the first
+    /// pane), arms every shard with a fresh worker. With an unchanged
+    /// directive the armed workers keep running, so capacity adaptation
+    /// carries across panes exactly like the single-threaded sampler
+    /// pool.
+    fn ensure_armed(&mut self) -> Result<(), SaError> {
+        if self.pane_open {
+            return Ok(());
+        }
+        let directive = self.runtime.interval_sizing();
+        let expected = if self.first_pane {
+            self.config.expected_pane_items
+        } else {
+            self.prev_pane_arrived
+        };
+        if let Some(workers) = self.shard_set.rearm(directive, expected) {
+            // The retiring workers' counters (last reported at the
+            // previous close — no chunks travel between a close and the
+            // next arm) roll into the base so shard totals stay lifetime
+            // counters across directive changes.
+            self.counter_base.clone_from(&self.counters);
+            for (shard, worker) in workers.into_iter().enumerate() {
+                self.send(shard, ToShard::Arm(Box::new(worker)))?;
+            }
+        }
+        self.first_pane = false;
+        self.pane_open = true;
+        self.pane_arrived = 0;
+        Ok(())
+    }
+
+    /// Flushes a shard's routing buffer to its thread.
+    fn flush(&mut self, shard: usize) -> Result<(), SaError> {
+        if self.buffers[shard].is_empty() {
+            return Ok(());
+        }
+        let chunk = std::mem::replace(
+            &mut self.buffers[shard],
+            Vec::with_capacity(self.config.chunk_items),
+        );
+        self.send(shard, ToShard::Chunk(chunk))
+    }
+
+    /// Closes the open pane: flushes every buffer, broadcasts the close
+    /// barrier, merges the shard panes canonically and advances the
+    /// watermark to the pane end.
+    fn close_pane(&mut self) -> Result<(), SaError> {
+        let (start, end) = self.cursor.pane().expect("close_pane needs an open pane");
+        let window = Window::new(EventTime::from_millis(start), EventTime::from_millis(end));
+        // Only the close barrier is clocked: routing stays clock-free, at
+        // the price of process_nanos under-reporting the (concurrent)
+        // per-item observe cost, like the aggregated engine.
+        let closing = Instant::now();
+        for shard in 0..self.shard_set.num_shards() {
+            self.flush(shard)?;
+            self.send(shard, ToShard::Close)?;
+        }
+        let mut panes: Vec<Option<WorkerPane<R>>> =
+            (0..self.shard_set.num_shards()).map(|_| None).collect();
+        for _ in 0..self.shard_set.num_shards() {
+            let Ok(close) = self.results.recv() else {
+                self.alive = false;
+                return Err(SaError::Disconnected("sharded worker thread died"));
+            };
+            self.counters[close.shard].ingested =
+                self.counter_base[close.shard].ingested + close.ingested;
+            self.counters[close.shard].sampled =
+                self.counter_base[close.shard].sampled + close.sampled;
+            panes[close.shard] = Some(close.pane);
+        }
+        // Canonical merge order: ascending shard index, whatever order the
+        // threads answered in.
+        let panes: Vec<WorkerPane<R>> = panes
+            .into_iter()
+            .map(|p| p.expect("every shard answers one close"))
+            .collect();
+        let mut merge_rng = SmallRng::seed_from_u64(
+            self.config
+                .seed
+                .derive(0x5AADED)
+                .derive(self.pane_idx)
+                .value(),
+        );
+        let payload: PanePayload = self.shard_set.merge_panes(panes, &mut merge_rng);
+        let process_nanos = closing.elapsed().as_nanos() as u64;
+        self.runtime
+            .ingest_interval(window, payload, self.pane_arrived, process_nanos);
+        self.runtime.close_interval(window.end);
+        self.prev_pane_arrived = self.pane_arrived as usize;
+        self.pane_open = false;
+        self.pane_idx += 1;
+        Ok(())
+    }
+}
+
+impl<R> Engine<R> for ShardedEngine<'_, R>
+where
+    R: Send + Sync + 'static,
+{
+    fn push(&mut self, item: StreamItem<R>) -> Result<(), SaError> {
+        if !self.alive {
+            return Err(SaError::Disconnected("sharded worker thread died"));
+        }
+        // The shared cursor aligns the first pane to the first item's
+        // interval, yields quiet intervals as empty panes (each consulting
+        // the policy, mirroring the batched engine), and jumps oversized
+        // gaps.
+        let t = item.time.as_millis();
+        while self.cursor.needs_close(t) {
+            self.ensure_armed()?;
+            self.close_pane()?;
+            self.cursor.next(t);
+        }
+        self.ensure_armed()?;
+        let shard = self.shard_set.route(item.stratum, self.seq);
+        self.seq += 1;
+        self.pane_arrived += 1;
+        self.buffers[shard].push(item);
+        if self.buffers[shard].len() >= self.config.chunk_items {
+            self.flush(shard)?;
+        }
+        Ok(())
+    }
+
+    fn poll_windows(&mut self) -> Vec<WindowResult> {
+        self.runtime.take_windows()
+    }
+
+    fn shard_ingest(&self) -> Vec<ShardIngest> {
+        self.counters.clone()
+    }
+
+    fn finish(mut self: Box<Self>) -> RunOutput {
+        // A trailing pane exists exactly when items arrived since the
+        // last boundary, mirroring the batched engine. A dead shard loses
+        // its trailing pane, like an operator death on the pipelined
+        // engine.
+        if self.alive && self.pane_open {
+            let _ = self.close_pane();
+        }
+        let ShardedEngine {
+            runtime,
+            senders,
+            threads,
+            ..
+        } = *self;
+        // Dropping the senders ends every shard loop; join so no thread
+        // outlives the run.
+        drop(senders);
+        for thread in threads {
+            let _ = thread.join();
+        }
+        runtime.finish()
+    }
+}

@@ -1,0 +1,124 @@
+//! Shard-scaling throughput: the sharded data-parallel engine at
+//! N ∈ {1, 2, 4, 8} worker shards over one recorded stream.
+//!
+//! For each shard count the bench reports ingest throughput (median of
+//! `REPS` runs), the mean accuracy loss against the exact baseline, and
+//! the per-window confidence-bound containment rate — scaling out must
+//! buy throughput on multi-core hosts *without* spending accuracy,
+//! because the mergeable-sampler layer preserves inclusion probabilities
+//! across shards.
+//!
+//! Besides the usual table + CSV, the bench emits a machine-readable
+//! `results/shard_scaling.json` (host core count, series of per-N
+//! measurements) so successive runs can be charted as a trajectory.
+
+use sa_batched::Cluster;
+use sa_bench::{emit_json, fmt_kps, fmt_loss, mean_accuracy, Metric, Table};
+use sa_types::{StreamItem, WindowSpec};
+use sa_workloads::Mix;
+use streamapprox::{
+    run_batched, BatchedConfig, BatchedSystem, FixedFraction, Query, RunOutput, ShardedConfig,
+    StreamApprox,
+};
+
+const REPS: usize = 3;
+const FRACTION: f64 = 0.2;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn run_sharded(shards: usize, items: &[StreamItem<f64>], query: &Query<f64>) -> RunOutput {
+    let first_pane = items
+        .iter()
+        .take_while(|i| i.time.as_millis() < query.window().slide_millis())
+        .count();
+    let mut policy = FixedFraction(FRACTION);
+    let mut session = StreamApprox::new(query.clone(), &mut policy)
+        .sharded(
+            ShardedConfig::new(shards)
+                .with_seed(0xC0FFEE_u64)
+                .with_expected_pane_items(first_pane),
+        )
+        .start();
+    session
+        .push_batch(items.iter().copied())
+        .expect("recorded stream is in order");
+    session.finish()
+}
+
+/// Fraction of populated windows whose mean interval contains the exact
+/// mean.
+fn containment(exact: &RunOutput, approx: &RunOutput) -> f64 {
+    let mut contained = 0usize;
+    let mut total = 0usize;
+    for (e, a) in exact.windows.iter().zip(&approx.windows) {
+        if e.sum.population_size == 0 {
+            continue;
+        }
+        total += 1;
+        let (lo, hi) = a.mean.interval();
+        contained += usize::from(lo <= e.mean.value && e.mean.value <= hi);
+    }
+    if total == 0 {
+        1.0
+    } else {
+        contained as f64 / total as f64
+    }
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // 10 s of event time at a high aggregate rate (the fig4 shape).
+    let items = Mix::gaussian([48_000.0, 12_000.0, 1_200.0]).generate(10_000, 41);
+    let query = Query::new(|v: &f64| *v).with_window(WindowSpec::sliding_secs(2, 1));
+    println!(
+        "shard_scaling: {} items, fraction {FRACTION}, {cores} host core(s)",
+        items.len()
+    );
+    let exact = run_batched(
+        &BatchedConfig::new(Cluster::new(2)),
+        BatchedSystem::Native,
+        &query,
+        &mut FixedFraction(1.0),
+        items.clone(),
+    );
+
+    let mut table = Table::new(
+        "Shard scaling: ingest throughput and accuracy vs shard count",
+        &["shards", "K items/s", "loss %", "CI containment"],
+    );
+    let mut series = Vec::new();
+    for shards in SHARD_COUNTS {
+        let mut runs: Vec<RunOutput> = (0..REPS)
+            .map(|_| run_sharded(shards, &items, &query))
+            .collect();
+        runs.sort_by(|a, b| {
+            a.throughput()
+                .partial_cmp(&b.throughput())
+                .expect("finite throughputs")
+        });
+        let median = runs.swap_remove(runs.len() / 2);
+        let loss = mean_accuracy(&exact, &median, Metric::Mean);
+        let contain = containment(&exact, &median);
+        table.row(vec![
+            shards.to_string(),
+            fmt_kps(median.throughput()),
+            fmt_loss(loss),
+            format!("{:.2}", contain),
+        ]);
+        series.push(format!(
+            "    {{\"shards\": {shards}, \"throughput_items_per_s\": {:.0}, \
+             \"mean_accuracy_loss\": {loss:.6}, \"ci_containment\": {contain:.4}}}",
+            median.throughput()
+        ));
+    }
+    table.emit("shard_scaling");
+    emit_json(
+        "shard_scaling",
+        &format!(
+            "{{\n  \"bench\": \"shard_scaling\",\n  \"host\": {{\"cores\": {cores}}},\n  \
+             \"items\": {},\n  \"fraction\": {FRACTION},\n  \"reps\": {REPS},\n  \
+             \"series\": [\n{}\n  ]\n}}\n",
+            items.len(),
+            series.join(",\n")
+        ),
+    );
+}

@@ -17,6 +17,23 @@
 //!   sampling operators, used as the paper's STS baseline.
 //! * [`BernoulliSampler`] — plain coin-flip sampling.
 //!
+//! # The mergeable-sampler layer
+//!
+//! Shard-local samples combine without bias, so sampling parallelizes
+//! across workers. Two schemes are supported:
+//!
+//! * **split capacity** ([`OasrsSampler::for_worker`] +
+//!   `StratifiedSample::union`): each of `w` workers runs reservoirs of
+//!   size `N/w`, and the union concatenates them — the paper's §3.2
+//!   distributed execution.
+//! * **full capacity + weighted merge** ([`OasrsSampler::merge_with`],
+//!   [`merge_stratified`] / [`merge_stratum_samples`] /
+//!   [`merge_all_stratified`], [`merge_srs_samples`]): each shard runs at
+//!   full capacity and the shard-local samples are united by the
+//!   seen-count-weighted reservoir union, which preserves uniform
+//!   inclusion probabilities even when shards saw very different volumes.
+//!   This is the mergeable path the sharded engine builds on.
+//!
 //! All samplers are deterministic given a seed, which keeps every
 //! experiment in the benchmark harness reproducible.
 //!
@@ -48,7 +65,10 @@ pub use bernoulli::BernoulliSampler;
 pub use oasrs::{OasrsSampler, SizingPolicy};
 pub use reservoir::Reservoir;
 pub use scasrs::{
-    random_sort_sample, scasrs_sample, scasrs_sample_with_stats, scasrs_thresholds, ScasrsStats,
-    SCASRS_DELTA,
+    merge_srs_samples, random_sort_sample, scasrs_sample, scasrs_sample_with_stats,
+    scasrs_thresholds, ScasrsStats, SCASRS_DELTA,
 };
-pub use stratified::{group_by_stratum, sample_by_key, sample_by_key_exact};
+pub use stratified::{
+    group_by_stratum, merge_all_stratified, merge_stratified, merge_stratum_samples, sample_by_key,
+    sample_by_key_exact,
+};

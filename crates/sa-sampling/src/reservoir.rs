@@ -9,6 +9,48 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+/// The seen-count-weighted union behind every merge in this crate: draws
+/// up to `capacity` items from two uniform samples over *disjoint*
+/// streams, choosing each slot's source with probability proportional to
+/// the population mass the source still represents, then a uniformly
+/// random item from it, without replacement.
+///
+/// If both inputs are uniform samples of their streams (inclusion
+/// probability `|a|/ca` resp. `|b|/cb`), the output is a uniform sample
+/// of the combined stream: every one of the `ca + cb` original items ends
+/// up in the union with the same probability. This one routine backs
+/// [`Reservoir::merge_with`], [`crate::OasrsSampler::merge_with`],
+/// [`crate::merge_stratum_samples`] and [`crate::merge_srs_samples`].
+pub(crate) fn weighted_union<T, R: Rng + ?Sized>(
+    mut a: Vec<T>,
+    mut ca: u64,
+    mut b: Vec<T>,
+    mut cb: u64,
+    capacity: usize,
+    rng: &mut R,
+) -> Vec<T> {
+    let mut out = Vec::with_capacity(capacity.min(a.len() + b.len()));
+    while out.len() < capacity && (!a.is_empty() || !b.is_empty()) {
+        let take_a = if a.is_empty() {
+            false
+        } else if b.is_empty() {
+            true
+        } else {
+            // Draw proportionally to the remaining represented mass.
+            rng.gen_range(0..(ca + cb)) < ca
+        };
+        let src_items = if take_a { &mut a } else { &mut b };
+        let idx = rng.gen_range(0..src_items.len());
+        out.push(src_items.swap_remove(idx));
+        if take_a {
+            ca = ca.saturating_sub(1);
+        } else {
+            cb = cb.saturating_sub(1);
+        }
+    }
+    out
+}
+
 /// A fixed-capacity uniform reservoir sample over a stream.
 ///
 /// # Example
@@ -153,10 +195,14 @@ impl<T> Reservoir<T> {
     ///
     /// Each output slot is drawn from `self` with probability proportional
     /// to the number of items `self` has seen (and from `other` otherwise),
-    /// without replacement. This is the textbook distributed-reservoir merge
-    /// and is used by the `ablation_merge` benchmark; the paper's own
-    /// distributed scheme instead unions per-worker reservoirs of size `N/w`
-    /// (see `StratifiedSample::union`).
+    /// without replacement — the textbook seen-count-weighted
+    /// distributed-reservoir merge. This is the
+    /// single-reservoir building block; the paper-faithful path for merging
+    /// whole *stratified* shard samples is [`crate::OasrsSampler::merge_with`]
+    /// (per-stratum weighted unions plus counter bookkeeping) and the
+    /// sample-level [`crate::merge_stratified`]. The `N/w`-capacity union of
+    /// `StratifiedSample::union` (§3.2) remains the right combine when
+    /// capacities were split across workers up front.
     pub fn merge_with<R: Rng + ?Sized>(
         self,
         other: Reservoir<T>,
@@ -164,29 +210,11 @@ impl<T> Reservoir<T> {
         rng: &mut R,
     ) -> Reservoir<T> {
         assert!(capacity > 0, "reservoir capacity must be positive");
-        let (mut a, mut ca) = self.into_parts();
-        let (mut b, mut cb) = other.into_parts();
-        let total = ca + cb;
+        let (a, ca) = self.into_parts();
+        let (b, cb) = other.into_parts();
         let mut merged = Reservoir::new(capacity);
-        merged.seen = total;
-        while merged.items.len() < capacity && (!a.is_empty() || !b.is_empty()) {
-            let take_a = if a.is_empty() {
-                false
-            } else if b.is_empty() {
-                true
-            } else {
-                // Draw proportionally to the remaining represented mass.
-                rng.gen_range(0..(ca + cb)) < ca
-            };
-            let src_items = if take_a { &mut a } else { &mut b };
-            let idx = rng.gen_range(0..src_items.len());
-            merged.items.push(src_items.swap_remove(idx));
-            if take_a {
-                ca = ca.saturating_sub(1);
-            } else {
-                cb = cb.saturating_sub(1);
-            }
-        }
+        merged.seen = ca + cb;
+        merged.items = weighted_union(a, ca, b, cb, capacity, rng);
         merged
     }
 }

@@ -15,6 +15,7 @@
 //! `sa-batched` wires these functions behind a real hash shuffle so the
 //! baseline pays that cost honestly.
 
+use crate::reservoir::weighted_union;
 use crate::scasrs::scasrs_sample;
 use rand::Rng;
 use sa_types::{StratifiedSample, StratumId, StratumSample};
@@ -115,6 +116,85 @@ pub fn sample_by_key_exact<T, R: Rng + ?Sized>(
         ));
     }
     out
+}
+
+/// Merges two samples of the *same stratum* drawn over disjoint portions
+/// of its sub-stream into one sample of at most `capacity` items, via the
+/// seen-count-weighted reservoir union (the per-stratum step of
+/// [`merge_stratified`]). Populations sum; inclusion probabilities stay
+/// uniform over the combined sub-stream.
+///
+/// # Panics
+///
+/// Panics if the two samples describe different strata.
+pub fn merge_stratum_samples<T, R: Rng + ?Sized>(
+    a: StratumSample<T>,
+    b: StratumSample<T>,
+    capacity: usize,
+    rng: &mut R,
+) -> StratumSample<T> {
+    assert_eq!(
+        a.stratum, b.stratum,
+        "cannot merge samples of different strata"
+    );
+    let stratum = a.stratum;
+    let population = a.population + b.population;
+    let items = weighted_union(a.items, a.population, b.items, b.population, capacity, rng);
+    StratumSample::new(stratum, items, population, capacity)
+}
+
+/// Merges two stratified samples drawn by shard-local samplers that each
+/// ran at *full* per-stratum capacity over disjoint portions of one
+/// stream — the sample-level form of `OasrsSampler::merge_with`.
+///
+/// Strata present on both sides are united down to the larger of their two
+/// capacities by [`merge_stratum_samples`]; strata only one side saw pass
+/// through unchanged. Contrast with `StratifiedSample::union` (§3.2),
+/// which concatenates per-worker reservoirs of *split* capacity `N/w` and
+/// therefore sums capacities instead.
+pub fn merge_stratified<T, R: Rng + ?Sized>(
+    a: StratifiedSample<T>,
+    b: StratifiedSample<T>,
+    rng: &mut R,
+) -> StratifiedSample<T> {
+    let mut out = StratifiedSample::new();
+    let mut rhs = b.into_strata().into_iter().peekable();
+    for sa in a.into_strata() {
+        while rhs
+            .peek()
+            .is_some_and(|sb: &StratumSample<T>| sb.stratum < sa.stratum)
+        {
+            out.push(rhs.next().expect("peeked"));
+        }
+        if rhs.peek().is_some_and(|sb| sb.stratum == sa.stratum) {
+            let sb = rhs.next().expect("peeked");
+            let capacity = sa.capacity.max(sb.capacity);
+            out.push(merge_stratum_samples(sa, sb, capacity, rng));
+        } else {
+            out.push(sa);
+        }
+    }
+    for sb in rhs {
+        out.push(sb);
+    }
+    out
+}
+
+/// Folds any number of shard-local stratified samples into one, merging in
+/// the order given — callers pass shards in a canonical order (ascending
+/// shard index) so the RNG draws, and therefore the run, are reproducible.
+pub fn merge_all_stratified<T, R: Rng + ?Sized>(
+    parts: impl IntoIterator<Item = StratifiedSample<T>>,
+    rng: &mut R,
+) -> StratifiedSample<T> {
+    let mut merged: Option<StratifiedSample<T>> = None;
+    for part in parts {
+        merged = Some(match merged {
+            None => part,
+            Some(acc) => merge_stratified(acc, part, rng),
+        });
+    }
+    merged.unwrap_or_else(StratifiedSample::new)
 }
 
 /// Groups a flat keyed batch by stratum, preserving encounter order of
@@ -228,6 +308,61 @@ mod tests {
         assert_eq!(grouped[0], (StratumId(1), vec!["a", "c"]));
         assert_eq!(grouped[1], (StratumId(0), vec!["b", "e"]));
         assert_eq!(grouped[2], (StratumId(2), vec!["d"]));
+    }
+
+    #[test]
+    fn merge_stratum_samples_sums_population_and_respects_capacity() {
+        let mut g = rng(9);
+        let a = StratumSample::new(StratumId(0), vec![1.0, 2.0, 3.0], 9, 3);
+        let b = StratumSample::new(StratumId(0), vec![4.0, 5.0, 6.0], 6, 3);
+        let m = merge_stratum_samples(a, b, 3, &mut g);
+        assert_eq!(m.population, 15);
+        assert_eq!(m.sample_size(), 3);
+        assert_eq!(m.capacity, 3);
+        assert!((m.weight() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_stratified_walks_disjoint_and_shared_strata() {
+        let mut g = rng(10);
+        let a: StratifiedSample<f64> = [
+            StratumSample::new(StratumId(0), vec![1.0], 4, 2),
+            StratumSample::new(StratumId(2), vec![2.0, 3.0], 8, 2),
+        ]
+        .into_iter()
+        .collect();
+        let b: StratifiedSample<f64> = [
+            StratumSample::new(StratumId(1), vec![9.0], 1, 2),
+            StratumSample::new(StratumId(2), vec![4.0, 5.0], 6, 2),
+        ]
+        .into_iter()
+        .collect();
+        let m = merge_stratified(a, b, &mut g);
+        assert_eq!(m.num_strata(), 3);
+        assert_eq!(m.stratum(StratumId(0)).unwrap().population, 4);
+        assert_eq!(m.stratum(StratumId(1)).unwrap().items, vec![9.0]);
+        let shared = m.stratum(StratumId(2)).unwrap();
+        assert_eq!(shared.population, 14);
+        assert_eq!(shared.sample_size(), 2);
+        assert_eq!(shared.capacity, 2);
+    }
+
+    #[test]
+    fn merge_all_stratified_folds_in_order() {
+        let mut g = rng(11);
+        let parts: Vec<StratifiedSample<f64>> = (0..3)
+            .map(|i| {
+                [StratumSample::new(StratumId(0), vec![f64::from(i)], 5, 2)]
+                    .into_iter()
+                    .collect()
+            })
+            .collect();
+        let m = merge_all_stratified(parts, &mut g);
+        let s = m.stratum(StratumId(0)).unwrap();
+        assert_eq!(s.population, 15);
+        assert_eq!(s.sample_size(), 2);
+        let empty: Vec<StratifiedSample<f64>> = Vec::new();
+        assert!(merge_all_stratified(empty, &mut g).is_empty());
     }
 
     #[test]

@@ -5,8 +5,8 @@ use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use sa_sampling::{
-    sample_by_key_exact, scasrs_sample, scasrs_sample_with_stats, scasrs_thresholds, OasrsSampler,
-    Reservoir, SizingPolicy, SCASRS_DELTA,
+    merge_all_stratified, sample_by_key_exact, scasrs_sample, scasrs_sample_with_stats,
+    scasrs_thresholds, OasrsSampler, Reservoir, SizingPolicy, SCASRS_DELTA,
 };
 use sa_types::StratumId;
 use std::collections::HashMap;
@@ -285,6 +285,108 @@ proptest! {
         }
     }
 
+    /// OASRS merge bookkeeping: for every pair of shard-local streams,
+    /// `merge_with` sums per-stratum populations, holds the merged sample
+    /// at `min(C_i, N)` for the one shared budget `N`, keeps the items a
+    /// sub-multiset of what the shards actually sent, and yields
+    /// Equation-1 weights over the combined counters.
+    #[test]
+    fn oasrs_merge_preserves_counters_and_membership(
+        arrivals_a in proptest::collection::vec(0u32..5, 0..300),
+        arrivals_b in proptest::collection::vec(0u32..5, 0..300),
+        cap in 1usize..16,
+        seed in any::<u64>(),
+    ) {
+        let mut a = OasrsSampler::new(SizingPolicy::PerStratum(cap), seed);
+        let mut b = OasrsSampler::new(SizingPolicy::PerStratum(cap), seed ^ 0xD1CE);
+        let mut sent: HashMap<u32, Vec<f64>> = HashMap::new();
+        for (i, &s) in arrivals_a.iter().enumerate() {
+            a.observe(StratumId(s), i as f64);
+            sent.entry(s).or_default().push(i as f64);
+        }
+        for (i, &s) in arrivals_b.iter().enumerate() {
+            let v = 10_000.0 + i as f64;
+            b.observe(StratumId(s), v);
+            sent.entry(s).or_default().push(v);
+        }
+        a.merge_with(b);
+        let merged = a.finish_interval();
+        prop_assert_eq!(merged.num_strata(), sent.len());
+        for (&s, stream) in &sent {
+            let st = merged.stratum(StratumId(s)).unwrap();
+            prop_assert_eq!(st.population, stream.len() as u64);
+            prop_assert_eq!(st.sample_size(), stream.len().min(cap), "stratum {}", s);
+            for v in &st.items {
+                prop_assert!(stream.contains(v), "stratum {}: {} not sent", s, v);
+            }
+            let expected_w = (stream.len() as f64 / cap as f64).max(1.0);
+            prop_assert!((st.weight() - expected_w).abs() < 1e-12);
+        }
+    }
+
+    /// `merge_with` is commutative under canonical ordering: whichever
+    /// side absorbs the other, every per-stratum counter of the merged
+    /// sample — population, capacity, sample size, weight — is identical
+    /// (the selected items differ only by the RNG draw).
+    #[test]
+    fn oasrs_merge_counters_commute(
+        arrivals_a in proptest::collection::vec(0u32..4, 0..250),
+        arrivals_b in proptest::collection::vec(0u32..4, 0..250),
+        cap in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let build = |arrivals: &[u32], s: u64| {
+            let mut o = OasrsSampler::new(SizingPolicy::PerStratum(cap), s);
+            for (i, &st) in arrivals.iter().enumerate() {
+                o.observe(StratumId(st), i as f64);
+            }
+            o
+        };
+        let mut ab = build(&arrivals_a, seed);
+        ab.merge_with(build(&arrivals_b, seed ^ 1));
+        let mut ba = build(&arrivals_b, seed ^ 1);
+        ba.merge_with(build(&arrivals_a, seed));
+        let (ab, ba) = (ab.finish_interval(), ba.finish_interval());
+        prop_assert_eq!(ab.num_strata(), ba.num_strata());
+        for (x, y) in ab.iter().zip(ba.iter()) {
+            prop_assert_eq!(x.stratum, y.stratum);
+            prop_assert_eq!(x.population, y.population);
+            prop_assert_eq!(x.capacity, y.capacity);
+            prop_assert_eq!(x.sample_size(), y.sample_size());
+            prop_assert!((x.weight() - y.weight()).abs() < 1e-12);
+        }
+    }
+
+    /// Folding any number of shard samples through `merge_all_stratified`
+    /// preserves the global per-stratum population and bounds the merged
+    /// sample by the largest shard capacity.
+    #[test]
+    fn stratified_fold_preserves_global_counters(
+        per_shard in proptest::collection::vec(0u64..200, 1..5),
+        cap in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        let mut parts = Vec::new();
+        for (shard, &n) in per_shard.iter().enumerate() {
+            let mut o = OasrsSampler::new(SizingPolicy::PerStratum(cap), seed ^ shard as u64);
+            for v in 0..n {
+                o.observe(StratumId(0), v as f64);
+            }
+            parts.push(o.finish_interval());
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let merged = merge_all_stratified(parts, &mut rng);
+        let total: u64 = per_shard.iter().sum();
+        if total == 0 {
+            prop_assert_eq!(merged.total_population(), 0);
+        } else {
+            let st = merged.stratum(StratumId(0)).unwrap();
+            prop_assert_eq!(st.population, total);
+            prop_assert_eq!(st.capacity, cap);
+            prop_assert_eq!(st.sample_size() as u64, total.min(cap as u64));
+        }
+    }
+
     /// Exact stratified sampling hits `ceil(f * C_k)` in every stratum.
     #[test]
     fn sample_by_key_exact_sizes(
@@ -306,6 +408,66 @@ proptest! {
             prop_assert_eq!(st.sample_size(), expected, "stratum {}", k);
             prop_assert_eq!(st.population, n as u64);
         }
+    }
+}
+
+/// The estimator-facing guarantee of the mergeable-sampler layer: over
+/// many trials, a merged shard pair's per-stratum sample reproduces the
+/// sub-stream's mean and variance within tolerance — i.e. the weighted
+/// union neither biases the estimate nor skews the dispersion the error
+/// bounds are computed from. Each stream item must also keep a uniform
+/// inclusion probability `N / C` across the shard boundary.
+#[test]
+fn merged_oasrs_samples_preserve_mean_variance_and_uniformity() {
+    const TRIALS: usize = 8_000;
+    const CAP: usize = 8;
+    const STREAM: usize = 40; // split 24 / 16 across two unequal shards
+    let values: Vec<f64> = (0..STREAM).map(|v| v as f64).collect();
+    let true_mean = values.iter().sum::<f64>() / STREAM as f64;
+    let true_var =
+        values.iter().map(|v| (v - true_mean).powi(2)).sum::<f64>() / (STREAM as f64 - 1.0);
+    let mut counts = [0u32; STREAM];
+    let mut mean_sum = 0.0;
+    let mut var_sum = 0.0;
+    for t in 0..TRIALS {
+        let mut a = OasrsSampler::new(SizingPolicy::PerStratum(CAP), t as u64);
+        let mut b = OasrsSampler::new(SizingPolicy::PerStratum(CAP), (t as u64) ^ 0xABCD);
+        for &v in &values[..24] {
+            a.observe(StratumId(0), v);
+        }
+        for &v in &values[24..] {
+            b.observe(StratumId(0), v);
+        }
+        a.merge_with(b);
+        let merged = a.finish_interval();
+        let s = merged.stratum(StratumId(0)).unwrap();
+        assert_eq!(s.population, STREAM as u64);
+        assert_eq!(s.sample_size(), CAP);
+        let m = s.items.iter().sum::<f64>() / CAP as f64;
+        let v2 = s.items.iter().map(|v| (v - m).powi(2)).sum::<f64>() / (CAP as f64 - 1.0);
+        mean_sum += m;
+        var_sum += v2;
+        for &v in &s.items {
+            counts[v as usize] += 1;
+        }
+    }
+    let avg_mean = mean_sum / TRIALS as f64;
+    let avg_var = var_sum / TRIALS as f64;
+    assert!(
+        (avg_mean - true_mean).abs() / true_mean < 0.02,
+        "merged sample mean drifted: {avg_mean} vs {true_mean}"
+    );
+    assert!(
+        (avg_var - true_var).abs() / true_var < 0.05,
+        "merged sample variance drifted: {avg_var} vs {true_var}"
+    );
+    let expected = TRIALS as f64 * CAP as f64 / STREAM as f64;
+    for (v, &c) in counts.iter().enumerate() {
+        let dev = (c as f64 - expected).abs() / expected;
+        assert!(
+            dev < 0.08,
+            "item {v}: inclusion count {c}, expected ~{expected} (dev {dev:.3})"
+        );
     }
 }
 

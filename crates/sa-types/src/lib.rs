@@ -40,5 +40,5 @@ pub use item::{EventTime, StratumId, StreamItem};
 pub use result::{ApproxResult, ErrorBound};
 pub use sample::{StratifiedSample, StratumSample};
 pub use seed::RunSeed;
-pub use session::SessionStatus;
+pub use session::{IngestCounters, SessionStatus, ShardIngest};
 pub use window::{Window, WindowSpec};

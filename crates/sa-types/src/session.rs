@@ -2,30 +2,90 @@
 
 use crate::item::EventTime;
 
+/// Unified ingest accounting: what happened to the items a session (or one
+/// of its ingestion paths) was offered.
+///
+/// Every way items enter a session — `push`/`push_batch`, a consumer poll
+/// via `ingest_consumer`, or an engine-internal path — reports through
+/// this one struct: items accepted into the engine versus items behind the
+/// watermark dropped as late data. `ApproxSession::ingest_consumer`
+/// returns the per-call delta; `SessionStatus::ingest` accumulates the
+/// run-wide totals.
+///
+/// # Example
+///
+/// ```
+/// use sa_types::IngestCounters;
+///
+/// let mut total = IngestCounters::default();
+/// total.absorb(IngestCounters { ingested: 10, dropped_late: 2 });
+/// total.absorb(IngestCounters { ingested: 5, dropped_late: 0 });
+/// assert_eq!(total.offered(), 17);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IngestCounters {
+    /// Items accepted into the session's engine.
+    pub ingested: u64,
+    /// Items behind the session watermark, dropped as late data.
+    pub dropped_late: u64,
+}
+
+impl IngestCounters {
+    /// Accumulates another accounting delta into this one.
+    pub fn absorb(&mut self, delta: IngestCounters) {
+        self.ingested += delta.ingested;
+        self.dropped_late += delta.dropped_late;
+    }
+
+    /// Total items offered (accepted plus dropped).
+    pub fn offered(&self) -> u64 {
+        self.ingested + self.dropped_late
+    }
+}
+
+/// One shard's lifetime counters inside a data-parallel engine, as of the
+/// last closed interval: how many items the shard's sampler was offered
+/// and how many it selected for aggregation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardIngest {
+    /// The shard's index (canonical merge order).
+    pub shard: usize,
+    /// Items routed to and observed by this shard's sampler.
+    pub ingested: u64,
+    /// Items this shard's sampler selected for aggregation.
+    pub sampled: u64,
+}
+
 /// A point-in-time snapshot of an incremental session's progress,
 /// returned by `ApproxSession::status` in the `streamapprox` crate.
 ///
 /// The counters describe what the *caller* has observed through the
 /// session handle: items accepted by `push`, windows drained through
-/// `poll_windows`, and the event-time frontier of the accepted input.
-/// Engine-internal progress (e.g. panes in flight inside a threaded
-/// pipeline) is deliberately not exposed — it would race the caller.
+/// `poll_windows`, the event-time frontier of the accepted input, and the
+/// unified [`IngestCounters`] covering every ingestion path. For sharded
+/// engines, [`shards`](SessionStatus::shards) additionally reports each
+/// shard's sampler counters as of the last closed interval (per-interval
+/// progress inside a running pane is deliberately not exposed — it would
+/// race the caller).
 ///
 /// # Example
 ///
 /// ```
-/// use sa_types::{EventTime, SessionStatus};
+/// use sa_types::{EventTime, IngestCounters, SessionStatus};
 ///
 /// let status = SessionStatus {
 ///     items_pushed: 1_000,
 ///     windows_completed: 3,
 ///     watermark: Some(EventTime::from_secs(4)),
+///     ingest: IngestCounters { ingested: 1_000, dropped_late: 7 },
+///     shards: Vec::new(),
 /// };
-/// assert!(status.watermark.is_some());
+/// assert_eq!(status.ingest.offered(), 1_007);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SessionStatus {
-    /// Items accepted by `push`/`push_batch` so far.
+    /// Items accepted by `push`/`push_batch` so far (equals
+    /// `ingest.ingested`; kept as the headline counter).
     pub items_pushed: u64,
     /// Windows the caller has drained through `poll_windows` so far (not
     /// counting those returned by `finish`).
@@ -34,6 +94,13 @@ pub struct SessionStatus {
     /// latest pushed item, `None` before the first item. Pushing an item
     /// behind this watermark is an out-of-order error.
     pub watermark: Option<EventTime>,
+    /// Unified accounting across every ingestion path: accepted items and
+    /// late items dropped (whether rejected from `push` or discarded by
+    /// `ingest_consumer`).
+    pub ingest: IngestCounters,
+    /// Per-shard sampler counters for data-parallel engines, in shard
+    /// order; empty on single-worker engines.
+    pub shards: Vec<ShardIngest>,
 }
 
 #[cfg(test)]
@@ -41,14 +108,35 @@ mod tests {
     use super::*;
 
     #[test]
-    fn status_is_comparable_and_copy() {
+    fn status_is_comparable_and_cloneable() {
         let a = SessionStatus {
             items_pushed: 7,
             windows_completed: 1,
             watermark: None,
+            ingest: IngestCounters {
+                ingested: 7,
+                dropped_late: 0,
+            },
+            shards: vec![ShardIngest {
+                shard: 0,
+                ingested: 7,
+                sampled: 3,
+            }],
         };
-        let b = a; // Copy
+        let b = a.clone();
         assert_eq!(a, b);
         assert!(format!("{a:?}").contains("items_pushed: 7"));
+    }
+
+    #[test]
+    fn ingest_counters_absorb_and_total() {
+        let mut c = IngestCounters::default();
+        c.absorb(IngestCounters {
+            ingested: 3,
+            dropped_late: 1,
+        });
+        assert_eq!(c.ingested, 3);
+        assert_eq!(c.dropped_late, 1);
+        assert_eq!(c.offered(), 4);
     }
 }

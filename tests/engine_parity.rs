@@ -9,7 +9,7 @@ use sa_types::WindowSpec;
 use sa_workloads::Mix;
 use streamapprox::{
     run_batched, run_pipelined, BatchedConfig, BatchedSystem, FixedFraction, PipelinedConfig,
-    PipelinedSystem, Query, StreamApprox,
+    PipelinedSystem, Query, RunOutput, ShardedConfig, StreamApprox,
 };
 
 fn items(seed: u64) -> Vec<sa_types::StreamItem<f64>> {
@@ -366,6 +366,229 @@ fn incremental_push_matches_oneshot_pipelined() {
             assert_eq!(out.items_aggregated, oneshot.items_aggregated);
         }
     }
+}
+
+/// Runs the sharded engine over a recorded stream with the same pane
+/// interval and first-pane hint the batched reference uses.
+fn run_sharded(
+    shards: usize,
+    seed: u64,
+    fraction: f64,
+    stream: &[sa_types::StreamItem<f64>],
+) -> RunOutput {
+    let first_pane_guess = stream
+        .iter()
+        .take_while(|i| i.time.as_millis() < 500)
+        .count();
+    let mut policy = FixedFraction(fraction);
+    let mut session = StreamApprox::new(query(), &mut policy)
+        .sharded(
+            ShardedConfig::new(shards)
+                .with_pane_interval_ms(500)
+                .with_seed(seed)
+                .with_expected_pane_items(first_pane_guess),
+        )
+        .start();
+    session
+        .push_batch(stream.iter().copied())
+        .expect("in order");
+    session.finish()
+}
+
+/// The sharded-determinism oracle: one shard is the degenerate
+/// hash-partition (everything routes to shard 0, whose sampler draws the
+/// same seeded RNG stream as the batched engine's worker 0 of 1, and the
+/// canonical merge is the identity), so a 1-shard run must reproduce the
+/// batched engine **bit for bit** — under sampling and under native
+/// execution — at the same seed, pane interval and first-pane hint.
+#[test]
+fn sharded_n1_matches_batched_bit_for_bit() {
+    let stream = items(40);
+    // One sampling worker and one dataset partition so the batched pane
+    // job is the exact single-threaded computation shard 0 performs.
+    let batched_config = BatchedConfig {
+        num_partitions: 1,
+        sample_workers: 1,
+        ..BatchedConfig::new(Cluster::new(1))
+    }
+    .with_batch_interval_ms(500)
+    .with_seed(0xFEED_u64);
+    for (system, fraction) in [
+        (BatchedSystem::StreamApprox, 0.3),
+        (BatchedSystem::Native, 1.0),
+    ] {
+        let batched = run_batched(
+            &batched_config,
+            system,
+            &query(),
+            &mut FixedFraction(fraction),
+            stream.clone(),
+        );
+        let sharded = run_sharded(1, 0xFEED, fraction, &stream);
+        assert_eq!(
+            sharded.windows, batched.windows,
+            "{system}: sharded N=1 diverged from batched"
+        );
+        assert_eq!(sharded.items_ingested, batched.items_ingested);
+        assert_eq!(sharded.items_aggregated, batched.items_aggregated);
+    }
+}
+
+/// Sharded runs are reproducible from one seed, and different shard
+/// counts draw genuinely different (but statistically agreeing) samples.
+#[test]
+fn sharded_runs_are_reproducible_and_seeded() {
+    let stream = items(41);
+    let a = run_sharded(4, 0xFEED, 0.4, &stream);
+    let b = run_sharded(4, 0xFEED, 0.4, &stream);
+    assert_eq!(a.windows, b.windows, "sharded run not reproducible");
+    let other = run_sharded(4, 0xBEEF, 0.4, &stream);
+    assert_ne!(a.windows, other.windows, "seed did not steer the sample");
+}
+
+/// Statistical parity at N > 1: the mergeable-sampler path must keep
+/// per-window estimates within the configured confidence bounds of the
+/// exact answer — the merge preserves inclusion probabilities, so more
+/// shards must not bias the estimator.
+#[test]
+fn sharded_estimates_stay_within_confidence_bounds_of_exact() {
+    // The confidence statement is per window at 95%, and a run's sliding
+    // windows share panes (misses come in correlated pairs), so the
+    // containment rate is checked across several independent streams
+    // rather than one run's handful of windows.
+    let mut contained = 0usize;
+    let mut total = 0usize;
+    for stream_seed in [42u64, 43, 44] {
+        let stream = items(stream_seed);
+        let exact = run_batched(
+            &BatchedConfig::new(Cluster::new(2)).with_batch_interval_ms(500),
+            BatchedSystem::Native,
+            &query(),
+            &mut FixedFraction(1.0),
+            stream.clone(),
+        );
+        for shards in [2usize, 4] {
+            let sharded = run_sharded(shards, 0xFEED, 0.5, &stream);
+            assert_eq!(
+                sharded.windows.len(),
+                exact.windows.len(),
+                "{shards} shards"
+            );
+            assert!(sharded.items_aggregated < sharded.items_ingested);
+            for (s, e) in sharded.windows.iter().zip(&exact.windows) {
+                assert_eq!(s.window, e.window, "{shards} shards");
+                assert_eq!(
+                    s.sum.population_size, e.sum.population_size,
+                    "{shards} shards: population miscounted across shards"
+                );
+                if e.sum.population_size == 0 {
+                    continue;
+                }
+                total += 1;
+                let (lo, hi) = s.mean.interval();
+                assert!(lo <= hi, "{}: degenerate interval", s.window);
+                contained += usize::from(lo <= e.mean.value && e.mean.value <= hi);
+                // Point estimates stay close in accuracy-loss terms too.
+                let loss = accuracy_loss(s.mean.value, e.mean.value);
+                assert!(loss < 0.15, "{shards} shards, {}: loss {loss}", s.window);
+            }
+        }
+    }
+    assert!(total > 0, "streams produced no populated windows");
+    // Per-window 95% statements: the bulk of the intervals must contain
+    // the exact answer (a small minority of near-misses is the expected
+    // behaviour of a correct 95% interval).
+    assert!(
+        contained * 100 >= total * 85,
+        "only {contained}/{total} intervals contain the exact mean"
+    );
+}
+
+/// Session-level invariants on the sharded engine: per-shard counters
+/// surface through `SessionStatus`, cover every pushed item exactly once,
+/// and windows stream out incrementally.
+#[test]
+fn sharded_session_reports_per_shard_counters() {
+    let stream = items(43);
+    let mut policy = FixedFraction(0.4);
+    let mut session = StreamApprox::new(query(), &mut policy)
+        .sharded(ShardedConfig::new(3).with_pane_interval_ms(500))
+        .start();
+    let mut live_windows = 0usize;
+    for chunk in stream.chunks(977) {
+        session.push_batch(chunk.iter().copied()).expect("in order");
+        live_windows += session.poll_windows().len();
+    }
+    let status = session.status();
+    assert_eq!(status.items_pushed, stream.len() as u64);
+    assert_eq!(status.shards.len(), 3);
+    for (i, shard) in status.shards.iter().enumerate() {
+        assert_eq!(shard.shard, i);
+        assert!(shard.ingested > 0, "shard {i} starved");
+        assert!(shard.sampled <= shard.ingested);
+    }
+    // Shard counters lag by at most the open pane's buffered items.
+    let routed: u64 = status.shards.iter().map(|s| s.ingested).sum();
+    assert!(routed <= stream.len() as u64);
+    let out = session.finish();
+    assert!(live_windows + out.windows.len() > 0);
+    assert_eq!(out.items_ingested, stream.len() as u64);
+}
+
+/// Shard counters are *lifetime* totals: a cost policy that changes its
+/// directive mid-run makes the engine retire and replace every shard's
+/// worker, and the retired workers' counts must roll forward instead of
+/// resetting.
+#[test]
+fn sharded_shard_counters_survive_directive_changes() {
+    use streamapprox::{CostPolicy, SizingDirective};
+    /// Alternates between two fixed budgets, forcing a rearm every pane.
+    struct Alternating(u64);
+    impl CostPolicy for Alternating {
+        fn interval_sizing(&mut self) -> SizingDirective {
+            self.0 += 1;
+            if self.0 % 2 == 0 {
+                SizingDirective::PerStratum(8)
+            } else {
+                SizingDirective::PerStratum(16)
+            }
+        }
+    }
+    let stream = items(44);
+    let mut policy = Alternating(0);
+    let mut session = StreamApprox::new(query(), &mut policy)
+        .sharded(ShardedConfig::new(2).with_pane_interval_ms(500))
+        .start();
+    let mut last_totals = [0u64; 2];
+    for chunk in stream.chunks(1_000) {
+        session.push_batch(chunk.iter().copied()).expect("in order");
+        for shard in session.status().shards {
+            assert!(
+                shard.ingested >= last_totals[shard.shard],
+                "shard {} counter went backwards: {} -> {}",
+                shard.shard,
+                last_totals[shard.shard],
+                shard.ingested
+            );
+            last_totals[shard.shard] = shard.ingested;
+        }
+    }
+    // Counters run as of the last closed pane, so only the still-open
+    // pane's items may be uncounted; everything before the last pane
+    // boundary must have accumulated across every rearm.
+    let status = session.status();
+    let routed: u64 = status.shards.iter().map(|s| s.ingested).sum();
+    let last_boundary = 500 * (stream.last().unwrap().time.as_millis() / 500);
+    let closed_items = stream
+        .iter()
+        .filter(|i| i.time.as_millis() < last_boundary)
+        .count() as u64;
+    assert!(routed <= stream.len() as u64);
+    assert!(
+        routed >= closed_items,
+        "lifetime counters lost items across rearms: {routed} < {closed_items}"
+    );
+    let _ = session.finish();
 }
 
 #[test]

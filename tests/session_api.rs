@@ -243,27 +243,27 @@ fn consumer_late_items_are_dropped_not_lost() {
     )
     .start();
     let mut consumer = Consumer::whole_topic(topic);
-    let mut ingested = 0usize;
-    let mut dropped = 0usize;
+    let mut total = sa_types::IngestCounters::default();
     loop {
         // One message per poll: the fair rotation alternates partitions,
         // so delivery interleaves 0, 500, 100, ... — the 100 is late.
         let ingest = session
             .ingest_consumer(&mut consumer, 1)
             .expect("engine alive");
-        ingested += ingest.ingested;
-        dropped += ingest.dropped_late;
+        total.absorb(ingest);
         if ingest.ingested == 0 && consumer.is_caught_up() {
             break;
         }
     }
-    assert_eq!(ingested + dropped, 6, "every polled item accounted for");
+    assert_eq!(total.offered(), 6, "every polled item accounted for");
     assert!(
-        dropped > 0,
+        total.dropped_late > 0,
         "interleaved partitions must produce late items"
     );
+    // The per-call deltas and the session's run-wide accounting agree.
+    assert_eq!(session.status().ingest, total);
     let out = session.finish();
-    assert_eq!(out.items_ingested, ingested as u64);
+    assert_eq!(out.items_ingested, total.ingested);
 }
 
 /// A single item with a far-future timestamp must cost O(1) work, not one
@@ -370,6 +370,8 @@ fn status_reflects_session_progress() {
             items_pushed: 0,
             windows_completed: 0,
             watermark: None,
+            ingest: sa_types::IngestCounters::default(),
+            shards: Vec::new(),
         }
     );
     for ms in [0i64, 600, 1_200, 2_400] {
