@@ -198,6 +198,37 @@ impl<R> Engine<R> for AggregatedEngine<'_, R> {
         Ok(())
     }
 
+    fn push_chunk(&mut self, mut items: Vec<StreamItem<R>>) -> Result<(), SaError> {
+        // The batch fast path: pane-cursor checks run once per pane
+        // portion instead of once per item, and each portion goes to the
+        // sampler/accumulator as one slice. Identical pane/RNG sequence to
+        // the per-item loop, so results are bit-for-bit the same.
+        while !items.is_empty() {
+            let t = items[0].time.as_millis();
+            while self.cursor.needs_close(t) {
+                if matches!(self.state, PaneState::Idle) {
+                    self.open_pane();
+                }
+                self.close_pane();
+                self.cursor.next(t);
+            }
+            if matches!(self.state, PaneState::Idle) {
+                self.open_pane();
+            }
+            let (_, end) = self.cursor.pane().expect("pane open after needs_close");
+            let n = items.partition_point(|it| it.time.as_millis() < end);
+            let rest = items.split_off(n);
+            self.pane_arrived += items.len() as u64;
+            match &mut self.state {
+                PaneState::Sampling(sampler) => sampler.observe_batch(items),
+                PaneState::Exact(acc) => acc.observe_slice(&items),
+                PaneState::Idle => unreachable!("a pane is open whenever items are observed"),
+            }
+            items = rest;
+        }
+        Ok(())
+    }
+
     fn poll_windows(&mut self) -> Vec<WindowResult> {
         self.runtime.take_windows()
     }

@@ -256,6 +256,30 @@ where
         Ok(())
     }
 
+    fn push_chunk(&mut self, mut items: Vec<StreamItem<R>>) -> Result<(), SaError> {
+        // Buffer whole pane portions at once: the cursor runs once per
+        // pane boundary instead of once per item. Sampling happens at
+        // close_pane either way, so this is trivially identical to the
+        // per-item loop.
+        while !items.is_empty() {
+            let t = items[0].time.as_millis();
+            while self.cursor.needs_close(t) {
+                self.close_pane();
+                self.cursor.next(t);
+            }
+            let (_, end) = self.cursor.pane().expect("pane open after needs_close");
+            let n = items.partition_point(|it| it.time.as_millis() < end);
+            let rest = items.split_off(n);
+            if self.pane_items.is_empty() {
+                self.pane_items = items;
+            } else {
+                self.pane_items.append(&mut items);
+            }
+            items = rest;
+        }
+        Ok(())
+    }
+
     fn poll_windows(&mut self) -> Vec<WindowResult> {
         self.runtime.take_windows()
     }
@@ -292,9 +316,9 @@ where
         .zip(chunks_of(batch.items, w))
         .collect();
     let results = config.cluster.run(inputs, |_, (mut sampler, chunk)| {
-        for item in chunk {
-            sampler.observe(item.stratum, item.value);
-        }
+        // One batch call per worker chunk: same-stratum runs share a
+        // lookup and skipped gaps cost no RNG draws.
+        sampler.observe_batch(chunk);
         let sample = sampler.finish_interval();
         (sampler, sample)
     });
@@ -328,9 +352,7 @@ where
         &config.cluster,
         move |_, part: Vec<StreamItem<R>>| {
             let mut acc = ExactAccumulator::new(Arc::clone(&proj));
-            for item in part {
-                acc.observe(item.stratum, &item.value);
-            }
+            acc.observe_slice(&part);
             acc.close_interval()
         },
     );

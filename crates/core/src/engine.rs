@@ -48,6 +48,28 @@ pub trait Engine<R> {
     /// failure.
     fn push(&mut self, item: StreamItem<R>) -> Result<(), SaError>;
 
+    /// Ingests a whole chunk of items (same ordering contract as
+    /// [`push`](Engine::push): the chunk is internally non-decreasing in
+    /// event time and no earlier than anything already pushed).
+    ///
+    /// The default implementation is a per-item [`push`](Engine::push)
+    /// loop; engines with a batch fast path override it to run
+    /// pane-boundary checks once per run and feed whole slices to the
+    /// samplers. Overrides must be observationally identical to the
+    /// default — chunking is a throughput lever, never a semantic one.
+    ///
+    /// # Errors
+    ///
+    /// [`SaError::Disconnected`] under the same conditions as
+    /// [`push`](Engine::push); items before the failure point may have
+    /// been ingested.
+    fn push_chunk(&mut self, items: Vec<StreamItem<R>>) -> Result<(), SaError> {
+        for item in items {
+            self.push(item)?;
+        }
+        Ok(())
+    }
+
     /// Takes the windows completed since the last poll.
     fn poll_windows(&mut self) -> Vec<WindowResult>;
 

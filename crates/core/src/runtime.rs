@@ -38,7 +38,9 @@ use crate::windowing::PaneWindower;
 use rand::Rng;
 use sa_estimate::{estimate_mean, StratumStats, Welford};
 use sa_sampling::{merge_all_stratified, OasrsSampler, SizingPolicy};
-use sa_types::{Confidence, EventTime, RunSeed, StratifiedSample, StratumId, Window, WindowSpec};
+use sa_types::{
+    Confidence, EventTime, RunSeed, StratifiedSample, StratumId, StreamItem, Window, WindowSpec,
+};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -87,6 +89,27 @@ impl<R> ExactAccumulator<R> {
     pub fn observe(&mut self, stratum: StratumId, value: &R) {
         let v = (self.proj)(value);
         self.accs.entry(stratum).or_default().push(v);
+    }
+
+    /// Folds a slice of items, hoisting the per-item stratum map lookup
+    /// out of the loop: consecutive same-stratum items share one
+    /// `BTreeMap` entry lookup. Welford accumulation is order-dependent
+    /// only in float rounding, and the item order is unchanged, so this
+    /// is bit-for-bit the per-item fold.
+    pub fn observe_slice(&mut self, items: &[StreamItem<R>]) {
+        let mut i = 0;
+        while i < items.len() {
+            let stratum = items[i].stratum;
+            let run = items[i..]
+                .iter()
+                .take_while(|it| it.stratum == stratum)
+                .count();
+            let acc = self.accs.entry(stratum).or_default();
+            for item in &items[i..i + run] {
+                acc.push((self.proj)(&item.value));
+            }
+            i += run;
+        }
     }
 
     /// Closes the interval: per-stratum exact statistics, state re-armed.
@@ -203,6 +226,19 @@ impl<R> IntervalWorker<R> {
         match &mut self.kind {
             WorkerKind::Sampling(sampler) => sampler.observe(stratum, value),
             WorkerKind::Exact(acc) => acc.observe(stratum, &value),
+        }
+    }
+
+    /// Offers a whole chunk through the batch fast path: sampling workers
+    /// feed same-stratum runs to the skip-ahead reservoirs
+    /// ([`OasrsSampler::observe_batch`]), exact workers run the
+    /// lookup-hoisted slice fold. Bit-for-bit identical to per-item
+    /// [`observe`](IntervalWorker::observe) over the same items.
+    pub fn observe_chunk(&mut self, items: Vec<StreamItem<R>>) {
+        self.ingested += items.len() as u64;
+        match &mut self.kind {
+            WorkerKind::Sampling(sampler) => sampler.observe_batch(items),
+            WorkerKind::Exact(acc) => acc.observe_slice(&items),
         }
     }
 

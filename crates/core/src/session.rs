@@ -251,20 +251,51 @@ impl<'p, R> ApproxSession<'p, R> {
         Ok(())
     }
 
-    /// Ingests a batch of items, stopping at the first rejected one.
+    /// Ingests a batch of items through the engines' batch fast path,
+    /// returning the call's [`IngestCounters`] delta.
+    ///
+    /// Late items (behind the running watermark) are **dropped and
+    /// counted**, not an error — the same drop-late-and-continue
+    /// accounting as [`ingest_consumer`](ApproxSession::ingest_consumer),
+    /// so one straggler no longer aborts the rest of the batch. The kept
+    /// subsequence is validated as one monotone run and forwarded to
+    /// [`Engine::push_chunk`] whole, so watermark checks and pane-cursor
+    /// work run per run instead of per item.
     ///
     /// # Errors
     ///
-    /// As [`push`](ApproxSession::push); items before the failing one have
-    /// been ingested.
+    /// [`SaError::Disconnected`] if the engine has shut down; items
+    /// before the failure point may have been ingested, and the delta for
+    /// the batch is lost with the run.
     pub fn push_batch(
         &mut self,
         items: impl IntoIterator<Item = StreamItem<R>>,
-    ) -> Result<(), SaError> {
-        for item in items {
-            self.push(item)?;
+    ) -> Result<IngestCounters, SaError> {
+        let mut items: Vec<StreamItem<R>> = items.into_iter().collect();
+        let mut delta = IngestCounters::default();
+        // Keep the running-max subsequence — exactly the items a per-item
+        // push loop would have accepted, since the watermark advances only
+        // on accepted items.
+        let mut watermark = self.watermark;
+        items.retain(|item| {
+            let keep = watermark.map_or(true, |w| item.time >= w);
+            if keep {
+                watermark = Some(item.time);
+            } else {
+                delta.dropped_late += 1;
+            }
+            keep
+        });
+        self.ingest.dropped_late += delta.dropped_late;
+        if items.is_empty() {
+            return Ok(delta);
         }
-        Ok(())
+        delta.ingested = items.len() as u64;
+        let last = items.last().expect("non-empty batch").time;
+        self.engine.push_chunk(items)?;
+        self.watermark = Some(last);
+        self.ingest.ingested += delta.ingested;
+        Ok(delta)
     }
 
     /// Polls an aggregator consumer once and ingests what it returns —
@@ -295,15 +326,9 @@ impl<'p, R> ApproxSession<'p, R> {
     where
         R: Clone,
     {
-        let mut delta = IngestCounters::default();
-        for item in consumer.poll_items(max_messages) {
-            match self.push(item) {
-                Ok(()) => delta.ingested += 1,
-                Err(SaError::OutOfOrder { .. }) => delta.dropped_late += 1,
-                Err(other) => return Err(other),
-            }
-        }
-        Ok(delta)
+        // Same drop-late accounting as push_batch, and the polled batch
+        // rides the engines' chunk fast path.
+        self.push_batch(consumer.poll_items(max_messages))
     }
 
     /// Takes the windows completed since the last poll, in watermark

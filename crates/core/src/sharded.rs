@@ -160,9 +160,7 @@ fn shard_loop<R>(
             ToShard::Arm(fresh) => worker = Some(*fresh),
             ToShard::Chunk(items) => {
                 let worker = worker.as_mut().expect("shard armed before items");
-                for item in items {
-                    worker.observe(item.stratum, item.value);
-                }
+                worker.observe_chunk(items);
             }
             ToShard::Close => {
                 let worker = worker.as_mut().expect("shard armed before close");
@@ -395,6 +393,40 @@ where
         self.buffers[shard].push(item);
         if self.buffers[shard].len() >= self.config.chunk_items {
             self.flush(shard)?;
+        }
+        Ok(())
+    }
+
+    fn push_chunk(&mut self, mut items: Vec<StreamItem<R>>) -> Result<(), SaError> {
+        if !self.alive {
+            return Err(SaError::Disconnected("sharded worker thread died"));
+        }
+        // The batch fast path: pane-cursor and arm checks run once per
+        // pane portion, then the portion is routed item-by-item (routing
+        // is per-item by contract — `route(stratum, seq)` — but costs no
+        // RNG or locks) into the shard buffers. Identical routing/flush
+        // sequence to the per-item loop.
+        while !items.is_empty() {
+            let t = items[0].time.as_millis();
+            while self.cursor.needs_close(t) {
+                self.ensure_armed()?;
+                self.close_pane()?;
+                self.cursor.next(t);
+            }
+            self.ensure_armed()?;
+            let (_, end) = self.cursor.pane().expect("pane open after needs_close");
+            let n = items.partition_point(|it| it.time.as_millis() < end);
+            let rest = items.split_off(n);
+            self.pane_arrived += items.len() as u64;
+            for item in items {
+                let shard = self.shard_set.route(item.stratum, self.seq);
+                self.seq += 1;
+                self.buffers[shard].push(item);
+                if self.buffers[shard].len() >= self.config.chunk_items {
+                    self.flush(shard)?;
+                }
+            }
+            items = rest;
         }
         Ok(())
     }

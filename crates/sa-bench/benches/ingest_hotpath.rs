@@ -1,0 +1,138 @@
+//! Ingest hot path: what one session can swallow per second, Native vs
+//! sampled, per-item `push` vs the chunked `push_batch` fast path.
+//!
+//! This is the bench behind ROADMAP item 1: the paper's pitch is that
+//! sampling buys throughput, so sampled ingest must not run *slower* than
+//! Native. The skip-ahead reservoir kernel (gap sampling by exact CDF
+//! inversion, Vitter's Algorithm X) plus the end-to-end batch path
+//! (`push_batch` → `Engine::push_chunk` → `OasrsSampler::observe_batch`)
+//! are what close that gap: between acceptances the sampler advances over
+//! whole skipped runs with zero RNG draws.
+//!
+//! The aggregated (consumer-path) engine is measured because it is the
+//! purest ingest path — no pane buffering, no worker threads — so every
+//! per-item cost shows up undiluted. Per config the bench reports the
+//! median of `REPS` wall-clock runs; besides the table it emits
+//! `results/ingest_hotpath.json` to seed the bench trajectory.
+//!
+//! `SA_BENCH_SMOKE=1` shrinks the workload to CI-smoke size and skips the
+//! JSON emission so scheduled runs cannot clobber recorded results.
+
+use sa_bench::{emit_json, fmt_kps, Table};
+use sa_types::{StreamItem, WindowSpec};
+use sa_workloads::Mix;
+use std::time::Instant;
+use streamapprox::{AggregatedConfig, FixedFraction, Query, StreamApprox};
+
+const REPS: usize = 5;
+/// Items per `push_batch` call on the batch path — a realistic consumer
+/// poll size.
+const CHUNK: usize = 4_096;
+/// `None` is native execution (no sampling, exact accumulation).
+const FRACTIONS: [Option<f64>; 4] = [None, Some(0.20), Some(0.05), Some(0.01)];
+
+fn smoke() -> bool {
+    std::env::var_os("SA_BENCH_SMOKE").is_some()
+}
+
+fn query() -> Query<f64> {
+    Query::new(|v: &f64| *v).with_window(WindowSpec::sliding_secs(2, 1))
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Path {
+    PerItem,
+    Batch,
+}
+
+/// One full session run; returns ingest throughput in items/second over
+/// the push-to-finish wall time.
+fn run(fraction: Option<f64>, path: Path, items: &[StreamItem<f64>]) -> f64 {
+    let mut policy = FixedFraction(fraction.unwrap_or(1.0));
+    let mut session = StreamApprox::new(query(), &mut policy)
+        .aggregated(AggregatedConfig::new().with_seed(0xFEED_u64))
+        .start();
+    let started = Instant::now();
+    match path {
+        Path::PerItem => {
+            for item in items {
+                session.push(*item).expect("recorded stream is in order");
+            }
+        }
+        Path::Batch => {
+            for chunk in items.chunks(CHUNK) {
+                session
+                    .push_batch(chunk.iter().copied())
+                    .expect("recorded stream is in order");
+            }
+        }
+    }
+    let out = session.finish();
+    let secs = started.elapsed().as_secs_f64();
+    assert_eq!(out.items_ingested, items.len() as u64);
+    items.len() as f64 / secs
+}
+
+fn median_throughput(fraction: Option<f64>, path: Path, items: &[StreamItem<f64>]) -> f64 {
+    let mut runs: Vec<f64> = (0..REPS).map(|_| run(fraction, path, items)).collect();
+    runs.sort_by(|a, b| a.partial_cmp(b).expect("finite throughputs"));
+    runs[runs.len() / 2]
+}
+
+fn main() {
+    let event_ms = if smoke() { 400 } else { 10_000 };
+    // The fig4-shaped high-rate mix: ~61k items per event-time second.
+    let items = Mix::gaussian([48_000.0, 12_000.0, 1_200.0]).generate(event_ms, 17);
+    println!(
+        "ingest_hotpath: {} items over {event_ms} ms event time, chunk {CHUNK}, {REPS} reps",
+        items.len()
+    );
+
+    let mut table = Table::new(
+        "Ingest hot path: session throughput by budget and push path",
+        &["budget", "path", "K items/s", "vs native"],
+    );
+    let mut series = Vec::new();
+    let mut native_by_path = [0.0f64; 2];
+    for fraction in FRACTIONS {
+        for path in [Path::PerItem, Path::Batch] {
+            let throughput = median_throughput(fraction, path, &items);
+            let path_idx = (path == Path::Batch) as usize;
+            if fraction.is_none() {
+                native_by_path[path_idx] = throughput;
+            }
+            let budget = fraction.map_or("native".to_string(), |f| format!("{:.0}%", f * 100.0));
+            let path_name = match path {
+                Path::PerItem => "per-item",
+                Path::Batch => "batch",
+            };
+            let vs_native = throughput / native_by_path[path_idx];
+            table.row(vec![
+                budget.clone(),
+                path_name.to_string(),
+                fmt_kps(throughput),
+                format!("{vs_native:.2}x"),
+            ]);
+            series.push(format!(
+                "    {{\"budget\": \"{budget}\", \"path\": \"{path_name}\", \
+                 \"throughput_items_per_s\": {throughput:.0}, \
+                 \"vs_native_same_path\": {vs_native:.4}}}"
+            ));
+        }
+    }
+    table.emit("ingest_hotpath");
+    if smoke() {
+        println!("ingest_hotpath: smoke mode, skipping results/ingest_hotpath.json");
+        return;
+    }
+    emit_json(
+        "ingest_hotpath",
+        &format!(
+            "{{\n  \"bench\": \"ingest_hotpath\",\n  \"items\": {},\n  \
+             \"event_ms\": {event_ms},\n  \"chunk_items\": {CHUNK},\n  \"reps\": {REPS},\n  \
+             \"series\": [\n{}\n  ]\n}}\n",
+            items.len(),
+            series.join(",\n")
+        ),
+    );
+}

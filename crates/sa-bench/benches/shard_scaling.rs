@@ -66,8 +66,12 @@ fn containment(exact: &RunOutput, approx: &RunOutput) -> f64 {
 
 fn main() {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // `SA_BENCH_SMOKE=1`: CI-smoke size, and no JSON so scheduled runs
+    // cannot clobber recorded results.
+    let smoke = std::env::var_os("SA_BENCH_SMOKE").is_some();
+    let event_ms = if smoke { 400 } else { 10_000 };
     // 10 s of event time at a high aggregate rate (the fig4 shape).
-    let items = Mix::gaussian([48_000.0, 12_000.0, 1_200.0]).generate(10_000, 41);
+    let items = Mix::gaussian([48_000.0, 12_000.0, 1_200.0]).generate(event_ms, 41);
     let query = Query::new(|v: &f64| *v).with_window(WindowSpec::sliding_secs(2, 1));
     println!(
         "shard_scaling: {} items, fraction {FRACTION}, {cores} host core(s)",
@@ -111,6 +115,10 @@ fn main() {
         ));
     }
     table.emit("shard_scaling");
+    if smoke {
+        println!("shard_scaling: smoke mode, skipping results/shard_scaling.json");
+        return;
+    }
     emit_json(
         "shard_scaling",
         &format!(

@@ -4,7 +4,10 @@
 //! reproduction (Middleware 2017):
 //!
 //! * [`Reservoir`] — classic fixed-capacity reservoir sampling
-//!   (Vitter 1985; Algorithm 1 of the paper).
+//!   (Vitter 1985; Algorithm 1 of the paper), with a skip-ahead gap
+//!   sampler (Vitter's Algorithm X family) and batch `observe_run` /
+//!   `observe_batch` entry points that skip whole rejected runs with
+//!   zero RNG draws.
 //! * [`OasrsSampler`] — **Online Adaptive Stratified Reservoir Sampling**
 //!   (Algorithm 3), the paper's core contribution: one reservoir and one
 //!   counter per sub-stream, Equation-1 weights, adaptive per-interval

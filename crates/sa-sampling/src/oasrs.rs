@@ -232,6 +232,57 @@ impl<V> OasrsSampler<V> {
         self.observe(item.stratum, item.value);
     }
 
+    /// Offers a whole batch of items, hoisting the per-item stratum
+    /// lookup/admission out of the inner loop: consecutive items sharing
+    /// a stratum form a *run*, and each run goes through one stratum
+    /// lookup plus one [`Reservoir::observe_run`] call, which consumes
+    /// skipped gaps with a counter bump and zero RNG draws. Accepted
+    /// items are moved out of the batch; skipped items are dropped
+    /// without being touched.
+    ///
+    /// The RNG draw order is identical to calling
+    /// [`observe_item`](OasrsSampler::observe_item) once per item, so
+    /// batch and per-item observation produce bit-for-bit identical
+    /// sampler state from the same seed — chunk boundaries are invisible
+    /// to the sample.
+    pub fn observe_batch(&mut self, items: Vec<StreamItem<V>>) {
+        let mut iter = items.into_iter();
+        while let Some(first) = iter.next() {
+            let stratum = first.stratum;
+            // Length of the run of same-stratum followers still in the
+            // iterator (the run itself is `tail + 1` items with `first`).
+            let tail = iter
+                .as_slice()
+                .iter()
+                .take_while(|it| it.stratum == stratum)
+                .count();
+            let idx = stratum.index();
+            if idx >= self.strata.len() || self.strata[idx].is_none() {
+                self.admit_stratum(stratum);
+            }
+            let r = self.strata[idx].as_mut().expect("stratum admitted");
+            let mut first = Some(first);
+            // Followers already pulled out of `iter` for this run.
+            let mut consumed = 0usize;
+            r.observe_run((tail + 1) as u64, &mut self.rng, |off| {
+                if off == 0 {
+                    first.take().expect("offset 0 visited at most once").value
+                } else {
+                    let follower = off as usize - 1;
+                    let item = iter
+                        .nth(follower - consumed)
+                        .expect("accepted offset within run");
+                    consumed = follower + 1;
+                    item.value
+                }
+            });
+            if consumed < tail {
+                // Drop the skipped tail of the run in one jump.
+                iter.nth(tail - consumed - 1);
+            }
+        }
+    }
+
     /// Ends the current time interval: returns the weighted
     /// [`StratifiedSample`] and re-arms the sampler for the next interval.
     ///
@@ -343,6 +394,41 @@ mod tests {
     fn feed(oasrs: &mut OasrsSampler<f64>, stratum: u32, n: usize) {
         for v in 0..n {
             oasrs.observe(StratumId(stratum), v as f64);
+        }
+    }
+
+    /// Chunk boundaries and run grouping must be invisible: feeding the
+    /// same interleaved multi-stratum stream through `observe_batch` in
+    /// any chunking produces bit-for-bit the per-item sampler state.
+    #[test]
+    fn observe_batch_is_bit_identical_to_per_item() {
+        let items: Vec<StreamItem<f64>> = (0..20_000u32)
+            .map(|i| {
+                // Bursty stratum pattern: long same-stratum runs with
+                // occasional singletons, so both the run fast path and the
+                // run-of-one path are exercised.
+                let stratum = if i % 97 == 0 { 3 } else { (i / 64) % 3 };
+                StreamItem::new(
+                    StratumId(stratum),
+                    sa_types::EventTime::from_millis(i as i64),
+                    f64::from(i),
+                )
+            })
+            .collect();
+        let mut per_item = OasrsSampler::new(SizingPolicy::PerStratum(50), 77);
+        for item in items.clone() {
+            per_item.observe_item(item);
+        }
+        for chunk in [1usize, 13, 256, 20_000] {
+            let mut batched = OasrsSampler::new(SizingPolicy::PerStratum(50), 77);
+            for run in items.chunks(chunk) {
+                batched.observe_batch(run.to_vec());
+            }
+            assert_eq!(
+                batched.finish_interval(),
+                per_item.clone().finish_interval(),
+                "chunk size {chunk}"
+            );
         }
     }
 

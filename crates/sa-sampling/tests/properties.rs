@@ -511,3 +511,71 @@ fn shared_total_mid_interval_shrink_stays_uniform() {
         );
     }
 }
+
+proptest! {
+    /// Chunk boundaries are invisible to the reservoir: any way of cutting
+    /// a stream into batches produces bit-for-bit the per-item sampler
+    /// state (same items, same `seen`, same RNG position).
+    #[test]
+    fn reservoir_batching_is_bit_equal_to_per_item(
+        stream in proptest::collection::vec(0u32..1_000, 0..600),
+        cuts in proptest::collection::vec(0usize..600, 0..8),
+        cap in 1usize..48,
+        seed in any::<u64>(),
+    ) {
+        let mut rng_a = SmallRng::seed_from_u64(seed);
+        let mut per_item = Reservoir::new(cap);
+        for &x in &stream {
+            per_item.observe(x, &mut rng_a);
+        }
+
+        let mut cuts: Vec<usize> = cuts.into_iter().map(|c| c.min(stream.len())).collect();
+        cuts.sort_unstable();
+        let mut rng_b = SmallRng::seed_from_u64(seed);
+        let mut batched = Reservoir::new(cap);
+        let mut prev = 0usize;
+        for cut in cuts.into_iter().chain([stream.len()]) {
+            batched.observe_batch(&stream[prev..cut], &mut rng_b);
+            prev = cut;
+        }
+        prop_assert_eq!(&batched, &per_item);
+        // And both RNGs sit at the same stream position afterwards.
+        prop_assert_eq!(rand::Rng::gen::<u64>(&mut rng_a), rand::Rng::gen::<u64>(&mut rng_b));
+    }
+
+    /// Same invisibility one level up: `OasrsSampler::observe_batch` over
+    /// arbitrary chunkings of an arbitrary stratum sequence equals the
+    /// per-item fold bit for bit.
+    #[test]
+    fn oasrs_batching_is_bit_equal_to_per_item(
+        arrivals in proptest::collection::vec(0u32..6, 0..500),
+        cuts in proptest::collection::vec(0usize..500, 0..6),
+        cap in 1usize..16,
+        seed in any::<u64>(),
+    ) {
+        let items: Vec<sa_types::StreamItem<f64>> = arrivals
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| sa_types::StreamItem::new(
+                StratumId(s),
+                sa_types::EventTime::from_millis(i as i64),
+                i as f64,
+            ))
+            .collect();
+
+        let mut per_item = OasrsSampler::new(SizingPolicy::PerStratum(cap), seed);
+        for item in items.clone() {
+            per_item.observe_item(item);
+        }
+
+        let mut cuts: Vec<usize> = cuts.into_iter().map(|c| c.min(items.len())).collect();
+        cuts.sort_unstable();
+        let mut batched = OasrsSampler::new(SizingPolicy::PerStratum(cap), seed);
+        let mut prev = 0usize;
+        for cut in cuts.into_iter().chain([items.len()]) {
+            batched.observe_batch(items[prev..cut].to_vec());
+            prev = cut;
+        }
+        prop_assert_eq!(batched.finish_interval(), per_item.finish_interval());
+    }
+}

@@ -317,6 +317,62 @@ fn far_future_item_is_bounded_work_on_every_engine() {
 }
 
 /// Ordering is enforced uniformly at the session layer, for every engine.
+/// `push_batch` drops late items and continues — one straggler no longer
+/// aborts the rest of the batch — with the same accounting as
+/// `ingest_consumer`, and the kept subsequence behaves exactly as if the
+/// clean stream had been pushed alone.
+#[test]
+fn push_batch_drops_late_items_and_continues() {
+    let at = |ms: i64, v: f64| StreamItem::new(StratumId(0), EventTime::from_millis(ms), v);
+    // Two stragglers interleaved: 50 is behind 100, and 150 behind 200.
+    let ragged = vec![
+        at(0, 1.0),
+        at(100, 2.0),
+        at(50, -1.0),
+        at(200, 3.0),
+        at(150, -2.0),
+        at(2_300, 4.0),
+    ];
+    let clean: Vec<_> = ragged.iter().copied().filter(|i| i.value > 0.0).collect();
+
+    let run = |items: &[StreamItem<f64>]| {
+        let mut policy = FixedFraction(1.0);
+        let mut session = StreamApprox::new(query(), &mut policy).start();
+        let delta = session
+            .push_batch(items.iter().copied())
+            .expect("engine up");
+        (delta, session.status(), session.finish())
+    };
+    let (delta, status, out) = run(&ragged);
+    assert_eq!(delta.ingested, 4);
+    assert_eq!(delta.dropped_late, 2);
+    assert_eq!(status.ingest, delta, "delta must equal run-wide accounting");
+    assert_eq!(status.ingest.offered(), ragged.len() as u64);
+    assert_eq!(status.watermark, Some(EventTime::from_millis(2_300)));
+
+    let (clean_delta, clean_status, clean_out) = run(&clean);
+    assert_eq!(clean_delta.ingested, 4);
+    assert_eq!(clean_delta.dropped_late, 0);
+    assert_eq!(clean_status.watermark, status.watermark);
+    assert_eq!(
+        out.windows, clean_out.windows,
+        "dropped stragglers leaked into the windows"
+    );
+
+    // A fully late batch is a no-op, not an error, and the session stays
+    // usable afterwards.
+    let mut policy = FixedFraction(1.0);
+    let mut session = StreamApprox::new(query(), &mut policy).start();
+    session.push(at(1_000, 1.0)).expect("in order");
+    let delta = session
+        .push_batch(vec![at(10, 0.0), at(20, 0.0)])
+        .expect("late is not an error");
+    assert_eq!(delta.ingested, 0);
+    assert_eq!(delta.dropped_late, 2);
+    session.push(at(1_001, 1.0)).expect("still usable");
+    let _ = session.finish();
+}
+
 #[test]
 fn out_of_order_items_are_rejected_on_every_engine() {
     let late = StreamItem::new(StratumId(0), EventTime::from_millis(10), 1.0f64);
