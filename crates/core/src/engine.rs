@@ -19,7 +19,7 @@
 //! [`crate::ApproxSession::from_engine`].
 
 use crate::output::{RunOutput, WindowResult};
-use sa_types::{SaError, ShardIngest, StreamItem};
+use sa_types::{SaError, ShardIngest, StreamItem, WorkerStatus};
 
 /// One execution substrate driving the approximation runtime
 /// incrementally.
@@ -78,6 +78,14 @@ pub trait Engine<R> {
     /// keep the default empty answer; `ApproxSession::status` surfaces
     /// this through `SessionStatus::shards`.
     fn shard_ingest(&self) -> Vec<ShardIngest> {
+        Vec::new()
+    }
+
+    /// Per-remote-worker progress for distributed substrates, in worker-id
+    /// order, as of each worker's last digest or heartbeat. Local
+    /// substrates keep the default empty answer; `ApproxSession::status`
+    /// surfaces this through `SessionStatus::workers`.
+    fn worker_status(&self) -> Vec<WorkerStatus> {
         Vec::new()
     }
 

@@ -95,6 +95,13 @@
 //!   aggregated consumer path ([`AggregatedConfig`]), each embedding the
 //!   shared runtime. Implement it to plug in your own substrate via
 //!   [`ApproxSession::from_engine`].
+//! * [`StreamApprox::distributed`] / [`DistributedSession`] /
+//!   [`connect_worker`] — the distributed tier: a TCP coordinator that
+//!   assigns the run to worker processes, collects their per-pane sampler
+//!   digests over the `sa-net` framed protocol, and merges them through
+//!   the same mergeable-sampler path — bit-identical to the in-process
+//!   sharded merge of the same shards (seeded per pane by
+//!   [`pane_merge_seed`]).
 //! * [`CostPolicy`] and its implementations ([`FixedFraction`],
 //!   [`FixedPerStratum`], [`AccuracyPolicy`], [`LatencyPolicy`],
 //!   [`TokenPolicy`]) — the paper's "virtual cost function" (§7) mapping a
@@ -122,6 +129,7 @@ mod batched;
 mod combine;
 mod cost;
 mod engine;
+mod net;
 mod output;
 mod pipelined;
 mod query;
@@ -139,12 +147,13 @@ pub use cost::{
     FixedPerStratum, IntervalFeedback, LatencyPolicy, PolicyHandle, SizingDirective, TokenPolicy,
 };
 pub use engine::Engine;
+pub use net::{connect_worker, DigestEngine, DistributedConfig, DistributedSession};
 pub use output::{RunOutput, WindowResult};
 pub use pipelined::{run_pipelined, PipelinedConfig, PipelinedSystem};
 pub use query::Query;
 pub use runtime::{
-    sampler_sizing, ApproxRuntime, ExactAccumulator, IntervalWorker, ShardSet, WindowFinalizer,
-    WorkerPane,
+    pane_merge_seed, sampler_sizing, ApproxRuntime, ExactAccumulator, IntervalWorker, ShardSet,
+    WindowFinalizer, WorkerPane,
 };
 pub use session::{ApproxSession, StreamApprox};
 pub use sharded::ShardedConfig;

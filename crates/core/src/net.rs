@@ -1,0 +1,1057 @@
+//! The distributed tier: a TCP coordinator/worker aggregation service.
+//!
+//! The paper deploys StreamApprox as *one* logical computation over many
+//! machines: workers sample their partitions of the stream close to the
+//! data, and only the compact mergeable sampler state travels to the node
+//! that finalizes windows (the architecture of §4, fed by the aggregator
+//! of §2.1). This module is that deployment shape over real sockets,
+//! speaking the `sa-net` framed protocol:
+//!
+//! * [`DistributedSession`] — the coordinator, started through
+//!   [`crate::StreamApprox::distributed`]: binds a listener, assigns the
+//!   full run configuration to each joining worker, collects one
+//!   [`sa_net::Digest`] per worker per closed pane, merges each pane's
+//!   digests in canonical worker-id order through the same [`ShardSet`]
+//!   path the in-process sharded engine uses, and finalizes windows with
+//!   estimation-layer error bounds.
+//! * [`DigestEngine`] (built by [`connect_worker`]) — one worker: a local
+//!   [`Engine`] that samples its shard of the stream with full-capacity
+//!   OASRS and ships the pane's sampler state at every pane close instead
+//!   of estimating locally. Wrap it in
+//!   [`crate::ApproxSession::from_engine`] for the ordinary push/poll
+//!   session API.
+//!
+//! Determinism survives the wire: worker `w` builds exactly the sampler
+//! [`ShardSet::rearm`] would hand shard `w`, digests merge in ascending
+//! worker id, and each pane's merge RNG is seeded by
+//! [`crate::pane_merge_seed`] from the run seed and the pane's *start
+//! time* — so a distributed run reproduces, bit for bit, the
+//! single-process merge of the same per-shard samplers (§3.2's merge
+//! soundness, verified end-to-end in `tests/distributed.rs`).
+//!
+//! Failure semantics are typed, never hangs: a socket that closes without
+//! a [`sa_net::Message::Shutdown`] is a worker failure and surfaces as
+//! [`SaError::Disconnected`] from the coordinator's `poll_windows` /
+//! `finish`; hostile or malformed frames surface as [`SaError::Wire`].
+
+use crate::cost::SizingDirective;
+use crate::engine::Engine;
+use crate::output::{RunOutput, WindowResult};
+use crate::runtime::{
+    pane_merge_seed, sampler_sizing, IntervalWorker, PaneCursor, ShardSet, WindowFinalizer,
+    WorkerPane,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sa_net::frame::{read_message, write_message};
+use sa_net::{Digest, DigestPayload, Directive, Message, WindowResultMsg};
+use sa_types::{
+    Confidence, EventTime, IngestCounters, RunSeed, SaError, SessionStatus, StratifiedSample,
+    StratumSample, StreamItem, Window, WindowSpec, WorkerStatus,
+};
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Configuration of a distributed coordinator session.
+///
+/// Mirrors [`crate::ShardedConfig`] — the distributed tier is the sharded
+/// engine with processes for threads and frames for channels — plus the
+/// transport knobs a real service needs: a bind address and a straggler
+/// timeout.
+#[derive(Debug, Clone)]
+pub struct DistributedConfig {
+    /// Number of workers that will join; also the shard count of the
+    /// canonical merge.
+    pub workers: u32,
+    /// Address the coordinator listens on. Defaults to `127.0.0.1:0`
+    /// (loopback, OS-assigned port — read it back with
+    /// [`DistributedSession::addr`]).
+    pub bind_addr: String,
+    /// Pane length in milliseconds; `None` uses the window slide, which
+    /// is the minimum pane count (fewer digests per window).
+    pub pane_interval_ms: Option<i64>,
+    /// Seed of the run: workers derive their shard-local sampler seeds
+    /// from it, and every pane merge draws from an RNG derived from it.
+    pub seed: RunSeed,
+    /// Expected items per pane across all workers; sizes a fraction
+    /// directive's first-interval reservoirs.
+    pub expected_pane_items: usize,
+    /// How long `finish` waits for missing workers or outstanding digests
+    /// before declaring the run disconnected.
+    pub timeout: Duration,
+}
+
+impl DistributedConfig {
+    /// A loopback configuration for `workers` workers with a 30-second
+    /// straggler timeout.
+    pub fn new(workers: u32) -> Self {
+        DistributedConfig {
+            workers,
+            bind_addr: "127.0.0.1:0".to_string(),
+            pane_interval_ms: None,
+            seed: RunSeed::DEFAULT,
+            expected_pane_items: 1_000,
+            timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Sets the bind address.
+    #[must_use]
+    pub fn with_bind_addr(mut self, addr: impl Into<String>) -> Self {
+        self.bind_addr = addr.into();
+        self
+    }
+
+    /// Sets an explicit pane interval.
+    #[must_use]
+    pub fn with_pane_interval_ms(mut self, interval: i64) -> Self {
+        self.pane_interval_ms = Some(interval);
+        self
+    }
+
+    /// Sets the run seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: RunSeed) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the expected items per pane (reservoir pre-sizing).
+    #[must_use]
+    pub fn with_expected_pane_items(mut self, expected: usize) -> Self {
+        self.expected_pane_items = expected;
+        self
+    }
+
+    /// Sets the straggler timeout.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+}
+
+fn directive_to_wire(directive: SizingDirective) -> Directive {
+    match directive {
+        SizingDirective::Fraction(f) => Directive::Fraction(f),
+        SizingDirective::PerStratum(n) => Directive::PerStratum(n),
+        SizingDirective::SharedTotal(n) => Directive::SharedTotal(n),
+        SizingDirective::Everything => Directive::Everything,
+    }
+}
+
+fn directive_from_wire(directive: Directive) -> SizingDirective {
+    match directive {
+        Directive::Fraction(f) => SizingDirective::Fraction(f),
+        Directive::PerStratum(n) => SizingDirective::PerStratum(n),
+        Directive::SharedTotal(n) => SizingDirective::SharedTotal(n),
+        Directive::Everything => SizingDirective::Everything,
+    }
+}
+
+fn result_to_wire(result: &WindowResult) -> WindowResultMsg {
+    WindowResultMsg {
+        window: result.window,
+        sum: result.sum,
+        mean: result.mean,
+        sum_by_stratum: result.sum_by_stratum.clone(),
+        mean_by_stratum: result.mean_by_stratum.clone(),
+    }
+}
+
+fn result_from_wire(msg: WindowResultMsg) -> WindowResult {
+    WindowResult {
+        window: msg.window,
+        sum: msg.sum,
+        mean: msg.mean,
+        sum_by_stratum: msg.sum_by_stratum,
+        mean_by_stratum: msg.mean_by_stratum,
+    }
+}
+
+/// Everything the coordinator tells each joining worker, identical for
+/// all of them except the confirmed worker id.
+#[derive(Clone, Copy)]
+struct AssignTemplate {
+    num_workers: u32,
+    seed: RunSeed,
+    directive: Directive,
+    pane_interval_ms: i64,
+    expected_pane_items: u64,
+    window: WindowSpec,
+    confidence: Confidence,
+}
+
+impl AssignTemplate {
+    fn for_worker(self, worker: u32) -> Message {
+        Message::HelloAssign {
+            worker,
+            num_workers: self.num_workers,
+            seed: self.seed,
+            directive: self.directive,
+            pane_interval_ms: self.pane_interval_ms,
+            expected_pane_items: self.expected_pane_items,
+            window: self.window,
+            confidence: self.confidence,
+        }
+    }
+}
+
+/// What the acceptor and reader threads report to the session.
+enum Event {
+    Joined {
+        worker: u32,
+        results: Option<TcpStream>,
+    },
+    Digest(Box<Digest>),
+    Heartbeat {
+        worker: u32,
+        ingest: IngestCounters,
+        watermark: Option<EventTime>,
+        lag: u64,
+    },
+    Done {
+        worker: u32,
+    },
+    Failed(SaError),
+}
+
+/// One connected worker, as the coordinator sees it.
+struct WorkerPeer {
+    status: WorkerStatus,
+    done: bool,
+    results: Option<TcpStream>,
+}
+
+fn reader_loop(mut stream: TcpStream, worker: u32, events: Sender<Event>) {
+    loop {
+        let event = match read_message(&mut stream) {
+            Ok(Some(Message::PaneDigest(digest))) => {
+                if digest.worker != worker {
+                    Event::Failed(SaError::Wire(format!(
+                        "digest claims worker {} on worker {worker}'s connection",
+                        digest.worker
+                    )))
+                } else {
+                    Event::Digest(Box::new(digest))
+                }
+            }
+            Ok(Some(Message::Heartbeat {
+                worker: w,
+                ingest,
+                watermark,
+                lag,
+            })) if w == worker => Event::Heartbeat {
+                worker,
+                ingest,
+                watermark,
+                lag,
+            },
+            Ok(Some(Message::Shutdown { .. })) => Event::Done { worker },
+            Ok(Some(_)) => Event::Failed(SaError::Wire(format!(
+                "unexpected message from worker {worker}"
+            ))),
+            Ok(None) => Event::Failed(SaError::Disconnected("worker closed without shutdown")),
+            Err(error) => Event::Failed(error),
+        };
+        let terminal = !matches!(event, Event::Digest(_) | Event::Heartbeat { .. });
+        if events.send(event).is_err() || terminal {
+            return;
+        }
+    }
+}
+
+fn acceptor_loop(listener: TcpListener, assign: AssignTemplate, events: Sender<Event>) {
+    let mut joined = vec![false; assign.num_workers as usize];
+    let mut remaining = assign.num_workers;
+    while remaining > 0 {
+        let mut stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) => {
+                let _ = events.send(Event::Failed(SaError::Wire(format!("accept failed: {e}"))));
+                return;
+            }
+        };
+        let (worker, wants_results) = match read_message(&mut stream) {
+            Ok(Some(Message::HelloJoin {
+                worker,
+                wants_results,
+            })) => (worker, wants_results),
+            Ok(_) => {
+                let _ = events.send(Event::Failed(SaError::Wire(
+                    "connection did not open with a join".to_string(),
+                )));
+                return;
+            }
+            Err(error) => {
+                let _ = events.send(Event::Failed(error));
+                return;
+            }
+        };
+        if worker >= assign.num_workers || joined[worker as usize] {
+            let _ = events.send(Event::Failed(SaError::Wire(format!(
+                "worker {worker} is not joinable (of {}, duplicates rejected)",
+                assign.num_workers
+            ))));
+            return;
+        }
+        if let Err(error) = write_message(&mut stream, &assign.for_worker(worker)) {
+            let _ = events.send(Event::Failed(error));
+            return;
+        }
+        let results = if wants_results {
+            stream.try_clone().ok()
+        } else {
+            None
+        };
+        joined[worker as usize] = true;
+        remaining -= 1;
+        if events.send(Event::Joined { worker, results }).is_err() {
+            return;
+        }
+        let reader_events = events.clone();
+        thread::spawn(move || reader_loop(stream, worker, reader_events));
+    }
+}
+
+/// A running coordinator: the distributed counterpart of
+/// [`crate::ApproxSession`], started through
+/// [`crate::StreamApprox::distributed`].
+///
+/// The session is passive between calls — digests queue on a channel fed
+/// by per-connection reader threads, and merging happens on the caller's
+/// thread inside [`poll_windows`](DistributedSession::poll_windows) and
+/// [`finish`](DistributedSession::finish). A pane is merged once every
+/// worker has either delivered it, provably advanced past it (its
+/// watermark reached the pane end), or shut down cleanly; merges happen
+/// in pane order so windows still finalize in watermark order.
+///
+/// Transport failures are sticky: once a worker connection breaks without
+/// a clean shutdown, every subsequent poll and the final `finish` return
+/// the typed error instead of silently under-merged windows.
+pub struct DistributedSession {
+    addr: SocketAddr,
+    events: Receiver<Event>,
+    num_workers: u32,
+    interval_ms: i64,
+    seed: RunSeed,
+    directive: SizingDirective,
+    shard_set: ShardSet<f64>,
+    finalizer: WindowFinalizer,
+    pending: BTreeMap<i64, BTreeMap<u32, Digest>>,
+    workers: BTreeMap<u32, WorkerPeer>,
+    ready: Vec<WindowResult>,
+    error: Option<SaError>,
+    completed: u64,
+    aggregated: u64,
+    merged_watermark: Option<EventTime>,
+    timeout: Duration,
+    started: Instant,
+}
+
+impl DistributedSession {
+    /// Binds the listener and starts the accept service. Called through
+    /// [`crate::StreamApprox::distributed`], which supplies the query and
+    /// policy parts.
+    pub(crate) fn start(
+        window: WindowSpec,
+        confidence: Confidence,
+        directive: SizingDirective,
+        config: DistributedConfig,
+    ) -> Result<Self, SaError> {
+        if config.workers == 0 {
+            return Err(SaError::InvalidConfig(
+                "a distributed session needs at least one worker".to_string(),
+            ));
+        }
+        if let SizingDirective::Fraction(f) = directive {
+            if !(f > 0.0 && f <= 1.0) {
+                return Err(SaError::InvalidConfig(format!(
+                    "sampling fraction {f} outside (0, 1]"
+                )));
+            }
+        }
+        let interval_ms = config.pane_interval_ms.unwrap_or(window.slide_millis());
+        if interval_ms <= 0 {
+            return Err(SaError::InvalidConfig(format!(
+                "non-positive pane interval {interval_ms}"
+            )));
+        }
+        let listener = TcpListener::bind(&config.bind_addr).map_err(|e| {
+            SaError::InvalidConfig(format!("cannot bind {}: {e}", config.bind_addr))
+        })?;
+        let addr = listener.local_addr().map_err(|e| {
+            SaError::InvalidConfig(format!("cannot resolve the bound address: {e}"))
+        })?;
+        // Digests carry values already projected to f64, so the
+        // coordinator-side merge runs under the identity projection;
+        // reservoir merging never looks at values, only counters and the
+        // RNG, which is what makes this bit-identical to merging the
+        // unprojected per-shard samplers.
+        let mut shard_set = ShardSet::new(config.workers as usize, config.seed, Arc::new(|v| *v));
+        let _ = shard_set.rearm(directive, config.expected_pane_items);
+        let assign = AssignTemplate {
+            num_workers: config.workers,
+            seed: config.seed,
+            directive: directive_to_wire(directive),
+            pane_interval_ms: interval_ms,
+            expected_pane_items: config.expected_pane_items as u64,
+            window,
+            confidence,
+        };
+        let (tx, rx) = channel();
+        thread::spawn(move || acceptor_loop(listener, assign, tx));
+        Ok(DistributedSession {
+            addr,
+            events: rx,
+            num_workers: config.workers,
+            interval_ms,
+            seed: config.seed,
+            directive,
+            shard_set,
+            finalizer: WindowFinalizer::new(window, confidence),
+            pending: BTreeMap::new(),
+            workers: BTreeMap::new(),
+            ready: Vec::new(),
+            error: None,
+            completed: 0,
+            aggregated: 0,
+            merged_watermark: None,
+            timeout: config.timeout,
+            started: Instant::now(),
+        })
+    }
+
+    /// The address workers should [`connect_worker`] to — useful with the
+    /// default `127.0.0.1:0` bind, where the OS picks the port.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn fail(&mut self, error: SaError) {
+        if self.error.is_none() {
+            self.error = Some(error);
+        }
+    }
+
+    fn absorb(&mut self, event: Event) {
+        match event {
+            Event::Joined { worker, results } => {
+                self.workers.insert(
+                    worker,
+                    WorkerPeer {
+                        status: WorkerStatus {
+                            worker,
+                            ingest: IngestCounters::default(),
+                            watermark: None,
+                            lag: 0,
+                        },
+                        done: false,
+                        results,
+                    },
+                );
+            }
+            Event::Digest(digest) => self.absorb_digest(*digest),
+            Event::Heartbeat {
+                worker,
+                ingest,
+                watermark,
+                lag,
+            } => {
+                if let Some(peer) = self.workers.get_mut(&worker) {
+                    peer.status.ingest = ingest;
+                    peer.status.watermark = watermark.max(peer.status.watermark);
+                    peer.status.lag = lag;
+                }
+            }
+            Event::Done { worker } => {
+                if let Some(peer) = self.workers.get_mut(&worker) {
+                    peer.done = true;
+                }
+            }
+            Event::Failed(error) => self.fail(error),
+        }
+    }
+
+    fn absorb_digest(&mut self, digest: Digest) {
+        let start = digest.pane.start.as_millis();
+        let end = digest.pane.end.as_millis();
+        if start.rem_euclid(self.interval_ms) != 0 || end != start + self.interval_ms {
+            return self.fail(SaError::Wire(format!(
+                "digest pane {} is not a {}ms pane",
+                digest.pane, self.interval_ms
+            )));
+        }
+        let exact = self.directive == SizingDirective::Everything;
+        if exact != matches!(digest.payload, DigestPayload::Exact(_)) {
+            return self.fail(SaError::Wire(format!(
+                "worker {} digest payload does not match the run directive",
+                digest.worker
+            )));
+        }
+        if let Some(merged) = self.merged_watermark {
+            if start < merged.as_millis() {
+                return self.fail(SaError::Wire(format!(
+                    "worker {} digest for already-merged pane {}",
+                    digest.worker, digest.pane
+                )));
+            }
+        }
+        if let Some(peer) = self.workers.get_mut(&digest.worker) {
+            peer.status.ingest = digest.counters;
+            peer.status.watermark = digest.watermark.max(peer.status.watermark);
+            peer.status.lag = digest.lag;
+        }
+        let worker = digest.worker;
+        if self
+            .pending
+            .entry(start)
+            .or_default()
+            .insert(worker, digest)
+            .is_some()
+        {
+            self.fail(SaError::Wire(format!(
+                "worker {worker} sent two digests for one pane"
+            )));
+        }
+    }
+
+    fn drain_pending_events(&mut self) {
+        while let Ok(event) = self.events.try_recv() {
+            self.absorb(event);
+        }
+    }
+
+    /// Whether every worker has accounted for the pane starting at
+    /// `start`: delivered a digest, watermarked past its end, or shut
+    /// down for good.
+    fn pane_ready(&self, start: i64) -> bool {
+        let end = start + self.interval_ms;
+        let digests = self.pending.get(&start);
+        (0..self.num_workers).all(|w| {
+            let Some(peer) = self.workers.get(&w) else {
+                return false; // not yet joined
+            };
+            peer.done
+                || digests.is_some_and(|d| d.contains_key(&w))
+                || peer.status.watermark.is_some_and(|t| t.as_millis() >= end)
+        })
+    }
+
+    fn merge_ready_panes(&mut self) {
+        while self.error.is_none() {
+            let Some((&start, _)) = self.pending.iter().next() else {
+                break;
+            };
+            if !self.pane_ready(start) {
+                break;
+            }
+            self.merge_pane(start);
+        }
+    }
+
+    fn merge_pane(&mut self, start: i64) {
+        let end = start + self.interval_ms;
+        let mut digests = self.pending.remove(&start).unwrap_or_default();
+        let exact = self.directive == SizingDirective::Everything;
+        // A worker with no digest for a ready pane skipped it over a quiet
+        // gap; its contribution is the same empty close an idle in-process
+        // shard would have produced.
+        let panes: Vec<WorkerPane<f64>> = (0..self.num_workers)
+            .map(|w| match digests.remove(&w).map(|d| d.payload) {
+                Some(DigestPayload::Sampled(sample)) => WorkerPane::Sampled(sample),
+                Some(DigestPayload::Exact(stats)) => WorkerPane::Exact(stats),
+                None if exact => WorkerPane::Exact(Vec::new()),
+                None => WorkerPane::Sampled(StratifiedSample::new()),
+            })
+            .collect();
+        let mut rng = SmallRng::seed_from_u64(pane_merge_seed(self.seed, start));
+        let payload = self.shard_set.merge_panes(panes, &mut rng);
+        self.aggregated += payload.sampled();
+        let pane = Window::new(EventTime::from_millis(start), EventTime::from_millis(end));
+        self.finalizer.ingest_interval(pane, payload);
+        self.finalizer.close_interval(EventTime::from_millis(end));
+        self.merged_watermark = Some(EventTime::from_millis(end));
+        self.publish_finalized();
+    }
+
+    fn publish_finalized(&mut self) {
+        let done = self.finalizer.drain_windows();
+        if done.is_empty() {
+            return;
+        }
+        self.completed += done.len() as u64;
+        for peer in self.workers.values_mut() {
+            if let Some(stream) = &mut peer.results {
+                let delivered = done.iter().all(|w| {
+                    write_message(stream, &Message::WindowResult(result_to_wire(w))).is_ok()
+                });
+                if !delivered {
+                    // A subscriber that went away only loses its copy; the
+                    // run's results live on the coordinator.
+                    peer.results = None;
+                }
+            }
+        }
+        self.ready.extend(done);
+    }
+
+    /// Takes the windows finalized since the last poll, in watermark
+    /// order, without blocking: only digests already received are merged.
+    ///
+    /// # Errors
+    ///
+    /// [`SaError::Disconnected`] once any worker connection has broken
+    /// without a clean shutdown (the error is sticky), [`SaError::Wire`]
+    /// on protocol violations.
+    pub fn poll_windows(&mut self) -> Result<Vec<WindowResult>, SaError> {
+        self.drain_pending_events();
+        self.merge_ready_panes();
+        if let Some(error) = &self.error {
+            return Err(error.clone());
+        }
+        Ok(std::mem::take(&mut self.ready))
+    }
+
+    /// A snapshot of the run's progress: per-worker ingest counters,
+    /// watermarks and lag (as of each worker's last digest or heartbeat)
+    /// on [`SessionStatus::workers`], plus the merged totals.
+    pub fn status(&self) -> SessionStatus {
+        let mut ingest = IngestCounters::default();
+        for peer in self.workers.values() {
+            ingest.absorb(peer.status.ingest);
+        }
+        SessionStatus {
+            items_pushed: ingest.ingested,
+            windows_completed: self.completed,
+            watermark: self.merged_watermark,
+            ingest,
+            shards: Vec::new(),
+            workers: self.workers.values().map(|p| p.status).collect(),
+        }
+    }
+
+    fn all_done(&self) -> bool {
+        self.workers.len() == self.num_workers as usize && self.workers.values().all(|p| p.done)
+    }
+
+    /// Waits for every worker to shut down cleanly, merges the remaining
+    /// panes, and returns the completed run. Results not drained through
+    /// [`poll_windows`](DistributedSession::poll_windows) are in the
+    /// output's `windows`, exactly like a local session's `finish`.
+    ///
+    /// # Errors
+    ///
+    /// [`SaError::Disconnected`] if a worker connection broke without a
+    /// shutdown, or if workers are still missing when the configured
+    /// timeout runs out; [`SaError::Wire`] on protocol violations.
+    pub fn finish(mut self) -> Result<RunOutput, SaError> {
+        let deadline = Instant::now() + self.timeout;
+        loop {
+            self.drain_pending_events();
+            self.merge_ready_panes();
+            if let Some(error) = self.error.take() {
+                return Err(error);
+            }
+            if self.all_done() {
+                break;
+            }
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                return Err(SaError::Disconnected("timed out waiting for workers"));
+            };
+            match self.events.recv_timeout(remaining) {
+                Ok(event) => self.absorb(event),
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(SaError::Disconnected("timed out waiting for workers"));
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(SaError::Disconnected("coordinator service threads died"));
+                }
+            }
+        }
+        self.merge_ready_panes();
+        if let Some(error) = self.error.take() {
+            return Err(error);
+        }
+        self.finalizer.finish();
+        self.publish_finalized();
+        let status = self.status();
+        Ok(RunOutput {
+            windows: std::mem::take(&mut self.ready),
+            items_ingested: status.ingest.ingested,
+            items_aggregated: self.aggregated,
+            elapsed: self.started.elapsed(),
+        })
+    }
+}
+
+impl std::fmt::Debug for DistributedSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DistributedSession")
+            .field("addr", &self.addr)
+            .field("num_workers", &self.num_workers)
+            .field("joined", &self.workers.len())
+            .field("windows_completed", &self.completed)
+            .field("watermark", &self.merged_watermark)
+            .finish()
+    }
+}
+
+fn project_sample<R>(
+    sample: StratifiedSample<R>,
+    proj: &(dyn Fn(&R) -> f64 + Send + Sync),
+) -> StratifiedSample<f64> {
+    sample
+        .into_strata()
+        .into_iter()
+        .map(|s| StratumSample {
+            stratum: s.stratum,
+            items: s.items.iter().map(proj).collect(),
+            population: s.population,
+            capacity: s.capacity,
+        })
+        .collect()
+}
+
+/// The worker side of the distributed tier: a local [`Engine`] that
+/// samples its shard of the stream and ships one digest per closed pane
+/// to the coordinator, built by [`connect_worker`].
+///
+/// The engine holds worker `w`'s full-capacity shard sampler — the exact
+/// sampler [`ShardSet::rearm`] hands shard `w` in the in-process sharded
+/// engine — so the coordinator's canonical merge of all workers' digests
+/// is bit-identical to the single-process merge of the same shards.
+///
+/// `poll_windows` is always empty on a worker: estimation happens on the
+/// coordinator. A worker that joined with `wants_results` receives the
+/// finalized windows back in [`Engine::finish`]'s `RunOutput` once the
+/// coordinator completes the run.
+pub struct DigestEngine<R> {
+    stream: TcpStream,
+    worker: u32,
+    wants_results: bool,
+    cursor: PaneCursor,
+    sampler: IntervalWorker<R>,
+    proj: Arc<dyn Fn(&R) -> f64 + Send + Sync>,
+    watermark: Option<EventTime>,
+    lag: Arc<AtomicU64>,
+    started: Instant,
+    alive: bool,
+}
+
+/// Joins a coordinator as worker `worker`: connects, performs the
+/// join/assign handshake, and builds the worker's [`DigestEngine`] from
+/// the assigned run configuration (seed, directive, pane interval,
+/// window — workers need no local configuration beyond the address, their
+/// id, and the projection from their record type).
+///
+/// Wrap the engine in [`crate::ApproxSession::from_engine`] for the
+/// push/poll session API; with `wants_results` the finalized windows come
+/// back in the session's `finish` output.
+///
+/// # Errors
+///
+/// [`SaError::InvalidConfig`] when the coordinator is unreachable,
+/// [`SaError::Wire`] / [`SaError::Disconnected`] when the handshake is
+/// malformed or cut short.
+pub fn connect_worker<R>(
+    addr: impl ToSocketAddrs,
+    worker: u32,
+    wants_results: bool,
+    proj: impl Fn(&R) -> f64 + Send + Sync + 'static,
+) -> Result<DigestEngine<R>, SaError> {
+    let mut stream = TcpStream::connect(addr)
+        .map_err(|e| SaError::InvalidConfig(format!("cannot reach the coordinator: {e}")))?;
+    write_message(
+        &mut stream,
+        &Message::HelloJoin {
+            worker,
+            wants_results,
+        },
+    )?;
+    let Some(reply) = read_message(&mut stream)? else {
+        return Err(SaError::Disconnected("coordinator hung up mid-handshake"));
+    };
+    let Message::HelloAssign {
+        worker: assigned,
+        num_workers,
+        seed,
+        directive,
+        pane_interval_ms,
+        expected_pane_items,
+        window,
+        confidence: _,
+    } = reply
+    else {
+        return Err(SaError::Wire(
+            "coordinator did not answer the join with an assignment".to_string(),
+        ));
+    };
+    if assigned != worker {
+        return Err(SaError::Wire(format!(
+            "coordinator assigned id {assigned} to worker {worker}"
+        )));
+    }
+    let proj: Arc<dyn Fn(&R) -> f64 + Send + Sync> = Arc::new(proj);
+    // Exactly the sampler ShardSet::rearm builds for shard `worker`, so
+    // the coordinator's merge sees the same per-shard state a
+    // single-process sharded run would.
+    let sizing = sampler_sizing(
+        directive_from_wire(directive),
+        expected_pane_items as usize,
+        num_workers as usize,
+    );
+    let sampler = IntervalWorker::for_shard(sizing, seed, worker as usize, Arc::clone(&proj));
+    Ok(DigestEngine {
+        stream,
+        worker,
+        wants_results,
+        cursor: PaneCursor::new(pane_interval_ms, window),
+        sampler,
+        proj,
+        watermark: None,
+        lag: Arc::new(AtomicU64::new(0)),
+        started: Instant::now(),
+        alive: true,
+    })
+}
+
+impl<R> DigestEngine<R> {
+    /// A handle for reporting this worker's source lag (outstanding items
+    /// in its replay log); the engine stamps the latest value onto every
+    /// digest and heartbeat. The handle stays valid after the engine is
+    /// boxed into an [`crate::ApproxSession`].
+    pub fn lag_handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.lag)
+    }
+
+    /// Sends a liveness heartbeat: running ingest counters, watermark and
+    /// lag, without closing a pane. Useful while a source is quiet.
+    ///
+    /// # Errors
+    ///
+    /// [`SaError::Wire`] when the coordinator connection is gone.
+    pub fn heartbeat(&mut self) -> Result<(), SaError> {
+        let (ingested, _) = self.sampler.counters();
+        write_message(
+            &mut self.stream,
+            &Message::Heartbeat {
+                worker: self.worker,
+                ingest: IngestCounters {
+                    ingested,
+                    dropped_late: 0,
+                },
+                watermark: self.watermark,
+                lag: self.lag.load(Ordering::Relaxed),
+            },
+        )
+    }
+
+    fn close_pane(&mut self) -> Result<(), SaError> {
+        let (start, end) = self.cursor.pane().expect("close follows an open pane");
+        let payload = match self.sampler.close_interval_parts() {
+            WorkerPane::Sampled(sample) => {
+                DigestPayload::Sampled(project_sample(sample, self.proj.as_ref()))
+            }
+            WorkerPane::Exact(stats) => DigestPayload::Exact(stats),
+        };
+        let (ingested, _) = self.sampler.counters();
+        let digest = Digest {
+            worker: self.worker,
+            pane: Window::new(EventTime::from_millis(start), EventTime::from_millis(end)),
+            counters: IngestCounters {
+                ingested,
+                dropped_late: 0,
+            },
+            watermark: self.watermark,
+            lag: self.lag.load(Ordering::Relaxed),
+            payload,
+        };
+        let sent = write_message(&mut self.stream, &Message::PaneDigest(digest));
+        if sent.is_err() {
+            self.alive = false;
+        }
+        sent
+    }
+}
+
+impl<R> Engine<R> for DigestEngine<R> {
+    fn push(&mut self, item: StreamItem<R>) -> Result<(), SaError> {
+        if !self.alive {
+            return Err(SaError::Disconnected("digest worker lost its coordinator"));
+        }
+        let t = item.time.as_millis();
+        while self.cursor.needs_close(t) {
+            self.close_pane()?;
+            self.cursor.next(t);
+        }
+        self.watermark = Some(item.time);
+        self.sampler.observe(item.stratum, item.value);
+        Ok(())
+    }
+
+    fn poll_windows(&mut self) -> Vec<WindowResult> {
+        Vec::new()
+    }
+
+    fn finish(self: Box<Self>) -> RunOutput {
+        let mut this = *self;
+        let mut windows = Vec::new();
+        if this.alive {
+            let flushed = this.cursor.pane().is_none() || this.close_pane().is_ok();
+            let goodbye = flushed
+                && write_message(
+                    &mut this.stream,
+                    &Message::Shutdown {
+                        worker: this.worker,
+                    },
+                )
+                .is_ok();
+            if goodbye && this.wants_results {
+                // The coordinator streams results as windows finalize and
+                // closes the connection once the run is over; bound the
+                // drain so a stuck coordinator cannot hang the worker.
+                let _ = this.stream.set_read_timeout(Some(Duration::from_secs(30)));
+                while let Ok(Some(msg)) = read_message(&mut this.stream) {
+                    if let Message::WindowResult(result) = msg {
+                        windows.push(result_from_wire(result));
+                    }
+                }
+            }
+        }
+        let (ingested, sampled) = this.sampler.counters();
+        RunOutput {
+            windows,
+            items_ingested: ingested,
+            items_aggregated: sampled,
+            elapsed: this.started.elapsed(),
+        }
+    }
+}
+
+impl<R> std::fmt::Debug for DigestEngine<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DigestEngine")
+            .field("worker", &self.worker)
+            .field("wants_results", &self.wants_results)
+            .field("watermark", &self.watermark)
+            .field("alive", &self.alive)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::FixedPerStratum;
+    use crate::query::Query;
+    use crate::session::StreamApprox;
+    use sa_types::StratumId;
+
+    fn query() -> Query<f64> {
+        Query::new(|v: &f64| *v).with_window(WindowSpec::tumbling_millis(1_000))
+    }
+
+    #[test]
+    fn zero_workers_rejected() {
+        let mut policy = FixedPerStratum(8);
+        let err = StreamApprox::new(query(), &mut policy)
+            .distributed(DistributedConfig::new(0))
+            .unwrap_err();
+        assert!(matches!(err, SaError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn unreachable_coordinator_is_a_typed_error() {
+        // Port 1 on loopback is essentially never listening.
+        let err = connect_worker("127.0.0.1:1", 0, false, |v: &f64| *v).unwrap_err();
+        assert!(matches!(err, SaError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn directive_conversion_roundtrips() {
+        for d in [
+            SizingDirective::Fraction(0.25),
+            SizingDirective::PerStratum(7),
+            SizingDirective::SharedTotal(64),
+            SizingDirective::Everything,
+        ] {
+            assert_eq!(directive_from_wire(directive_to_wire(d)), d);
+        }
+    }
+
+    #[test]
+    fn loopback_single_worker_round_trip() {
+        let mut policy = FixedPerStratum(16);
+        let coordinator = StreamApprox::new(query(), &mut policy)
+            .distributed(
+                DistributedConfig::new(1)
+                    .with_seed(RunSeed::new(11))
+                    .with_timeout(Duration::from_secs(10)),
+            )
+            .expect("bind loopback");
+        let addr = coordinator.addr();
+        let handle = thread::spawn(move || {
+            let engine = connect_worker(addr, 0, false, |v: &f64| *v).expect("join");
+            let mut session = crate::session::ApproxSession::from_engine(Box::new(engine));
+            for i in 0..3_000i64 {
+                let item = StreamItem::new(
+                    StratumId((i % 2) as u32),
+                    EventTime::from_millis(i),
+                    f64::from(i as u32 % 10),
+                );
+                session.push(item).expect("in order");
+            }
+            session.finish()
+        });
+        let worker_out = handle.join().expect("worker thread");
+        let out = coordinator.finish().expect("clean run");
+        assert_eq!(out.items_ingested, 3_000);
+        assert_eq!(worker_out.items_ingested, 3_000);
+        assert_eq!(out.windows.len(), 3);
+        for w in &out.windows {
+            let (lo, hi) = w.mean.interval();
+            assert!(lo <= w.mean.value && w.mean.value <= hi);
+        }
+    }
+
+    #[test]
+    fn status_reports_per_worker_progress() {
+        let mut policy = FixedPerStratum(8);
+        let mut coordinator = StreamApprox::new(query(), &mut policy)
+            .distributed(DistributedConfig::new(1).with_timeout(Duration::from_secs(10)))
+            .expect("bind loopback");
+        let addr = coordinator.addr();
+        let handle = thread::spawn(move || {
+            let engine = connect_worker(addr, 0, false, |v: &f64| *v).expect("join");
+            let lag = engine.lag_handle();
+            lag.store(42, Ordering::Relaxed);
+            let mut session = crate::session::ApproxSession::from_engine(Box::new(engine));
+            for i in 0..2_500i64 {
+                session
+                    .push(StreamItem::new(
+                        StratumId(0),
+                        EventTime::from_millis(i),
+                        1.0,
+                    ))
+                    .expect("in order");
+            }
+            session.finish()
+        });
+        let _ = handle.join().expect("worker thread");
+        // Drain events so the status below sees the worker's digests.
+        let _ = coordinator.poll_windows().expect("no failure");
+        let status = coordinator.status();
+        assert_eq!(status.workers.len(), 1);
+        assert_eq!(status.workers[0].worker, 0);
+        assert_eq!(status.workers[0].lag, 42);
+        assert!(status.workers[0].ingest.ingested > 0);
+        let out = coordinator.finish().expect("clean run");
+        assert_eq!(out.items_ingested, 2_500);
+    }
+}

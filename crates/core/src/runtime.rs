@@ -68,6 +68,16 @@ pub fn sampler_sizing(
     }
 }
 
+/// The seed of the RNG that drives one pane's cross-shard merge, derived
+/// from the run seed and the pane's *start time* (not a sequential pane
+/// counter): workers that jump different quiet gaps disagree on pane
+/// ordinals but always agree on pane start times, so seeding by start time
+/// is what lets a distributed coordinator reproduce — bit for bit — the
+/// merge a single process performing the same pane would draw.
+pub fn pane_merge_seed(seed: RunSeed, pane_start_ms: i64) -> u64 {
+    seed.derive(0xD157).derive(pane_start_ms as u64).value()
+}
+
 /// Exact per-stratum accumulation for native execution: every record is
 /// projected and folded into its stratum's [`Welford`] accumulator.
 pub struct ExactAccumulator<R> {

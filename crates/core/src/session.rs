@@ -13,8 +13,9 @@
 
 use crate::aggregated::{AggregatedConfig, AggregatedEngine};
 use crate::batched::{BatchedConfig, BatchedEngine, BatchedSystem};
-use crate::cost::{confidence_for_budget, policy_for_budget, PolicyHandle};
+use crate::cost::{confidence_for_budget, policy_for_budget, CostPolicy, PolicyHandle};
 use crate::engine::Engine;
+use crate::net::{DistributedConfig, DistributedSession};
 use crate::output::{RunOutput, WindowResult};
 use crate::pipelined::{PipelinedConfig, PipelinedEngine, PipelinedSystem};
 use crate::query::Query;
@@ -171,6 +172,31 @@ impl<'p, R: 'p> StreamApprox<'p, R> {
     pub fn aggregated(mut self, config: AggregatedConfig) -> Self {
         self.factory = aggregated_factory(config);
         self
+    }
+
+    /// Starts the *distributed* coordinator for this query instead of a
+    /// local session: binds a TCP listener, waits for `config.workers`
+    /// worker processes to join (via [`crate::connect_worker`]), and
+    /// merges their per-pane sampler digests through the same
+    /// mergeable-sampler path the sharded engine uses in-process.
+    ///
+    /// The cost policy is consulted once at startup: the directive is
+    /// part of every worker's assignment, so it is fixed for the run
+    /// (per-interval adaptation still happens *inside* OASRS under a
+    /// fraction directive, worker-locally).
+    ///
+    /// # Errors
+    ///
+    /// [`SaError::InvalidConfig`] when the configuration is unusable
+    /// (zero workers, unbindable address, invalid directive).
+    pub fn distributed(mut self, config: DistributedConfig) -> Result<DistributedSession, SaError> {
+        let directive = self.policy.interval_sizing();
+        DistributedSession::start(
+            self.query.window(),
+            self.query.confidence(),
+            directive,
+            config,
+        )
     }
 
     /// Starts the session: builds the chosen engine (threaded engines
@@ -360,6 +386,7 @@ impl<'p, R> ApproxSession<'p, R> {
             watermark: self.watermark,
             ingest: self.ingest,
             shards: self.engine.shard_ingest(),
+            workers: self.engine.worker_status(),
         }
     }
 
@@ -426,6 +453,7 @@ mod tests {
                 watermark: None,
                 ingest: IngestCounters::default(),
                 shards: Vec::new(),
+                workers: Vec::new(),
             }
         );
         for ms in [0, 400, 1_200, 2_600] {

@@ -190,6 +190,18 @@ impl<T> Consumer<T> {
             .iter()
             .all(|&(p, o)| o >= self.topic.high_watermark(p))
     }
+
+    /// Messages published to the owned partitions but not yet polled —
+    /// the consumer's lag behind its source. Distributed workers report
+    /// this on every digest and heartbeat (`DigestEngine::lag_handle` in
+    /// the `streamapprox` crate), so a coordinator can see which worker
+    /// is falling behind.
+    pub fn lag(&self) -> u64 {
+        self.assignments
+            .iter()
+            .map(|&(p, o)| self.topic.high_watermark(p).saturating_sub(o))
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -291,5 +303,28 @@ mod tests {
     fn bad_group_member_rejected() {
         let topic = Topic::<u64>::new("t", 1);
         let _ = Consumer::group(topic, 3, 2);
+    }
+
+    #[test]
+    fn lag_counts_unpolled_messages_and_drains_to_zero() {
+        let topic = Topic::new("t", 2);
+        let mut producer = Producer::new(topic.clone(), Partitioner::RoundRobin);
+        for v in 0..10 {
+            producer.send(vec![item(0, v)]);
+        }
+        let mut a = Consumer::group(topic.clone(), 0, 2);
+        let b = Consumer::group(topic.clone(), 1, 2);
+        // Each member owns one partition with 5 messages outstanding.
+        assert_eq!(a.lag(), 5);
+        assert_eq!(b.lag(), 5);
+        assert_eq!(a.poll(3).len(), 3);
+        assert_eq!(a.lag(), 2);
+        let _ = a.poll(100);
+        assert_eq!(a.lag(), 0);
+        assert!(a.is_caught_up());
+        // New publishes raise the lag again.
+        producer.send(vec![item(0, 99)]);
+        producer.send(vec![item(0, 100)]);
+        assert_eq!(a.lag() + b.lag(), 7);
     }
 }

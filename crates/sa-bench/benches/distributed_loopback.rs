@@ -1,0 +1,202 @@
+//! Distributed loopback: coordinator + K TCP workers vs the in-process
+//! sharded engine at the same K.
+//!
+//! Every digest crosses a real loopback socket in the `sa-net` frame
+//! format, so the delta between the two series is the price of the wire:
+//! encoding, framing, kernel round-trips and coordinator-side decode.
+//! The mergeable-sampler design keeps that price off the hot path — only
+//! compact per-pane sampler state travels, never items — so distributed
+//! throughput should track the sharded engine, and accuracy must not
+//! move at all.
+//!
+//! Besides the usual table + CSV, emits
+//! `results/distributed_loopback.json` with both series for charting.
+
+use sa_batched::Cluster;
+use sa_bench::{emit_json, fmt_kps, fmt_loss, mean_accuracy, Metric, Table};
+use sa_types::{StreamItem, WindowSpec};
+use sa_workloads::Mix;
+use std::thread;
+use std::time::Duration;
+use streamapprox::{
+    connect_worker, run_batched, ApproxSession, BatchedConfig, BatchedSystem, DistributedConfig,
+    FixedFraction, Query, RunOutput, ShardedConfig, StreamApprox,
+};
+
+const REPS: usize = 3;
+const FRACTION: f64 = 0.2;
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn first_pane(items: &[StreamItem<f64>], query: &Query<f64>) -> usize {
+    items
+        .iter()
+        .take_while(|i| i.time.as_millis() < query.window().slide_millis())
+        .count()
+}
+
+fn run_sharded(shards: usize, items: &[StreamItem<f64>], query: &Query<f64>) -> RunOutput {
+    let mut policy = FixedFraction(FRACTION);
+    let mut session = StreamApprox::new(query.clone(), &mut policy)
+        .sharded(
+            ShardedConfig::new(shards)
+                .with_seed(0xD157_u64)
+                .with_expected_pane_items(first_pane(items, query)),
+        )
+        .start();
+    session
+        .push_batch(items.iter().copied())
+        .expect("recorded stream is in order");
+    session.finish()
+}
+
+fn run_distributed(workers: usize, items: &[StreamItem<f64>], query: &Query<f64>) -> RunOutput {
+    // Round-robin partitioning preserves event-time order per worker.
+    let mut shards: Vec<Vec<StreamItem<f64>>> = vec![Vec::new(); workers];
+    for (i, item) in items.iter().enumerate() {
+        shards[i % workers].push(*item);
+    }
+    let mut policy = FixedFraction(FRACTION);
+    let coordinator = StreamApprox::new(query.clone(), &mut policy)
+        .distributed(
+            DistributedConfig::new(workers as u32)
+                .with_seed(0xD157_u64.into())
+                .with_expected_pane_items(first_pane(items, query))
+                .with_timeout(Duration::from_secs(60)),
+        )
+        .expect("bind a loopback coordinator");
+    let addr = coordinator.addr();
+    let handles: Vec<_> = shards
+        .into_iter()
+        .enumerate()
+        .map(|(w, sub)| {
+            thread::spawn(move || {
+                let engine =
+                    connect_worker(addr, w as u32, false, |v: &f64| *v).expect("worker joins");
+                let mut session = ApproxSession::from_engine(Box::new(engine));
+                session.push_batch(sub).expect("sub-stream is in order");
+                session.finish()
+            })
+        })
+        .collect();
+    let out = coordinator.finish().expect("clean loopback run");
+    for handle in handles {
+        handle.join().expect("worker thread");
+    }
+    out
+}
+
+/// Fraction of populated windows whose mean interval contains the exact
+/// mean.
+fn containment(exact: &RunOutput, approx: &RunOutput) -> f64 {
+    let mut contained = 0usize;
+    let mut total = 0usize;
+    for (e, a) in exact.windows.iter().zip(&approx.windows) {
+        if e.sum.population_size == 0 {
+            continue;
+        }
+        total += 1;
+        let (lo, hi) = a.mean.interval();
+        contained += usize::from(lo <= e.mean.value && e.mean.value <= hi);
+    }
+    if total == 0 {
+        1.0
+    } else {
+        contained as f64 / total as f64
+    }
+}
+
+fn median_run(mut runs: Vec<RunOutput>) -> RunOutput {
+    runs.sort_by(|a, b| {
+        a.throughput()
+            .partial_cmp(&b.throughput())
+            .expect("finite throughputs")
+    });
+    let mid = runs.len() / 2;
+    runs.swap_remove(mid)
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // `SA_BENCH_SMOKE=1`: CI-smoke size, and no JSON so scheduled runs
+    // cannot clobber recorded results.
+    let smoke = std::env::var_os("SA_BENCH_SMOKE").is_some();
+    let event_ms = if smoke { 400 } else { 10_000 };
+    let items = Mix::gaussian([48_000.0, 12_000.0, 1_200.0]).generate(event_ms, 41);
+    let query = Query::new(|v: &f64| *v).with_window(WindowSpec::sliding_secs(2, 1));
+    println!(
+        "distributed_loopback: {} items, fraction {FRACTION}, {cores} host core(s)",
+        items.len()
+    );
+    let exact = run_batched(
+        &BatchedConfig::new(Cluster::new(2)),
+        BatchedSystem::Native,
+        &query,
+        &mut FixedFraction(1.0),
+        items.clone(),
+    );
+
+    let mut table = Table::new(
+        "Distributed loopback: TCP digest shipping vs in-process sharding",
+        &[
+            "K",
+            "sharded K it/s",
+            "distrib K it/s",
+            "loss %",
+            "CI containment",
+        ],
+    );
+    let mut series = Vec::new();
+    for workers in WORKER_COUNTS {
+        let sharded = median_run(
+            (0..REPS)
+                .map(|_| run_sharded(workers, &items, &query))
+                .collect(),
+        );
+        let distributed = median_run(
+            (0..REPS)
+                .map(|_| run_distributed(workers, &items, &query))
+                .collect(),
+        );
+        assert_eq!(
+            distributed.items_ingested,
+            items.len() as u64,
+            "every item reaches a worker"
+        );
+        assert_eq!(
+            distributed.windows.len(),
+            exact.windows.len(),
+            "the coordinator finalizes every window"
+        );
+        let loss = mean_accuracy(&exact, &distributed, Metric::Mean);
+        let contain = containment(&exact, &distributed);
+        table.row(vec![
+            workers.to_string(),
+            fmt_kps(sharded.throughput()),
+            fmt_kps(distributed.throughput()),
+            fmt_loss(loss),
+            format!("{contain:.2}"),
+        ]);
+        series.push(format!(
+            "    {{\"workers\": {workers}, \"sharded_items_per_s\": {:.0}, \
+             \"distributed_items_per_s\": {:.0}, \"mean_accuracy_loss\": {loss:.6}, \
+             \"ci_containment\": {contain:.4}}}",
+            sharded.throughput(),
+            distributed.throughput()
+        ));
+    }
+    table.emit("distributed_loopback");
+    if smoke {
+        println!("distributed_loopback: smoke mode, skipping results/distributed_loopback.json");
+        return;
+    }
+    emit_json(
+        "distributed_loopback",
+        &format!(
+            "{{\n  \"bench\": \"distributed_loopback\",\n  \"host\": {{\"cores\": {cores}}},\n  \
+             \"items\": {},\n  \"fraction\": {FRACTION},\n  \"reps\": {REPS},\n  \
+             \"series\": [\n{}\n  ]\n}}\n",
+            items.len(),
+            series.join(",\n")
+        ),
+    );
+}

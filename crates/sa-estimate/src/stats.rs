@@ -2,7 +2,10 @@
 //! variance estimators of §3.3.
 
 use crate::welford::Welford;
-use sa_types::{StratifiedSample, StratumId, StratumSample};
+use sa_types::wire::put_varint;
+use sa_types::{
+    SaError, StratifiedSample, StratumId, StratumSample, WireDecode, WireEncode, WireReader,
+};
 use serde::{Deserialize, Serialize};
 
 /// The sufficient statistics of one stratum's sample: the arrival counter
@@ -128,6 +131,34 @@ impl StratumStats {
     }
 }
 
+impl WireEncode for StratumStats {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.stratum.encode(out);
+        put_varint(out, self.population);
+        self.acc.encode(out);
+    }
+}
+
+impl WireDecode for StratumStats {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, SaError> {
+        let stratum = StratumId::decode(r)?;
+        let population = r.read_varint()?;
+        let acc = Welford::decode(r)?;
+        // More sampled values than arrivals means a forged weight below 1.
+        if acc.count() > population {
+            return Err(SaError::Wire(format!(
+                "stratum sample size {} exceeds population {population}",
+                acc.count()
+            )));
+        }
+        Ok(StratumStats {
+            stratum,
+            population,
+            acc,
+        })
+    }
+}
+
 /// Projects a whole [`StratifiedSample`] to per-stratum statistics, in
 /// stratum order.
 pub fn stats_of<V, F: FnMut(&V) -> f64>(
@@ -199,6 +230,26 @@ mod tests {
         assert_eq!(a.population, 30);
         assert_eq!(a.sample_size(), 5);
         assert!((a.acc.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_roundtrip_and_merge_through_wire() {
+        let a = stats(10, &[1.0, 2.0]);
+        let b = stats(20, &[3.0, 4.0, 5.0]);
+        let mut orig = a;
+        orig.merge(&b);
+        let mut wire = StratumStats::from_wire_bytes(&a.to_wire_bytes()).unwrap();
+        wire.merge(&StratumStats::from_wire_bytes(&b.to_wire_bytes()).unwrap());
+        assert_eq!(wire, orig);
+    }
+
+    #[test]
+    fn forged_sample_size_rejected() {
+        let s = stats(1, &[1.0, 2.0, 3.0]); // 3 sampled of a population of 1
+        assert!(matches!(
+            StratumStats::from_wire_bytes(&s.to_wire_bytes()),
+            Err(sa_types::SaError::Wire(_))
+        ));
     }
 
     #[test]

@@ -4,6 +4,8 @@
 //! unbiased sample variance `s_i²` (Equation 7). Welford's recurrence
 //! computes both in one numerically stable pass without storing the items.
 
+use sa_types::wire::put_varint;
+use sa_types::{SaError, WireDecode, WireEncode, WireReader};
 use serde::{Deserialize, Serialize};
 
 /// A streaming accumulator for count, mean and unbiased sample variance.
@@ -107,6 +109,34 @@ impl Welford {
     }
 }
 
+impl WireEncode for Welford {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_varint(out, self.count);
+        self.mean.encode(out);
+        self.m2.encode(out);
+    }
+}
+
+impl WireDecode for Welford {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, SaError> {
+        let count = r.read_varint()?;
+        let mean = r.read_f64()?;
+        let m2 = r.read_f64()?;
+        // An empty accumulator must be all-zero or `push`/`merge` would
+        // start from a phantom mean; m2 is a sum of squares and can never
+        // go negative (NaN passes — pushing NaN values is legitimate).
+        if count == 0 && (mean != 0.0 || m2 != 0.0) {
+            return Err(SaError::Wire(
+                "welford accumulator empty but non-zero".to_string(),
+            ));
+        }
+        if m2 < 0.0 {
+            return Err(SaError::Wire(format!("negative welford m2 {m2}")));
+        }
+        Ok(Welford { count, mean, m2 })
+    }
+}
+
 impl FromIterator<f64> for Welford {
     fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
         let mut acc = Welford::new();
@@ -195,6 +225,42 @@ mod tests {
         let mut e = Welford::new();
         e.merge(&before);
         assert_eq!(e, before);
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_bits() {
+        let acc: Welford = (0..100).map(|i| (i as f64).sin() * 1e6).collect();
+        let back = Welford::from_wire_bytes(&acc.to_wire_bytes()).unwrap();
+        assert_eq!(back, acc);
+        // Merging the decoded copy equals merging the original, bit for bit.
+        let other: Welford = [7.0, 8.0, 9.0].into_iter().collect();
+        let mut m1 = acc;
+        m1.merge(&other);
+        let mut m2 = back;
+        m2.merge(&Welford::from_wire_bytes(&other.to_wire_bytes()).unwrap());
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn hostile_welford_payloads_rejected() {
+        // Empty-but-nonzero accumulator.
+        let mut bytes = Vec::new();
+        put_varint(&mut bytes, 0);
+        5.0f64.encode(&mut bytes);
+        0.0f64.encode(&mut bytes);
+        assert!(Welford::from_wire_bytes(&bytes).is_err());
+        // Negative sum of squares.
+        let mut bytes = Vec::new();
+        put_varint(&mut bytes, 3);
+        1.0f64.encode(&mut bytes);
+        (-1.0f64).encode(&mut bytes);
+        assert!(Welford::from_wire_bytes(&bytes).is_err());
+        // Truncations error instead of panicking.
+        let good: Welford = [1.0, 2.0].into_iter().collect();
+        let full = good.to_wire_bytes();
+        for cut in 0..full.len() {
+            assert!(Welford::from_wire_bytes(&full[..cut]).is_err());
+        }
     }
 
     #[test]

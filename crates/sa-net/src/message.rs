@@ -1,0 +1,526 @@
+//! Protocol messages and their wire encodings.
+
+use sa_estimate::StratumStats;
+use sa_types::wire::put_varint;
+use sa_types::{
+    ApproxResult, Confidence, EventTime, IngestCounters, RunSeed, SaError, StratifiedSample,
+    StratumId, Window, WindowSpec, WireDecode, WireEncode, WireReader,
+};
+
+/// The sampling directive a coordinator assigns to its workers — a
+/// network-serializable mirror of the `streamapprox` crate's sizing
+/// directive (which this crate cannot depend on without a cycle).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Directive {
+    /// Keep a fraction of the previous interval's volume, adapted each pane.
+    Fraction(f64),
+    /// A fixed reservoir per stratum.
+    PerStratum(usize),
+    /// A total budget shared across strata.
+    SharedTotal(usize),
+    /// No sampling: exact per-stratum statistics.
+    Everything,
+}
+
+impl WireEncode for Directive {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match *self {
+            Directive::Fraction(f) => {
+                out.push(0);
+                f.encode(out);
+            }
+            Directive::PerStratum(n) => {
+                out.push(1);
+                n.encode(out);
+            }
+            Directive::SharedTotal(n) => {
+                out.push(2);
+                n.encode(out);
+            }
+            Directive::Everything => out.push(3),
+        }
+    }
+}
+
+impl WireDecode for Directive {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, SaError> {
+        let directive = match r.read_u8()? {
+            0 => Directive::Fraction(r.read_f64()?),
+            1 => Directive::PerStratum(usize::decode(r)?),
+            2 => Directive::SharedTotal(usize::decode(r)?),
+            3 => Directive::Everything,
+            t => return Err(SaError::Wire(format!("unknown directive tag {t}"))),
+        };
+        let valid = match directive {
+            Directive::Fraction(f) => f > 0.0 && f <= 1.0,
+            Directive::PerStratum(n) | Directive::SharedTotal(n) => n > 0,
+            Directive::Everything => true,
+        };
+        if !valid {
+            return Err(SaError::Wire(format!("invalid directive {directive:?}")));
+        }
+        Ok(directive)
+    }
+}
+
+/// The mergeable state one worker ships for one closed pane.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DigestPayload {
+    /// A weighted stratified sample, already projected to the aggregated
+    /// `f64` value (merging is projection-agnostic, so shipping projected
+    /// values is bit-identical to shipping items and projecting centrally).
+    Sampled(StratifiedSample<f64>),
+    /// Exact per-stratum sufficient statistics (the no-sampling path).
+    Exact(Vec<StratumStats>),
+}
+
+impl WireEncode for DigestPayload {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            DigestPayload::Sampled(sample) => {
+                out.push(0);
+                sample.encode(out);
+            }
+            DigestPayload::Exact(stats) => {
+                out.push(1);
+                stats.encode(out);
+            }
+        }
+    }
+}
+
+impl WireDecode for DigestPayload {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, SaError> {
+        match r.read_u8()? {
+            0 => Ok(DigestPayload::Sampled(StratifiedSample::decode(r)?)),
+            1 => {
+                let stats = Vec::<StratumStats>::decode(r)?;
+                for pair in stats.windows(2) {
+                    if pair[1].stratum <= pair[0].stratum {
+                        return Err(SaError::Wire(format!(
+                            "exact digest strata out of order at {}",
+                            pair[1].stratum
+                        )));
+                    }
+                }
+                Ok(DigestPayload::Exact(stats))
+            }
+            t => Err(SaError::Wire(format!("unknown digest payload tag {t}"))),
+        }
+    }
+}
+
+/// One worker's digest of one closed pane: who sampled, which pane of
+/// event time it covers, the worker's running ingest accounting, and the
+/// mergeable sampler state itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Digest {
+    /// The sending worker's id (the coordinator merges in worker-id order).
+    pub worker: u32,
+    /// The pane of event time the digest covers.
+    pub pane: Window,
+    /// The worker's *running* ingest totals as of this pane.
+    pub counters: IngestCounters,
+    /// The worker's event-time watermark after closing the pane.
+    pub watermark: Option<EventTime>,
+    /// Outstanding items between the worker and its source.
+    pub lag: u64,
+    /// The pane's mergeable sampler state.
+    pub payload: DigestPayload,
+}
+
+impl WireEncode for Digest {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.worker.encode(out);
+        self.pane.encode(out);
+        self.counters.encode(out);
+        self.watermark.encode(out);
+        put_varint(out, self.lag);
+        self.payload.encode(out);
+    }
+}
+
+impl WireDecode for Digest {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, SaError> {
+        Ok(Digest {
+            worker: u32::decode(r)?,
+            pane: Window::decode(r)?,
+            counters: IngestCounters::decode(r)?,
+            watermark: Option::<EventTime>::decode(r)?,
+            lag: r.read_varint()?,
+            payload: DigestPayload::decode(r)?,
+        })
+    }
+}
+
+/// A finalized window estimate, streamed back to workers that asked for
+/// results — a network-serializable mirror of the `streamapprox` crate's
+/// `WindowResult` built only from `sa-types` vocabulary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowResultMsg {
+    /// The window of event time the result covers.
+    pub window: Window,
+    /// The estimated sum with its error bound.
+    pub sum: ApproxResult,
+    /// The estimated mean with its error bound.
+    pub mean: ApproxResult,
+    /// Per-stratum sum estimates, in stratum order.
+    pub sum_by_stratum: Vec<(StratumId, ApproxResult)>,
+    /// Per-stratum mean estimates, in stratum order.
+    pub mean_by_stratum: Vec<(StratumId, ApproxResult)>,
+}
+
+impl WireEncode for WindowResultMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.window.encode(out);
+        self.sum.encode(out);
+        self.mean.encode(out);
+        self.sum_by_stratum.encode(out);
+        self.mean_by_stratum.encode(out);
+    }
+}
+
+impl WireDecode for WindowResultMsg {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, SaError> {
+        Ok(WindowResultMsg {
+            window: Window::decode(r)?,
+            sum: ApproxResult::decode(r)?,
+            mean: ApproxResult::decode(r)?,
+            sum_by_stratum: Vec::decode(r)?,
+            mean_by_stratum: Vec::decode(r)?,
+        })
+    }
+}
+
+/// A protocol message, as it crosses a [`frame`](crate::frame)d transport.
+///
+/// The handshake is coordinator-driven: a worker connects and sends
+/// [`Message::HelloJoin`]; the coordinator replies with
+/// [`Message::HelloAssign`], which carries *every* run parameter — seed,
+/// sampling directive, pane interval, window specification and confidence
+/// level — so worker binaries need no configuration beyond an address and
+/// a worker id. After that, the worker ships one [`Message::PaneDigest`]
+/// per closed pane, interleaves [`Message::Heartbeat`]s while idle, and
+/// says [`Message::Shutdown`] before closing its end. A socket that closes
+/// without `Shutdown` is a worker failure and surfaces as a typed error on
+/// the coordinator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// A worker announces itself and whether it wants results streamed back.
+    HelloJoin {
+        /// The joining worker's id in `0..num_workers`.
+        worker: u32,
+        /// When set, the coordinator streams [`Message::WindowResult`]s
+        /// back on this connection as windows finalize.
+        wants_results: bool,
+    },
+    /// The coordinator's reply: the full run configuration.
+    HelloAssign {
+        /// The worker id this assignment confirms.
+        worker: u32,
+        /// Total number of workers in the run (the shard count).
+        num_workers: u32,
+        /// The run seed; the worker derives its shard-local seed from it.
+        seed: RunSeed,
+        /// The sampling directive every worker runs under.
+        directive: Directive,
+        /// Pane length in milliseconds (the slide of the window spec).
+        pane_interval_ms: i64,
+        /// Expected items per pane across all workers (sizes reservoirs).
+        expected_pane_items: u64,
+        /// The window specification windows are finalized under.
+        window: WindowSpec,
+        /// The confidence level of the emitted error bounds.
+        confidence: Confidence,
+    },
+    /// One worker's mergeable digest of one closed pane.
+    PaneDigest(Digest),
+    /// Liveness and progress while no pane is closing.
+    Heartbeat {
+        /// The reporting worker's id.
+        worker: u32,
+        /// The worker's running ingest totals.
+        ingest: IngestCounters,
+        /// The worker's event-time watermark; `None` before its first item.
+        watermark: Option<EventTime>,
+        /// Outstanding items between the worker and its source.
+        lag: u64,
+    },
+    /// A finalized window estimate (coordinator → worker).
+    WindowResult(WindowResultMsg),
+    /// A clean goodbye; the sender will close the connection next.
+    Shutdown {
+        /// The departing worker's id.
+        worker: u32,
+    },
+}
+
+impl WireEncode for Message {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Message::HelloJoin {
+                worker,
+                wants_results,
+            } => {
+                out.push(0);
+                worker.encode(out);
+                wants_results.encode(out);
+            }
+            Message::HelloAssign {
+                worker,
+                num_workers,
+                seed,
+                directive,
+                pane_interval_ms,
+                expected_pane_items,
+                window,
+                confidence,
+            } => {
+                out.push(1);
+                worker.encode(out);
+                num_workers.encode(out);
+                seed.encode(out);
+                directive.encode(out);
+                pane_interval_ms.encode(out);
+                expected_pane_items.encode(out);
+                window.encode(out);
+                confidence.encode(out);
+            }
+            Message::PaneDigest(digest) => {
+                out.push(2);
+                digest.encode(out);
+            }
+            Message::Heartbeat {
+                worker,
+                ingest,
+                watermark,
+                lag,
+            } => {
+                out.push(3);
+                worker.encode(out);
+                ingest.encode(out);
+                watermark.encode(out);
+                put_varint(out, *lag);
+            }
+            Message::WindowResult(result) => {
+                out.push(4);
+                result.encode(out);
+            }
+            Message::Shutdown { worker } => {
+                out.push(5);
+                worker.encode(out);
+            }
+        }
+    }
+}
+
+impl WireDecode for Message {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, SaError> {
+        match r.read_u8()? {
+            0 => Ok(Message::HelloJoin {
+                worker: u32::decode(r)?,
+                wants_results: bool::decode(r)?,
+            }),
+            1 => {
+                let worker = u32::decode(r)?;
+                let num_workers = u32::decode(r)?;
+                let seed = RunSeed::decode(r)?;
+                let directive = Directive::decode(r)?;
+                let pane_interval_ms = i64::decode(r)?;
+                let expected_pane_items = u64::decode(r)?;
+                let window = WindowSpec::decode(r)?;
+                let confidence = Confidence::decode(r)?;
+                if num_workers == 0 {
+                    return Err(SaError::Wire("assignment with zero workers".to_string()));
+                }
+                if worker >= num_workers {
+                    return Err(SaError::Wire(format!(
+                        "assigned worker {worker} outside 0..{num_workers}"
+                    )));
+                }
+                if pane_interval_ms <= 0 {
+                    return Err(SaError::Wire(format!(
+                        "non-positive pane interval {pane_interval_ms}"
+                    )));
+                }
+                Ok(Message::HelloAssign {
+                    worker,
+                    num_workers,
+                    seed,
+                    directive,
+                    pane_interval_ms,
+                    expected_pane_items,
+                    window,
+                    confidence,
+                })
+            }
+            2 => Ok(Message::PaneDigest(Digest::decode(r)?)),
+            3 => Ok(Message::Heartbeat {
+                worker: u32::decode(r)?,
+                ingest: IngestCounters::decode(r)?,
+                watermark: Option::<EventTime>::decode(r)?,
+                lag: r.read_varint()?,
+            }),
+            4 => Ok(Message::WindowResult(WindowResultMsg::decode(r)?)),
+            5 => Ok(Message::Shutdown {
+                worker: u32::decode(r)?,
+            }),
+            t => Err(SaError::Wire(format!("unknown message tag {t}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_types::{ErrorBound, StratumSample};
+
+    fn sample_digest() -> Digest {
+        let sample: StratifiedSample<f64> = [
+            StratumSample::new(StratumId(0), vec![1.0, 2.0], 100, 2),
+            StratumSample::new(StratumId(3), vec![4.5], 40, 1),
+        ]
+        .into_iter()
+        .collect();
+        Digest {
+            worker: 1,
+            pane: Window::new(EventTime::from_millis(0), EventTime::from_millis(500)),
+            counters: IngestCounters {
+                ingested: 140,
+                dropped_late: 3,
+            },
+            watermark: Some(EventTime::from_millis(499)),
+            lag: 12,
+            payload: DigestPayload::Sampled(sample),
+        }
+    }
+
+    fn all_messages() -> Vec<Message> {
+        let result = ApproxResult::new(10.0, ErrorBound::new(0.5, Confidence::P95), 100, 1_000);
+        vec![
+            Message::HelloJoin {
+                worker: 2,
+                wants_results: true,
+            },
+            Message::HelloAssign {
+                worker: 2,
+                num_workers: 3,
+                seed: RunSeed::new(42),
+                directive: Directive::Fraction(0.05),
+                pane_interval_ms: 500,
+                expected_pane_items: 10_000,
+                window: WindowSpec::sliding_millis(1_000, 500),
+                confidence: Confidence::P95,
+            },
+            Message::PaneDigest(sample_digest()),
+            Message::Heartbeat {
+                worker: 0,
+                ingest: IngestCounters {
+                    ingested: 7,
+                    dropped_late: 0,
+                },
+                watermark: None,
+                lag: 0,
+            },
+            Message::WindowResult(WindowResultMsg {
+                window: Window::new(EventTime::from_millis(0), EventTime::from_millis(1_000)),
+                sum: result,
+                mean: result,
+                sum_by_stratum: vec![(StratumId(0), result)],
+                mean_by_stratum: vec![(StratumId(0), result)],
+            }),
+            Message::Shutdown { worker: 1 },
+        ]
+    }
+
+    #[test]
+    fn every_message_roundtrips() {
+        for msg in all_messages() {
+            let bytes = msg.to_wire_bytes();
+            assert_eq!(Message::from_wire_bytes(&bytes).unwrap(), msg, "{msg:?}");
+        }
+    }
+
+    #[test]
+    fn every_truncation_errors_never_panics() {
+        for msg in all_messages() {
+            let bytes = msg.to_wire_bytes();
+            for cut in 0..bytes.len() {
+                assert!(
+                    Message::from_wire_bytes(&bytes[..cut]).is_err(),
+                    "{msg:?} cut at {cut}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = Message::Shutdown { worker: 1 }.to_wire_bytes();
+        bytes.push(0);
+        assert!(matches!(
+            Message::from_wire_bytes(&bytes),
+            Err(SaError::Wire(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_tags_rejected() {
+        assert!(matches!(
+            Message::from_wire_bytes(&[9]),
+            Err(SaError::Wire(_))
+        ));
+        assert!(matches!(
+            Directive::decode(&mut WireReader::new(&[7])),
+            Err(SaError::Wire(_))
+        ));
+        assert!(matches!(
+            DigestPayload::decode(&mut WireReader::new(&[2])),
+            Err(SaError::Wire(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_assignments_rejected() {
+        let encode_assign = |worker: u32, num_workers: u32, pane_ms: i64| {
+            let mut out = vec![1u8];
+            worker.encode(&mut out);
+            num_workers.encode(&mut out);
+            RunSeed::new(1).encode(&mut out);
+            Directive::Everything.encode(&mut out);
+            pane_ms.encode(&mut out);
+            100u64.encode(&mut out);
+            WindowSpec::sliding_millis(1_000, 500).encode(&mut out);
+            Confidence::P95.encode(&mut out);
+            out
+        };
+        assert!(Message::from_wire_bytes(&encode_assign(0, 0, 500)).is_err());
+        assert!(Message::from_wire_bytes(&encode_assign(3, 3, 500)).is_err());
+        assert!(Message::from_wire_bytes(&encode_assign(0, 3, 0)).is_err());
+        assert!(Message::from_wire_bytes(&encode_assign(0, 3, 500)).is_ok());
+    }
+
+    #[test]
+    fn invalid_directives_rejected() {
+        for bad in [0.0, -0.5, 1.5, f64::NAN] {
+            let bytes = Directive::Fraction(bad).to_wire_bytes();
+            assert!(Directive::from_wire_bytes(&bytes).is_err(), "{bad}");
+        }
+        let bytes = Directive::PerStratum(0).to_wire_bytes();
+        assert!(Directive::from_wire_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn out_of_order_exact_digest_rejected() {
+        use sa_estimate::Welford;
+        let stats = vec![
+            StratumStats::from_parts(StratumId(5), 10, Welford::new()),
+            StratumStats::from_parts(StratumId(2), 10, Welford::new()),
+        ];
+        let bytes = DigestPayload::Exact(stats).to_wire_bytes();
+        assert!(matches!(
+            DigestPayload::from_wire_bytes(&bytes),
+            Err(SaError::Wire(_))
+        ));
+    }
+}

@@ -63,6 +63,7 @@ mod oasrs;
 mod reservoir;
 mod scasrs;
 mod stratified;
+mod wire;
 
 pub use bernoulli::BernoulliSampler;
 pub use oasrs::{OasrsSampler, SizingPolicy};

@@ -89,22 +89,22 @@ impl SizingPolicy {
 /// assert_eq!((s0.sample_size(), s0.weight()), (3, 2.0)); // C=6 > N=3 → W=C/N
 /// assert_eq!((s1.sample_size(), s1.weight()), (2, 1.0)); // C=2 ≤ N=3 → W=1
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OasrsSampler<V> {
-    sizing: SizingPolicy,
+    pub(crate) sizing: SizingPolicy,
     /// Per-stratum reservoirs, indexed by stratum id. Sampling sits on the
     /// hot receiving path, so lookup must be an array index: stratum ids
     /// are expected to be small and dense (the aggregator assigns them per
     /// source). `None` marks ids not seen this interval.
-    strata: Vec<Option<Reservoir<V>>>,
-    active: usize,
+    pub(crate) strata: Vec<Option<Reservoir<V>>>,
+    pub(crate) active: usize,
     /// Capacities carried into the next interval (FractionOfPrevious).
-    next_capacity: BTreeMap<StratumId, usize>,
-    rng: SmallRng,
+    pub(crate) next_capacity: BTreeMap<StratumId, usize>,
+    pub(crate) rng: SmallRng,
 }
 
 /// Guard against sparse stratum ids blowing up the flat table.
-const MAX_STRATUM_ID: usize = 1 << 20;
+pub(crate) const MAX_STRATUM_ID: usize = 1 << 20;
 
 impl<V> OasrsSampler<V> {
     /// Creates a sampler with the given sizing policy and RNG seed.

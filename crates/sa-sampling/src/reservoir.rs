@@ -117,8 +117,8 @@ const GAP_SCAN_LIMIT: u64 = 1 << 32;
 /// The armed skip-ahead state: how many more items to reject without
 /// consulting the RNG before the next acceptance.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-struct Jump {
-    skip: u64,
+pub(crate) struct Jump {
+    pub(crate) skip: u64,
 }
 
 /// A uniform draw from the open interval `(0, 1)` — `gen::<f64>()` can
@@ -151,13 +151,13 @@ fn unit_open<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Reservoir<T> {
-    items: Vec<T>,
-    capacity: usize,
-    seen: u64,
+    pub(crate) items: Vec<T>,
+    pub(crate) capacity: usize,
+    pub(crate) seen: u64,
     /// Pre-drawn skip-ahead state; `None` means "arm on the next full
     /// observation" (underfull, freshly mutated, or deserialized).
     #[serde(default)]
-    jump: Option<Jump>,
+    pub(crate) jump: Option<Jump>,
 }
 
 impl<T> Reservoir<T> {

@@ -1,0 +1,314 @@
+//! Wire-format impls for the mergeable sampler state.
+//!
+//! A serialized [`OasrsSampler`] carries *everything* that determines its
+//! future behaviour: per-stratum reservoirs with their skip-ahead jump
+//! state, the adaptive capacity plan, and the full RNG state. That is what
+//! makes the distributed tier's bit-identity guarantee possible —
+//! `decode(encode(sampler))` is indistinguishable from the original, so
+//! merging shipped digests equals merging the in-process samplers they
+//! came from, draw for draw.
+//!
+//! Decoders enforce the same invariants the constructors do
+//! ([`Reservoir::new`] and `SizingPolicy` validation panic on violations;
+//! the wire layer reports [`SaError::Wire`] instead) plus the
+//! representation invariants a hostile payload could otherwise smuggle
+//! past them: an over-full reservoir, a seen-counter below the held count,
+//! out-of-order strata, or the all-zero xoshiro state the generator can
+//! never reach.
+
+use crate::oasrs::{OasrsSampler, SizingPolicy, MAX_STRATUM_ID};
+use crate::reservoir::{Jump, Reservoir};
+use crate::scasrs::ScasrsStats;
+use rand::rngs::SmallRng;
+use sa_types::wire::{put_u64_le, put_varint};
+use sa_types::{SaError, StratumId, WireDecode, WireEncode, WireReader};
+use std::collections::BTreeMap;
+
+impl WireEncode for Jump {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_varint(out, self.skip);
+    }
+}
+
+impl WireDecode for Jump {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, SaError> {
+        Ok(Jump {
+            skip: r.read_varint()?,
+        })
+    }
+}
+
+impl<T: WireEncode> WireEncode for Reservoir<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.capacity.encode(out);
+        put_varint(out, self.seen);
+        self.jump.encode(out);
+        self.items.encode(out);
+    }
+}
+
+impl<T: WireDecode> WireDecode for Reservoir<T> {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, SaError> {
+        let capacity = usize::decode(r)?;
+        let seen = r.read_varint()?;
+        let jump = Option::<Jump>::decode(r)?;
+        let items = Vec::<T>::decode(r)?;
+        if capacity == 0 {
+            return Err(SaError::Wire("reservoir capacity zero".to_string()));
+        }
+        if items.len() > capacity {
+            return Err(SaError::Wire(format!(
+                "reservoir holds {} items over capacity {capacity}",
+                items.len()
+            )));
+        }
+        if seen < items.len() as u64 {
+            return Err(SaError::Wire(format!(
+                "reservoir seen counter {seen} below held count {}",
+                items.len()
+            )));
+        }
+        Ok(Reservoir {
+            items,
+            capacity,
+            seen,
+            jump,
+        })
+    }
+}
+
+impl WireEncode for SizingPolicy {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match *self {
+            SizingPolicy::PerStratum(n) => {
+                out.push(0);
+                n.encode(out);
+            }
+            SizingPolicy::SharedTotal(n) => {
+                out.push(1);
+                n.encode(out);
+            }
+            SizingPolicy::FractionOfPrevious { fraction, initial } => {
+                out.push(2);
+                fraction.encode(out);
+                initial.encode(out);
+            }
+        }
+    }
+}
+
+impl WireDecode for SizingPolicy {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, SaError> {
+        let policy = match r.read_u8()? {
+            0 => SizingPolicy::PerStratum(usize::decode(r)?),
+            1 => SizingPolicy::SharedTotal(usize::decode(r)?),
+            2 => SizingPolicy::FractionOfPrevious {
+                fraction: r.read_f64()?,
+                initial: usize::decode(r)?,
+            },
+            t => return Err(SaError::Wire(format!("unknown sizing policy tag {t}"))),
+        };
+        let valid = match policy {
+            SizingPolicy::PerStratum(n) | SizingPolicy::SharedTotal(n) => n > 0,
+            SizingPolicy::FractionOfPrevious { fraction, initial } => {
+                fraction > 0.0 && fraction <= 1.0 && initial > 0
+            }
+        };
+        if !valid {
+            return Err(SaError::Wire(format!("invalid sizing policy {policy:?}")));
+        }
+        Ok(policy)
+    }
+}
+
+impl<V: WireEncode> WireEncode for OasrsSampler<V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.sizing.encode(out);
+        // The sparse stratum table ships as (index, reservoir) pairs in
+        // ascending index order; the flat table rebuilds on decode.
+        put_varint(out, self.active as u64);
+        for (idx, slot) in self.strata.iter().enumerate() {
+            if let Some(res) = slot {
+                idx.encode(out);
+                res.encode(out);
+            }
+        }
+        put_varint(out, self.next_capacity.len() as u64);
+        for (id, cap) in &self.next_capacity {
+            id.encode(out);
+            cap.encode(out);
+        }
+        for word in self.rng.state() {
+            put_u64_le(out, word);
+        }
+    }
+}
+
+impl<V: WireDecode> WireDecode for OasrsSampler<V> {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, SaError> {
+        let sizing = SizingPolicy::decode(r)?;
+        let present = r.read_len()?;
+        let mut strata: Vec<Option<Reservoir<V>>> = Vec::new();
+        let mut last_idx: Option<usize> = None;
+        for _ in 0..present {
+            let idx = usize::decode(r)?;
+            if idx >= MAX_STRATUM_ID {
+                return Err(SaError::Wire(format!("stratum index {idx} too sparse")));
+            }
+            if last_idx.is_some_and(|prev| idx <= prev) {
+                return Err(SaError::Wire(format!(
+                    "stratum indices out of order at {idx}"
+                )));
+            }
+            last_idx = Some(idx);
+            let res = Reservoir::<V>::decode(r)?;
+            if idx >= strata.len() {
+                strata.resize_with(idx + 1, || None);
+            }
+            strata[idx] = Some(res);
+        }
+        let plans = r.read_len()?;
+        let mut next_capacity = BTreeMap::new();
+        let mut last_id: Option<StratumId> = None;
+        for _ in 0..plans {
+            let id = StratumId::decode(r)?;
+            let cap = usize::decode(r)?;
+            if last_id.is_some_and(|prev| id <= prev) {
+                return Err(SaError::Wire(format!(
+                    "capacity plan strata out of order at {id}"
+                )));
+            }
+            if cap == 0 {
+                return Err(SaError::Wire(format!("zero planned capacity for {id}")));
+            }
+            last_id = Some(id);
+            next_capacity.insert(id, cap);
+        }
+        let state = [
+            r.read_u64_le()?,
+            r.read_u64_le()?,
+            r.read_u64_le()?,
+            r.read_u64_le()?,
+        ];
+        if state == [0; 4] {
+            return Err(SaError::Wire("all-zero rng state".to_string()));
+        }
+        Ok(OasrsSampler {
+            sizing,
+            strata,
+            active: present,
+            next_capacity,
+            rng: SmallRng::from_state(state),
+        })
+    }
+}
+
+impl WireEncode for ScasrsStats {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.accepted_directly.encode(out);
+        self.waitlisted.encode(out);
+        self.rejected_directly.encode(out);
+    }
+}
+
+impl WireDecode for ScasrsStats {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, SaError> {
+        Ok(ScasrsStats {
+            accepted_directly: usize::decode(r)?,
+            waitlisted: usize::decode(r)?,
+            rejected_directly: usize::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reservoir_roundtrips_with_jump_state() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut res = Reservoir::new(4);
+        for x in 0..100u32 {
+            res.observe(x as f64, &mut rng);
+        }
+        let back = Reservoir::<f64>::from_wire_bytes(&res.to_wire_bytes()).unwrap();
+        assert_eq!(back, res);
+    }
+
+    #[test]
+    fn sampler_roundtrip_continues_the_same_stream() {
+        // The decoded sampler must not just *look* equal: observed further,
+        // it must draw the exact same random decisions.
+        let mut a = OasrsSampler::new(SizingPolicy::SharedTotal(16), 9);
+        for i in 0..500u32 {
+            a.observe(StratumId(i % 3), f64::from(i));
+        }
+        let mut b = OasrsSampler::<f64>::from_wire_bytes(&a.to_wire_bytes()).unwrap();
+        assert_eq!(a, b);
+        for i in 0..500u32 {
+            a.observe(StratumId(i % 5), f64::from(i) * 0.5);
+            b.observe(StratumId(i % 5), f64::from(i) * 0.5);
+        }
+        assert_eq!(a.finish_interval(), b.finish_interval());
+        // Capacity plans survived too.
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hostile_sampler_payloads_rejected() {
+        let mut good = OasrsSampler::new(SizingPolicy::PerStratum(2), 1);
+        good.observe(StratumId(0), 1.0f64);
+        let bytes = good.to_wire_bytes();
+        // Every truncation errors instead of panicking.
+        for cut in 0..bytes.len() {
+            assert!(OasrsSampler::<f64>::from_wire_bytes(&bytes[..cut]).is_err());
+        }
+        // All-zero RNG state.
+        let mut zeroed = bytes.clone();
+        let n = zeroed.len();
+        zeroed[n - 32..].fill(0);
+        assert!(matches!(
+            OasrsSampler::<f64>::from_wire_bytes(&zeroed),
+            Err(SaError::Wire(_))
+        ));
+    }
+
+    #[test]
+    fn overfull_reservoir_rejected() {
+        let mut bytes = Vec::new();
+        1usize.encode(&mut bytes); // capacity 1
+        put_varint(&mut bytes, 2); // seen 2
+        Option::<Jump>::None.encode(&mut bytes);
+        vec![1.0f64, 2.0].encode(&mut bytes); // 2 items > capacity
+        assert!(matches!(
+            Reservoir::<f64>::from_wire_bytes(&bytes),
+            Err(SaError::Wire(_))
+        ));
+    }
+
+    #[test]
+    fn undercounted_reservoir_rejected() {
+        let mut bytes = Vec::new();
+        4usize.encode(&mut bytes); // capacity
+        put_varint(&mut bytes, 1); // seen 1 < 2 held
+        Option::<Jump>::None.encode(&mut bytes);
+        vec![1.0f64, 2.0].encode(&mut bytes);
+        assert!(matches!(
+            Reservoir::<f64>::from_wire_bytes(&bytes),
+            Err(SaError::Wire(_))
+        ));
+    }
+
+    #[test]
+    fn scasrs_stats_roundtrip() {
+        let stats = ScasrsStats {
+            accepted_directly: 10,
+            waitlisted: 3,
+            rejected_directly: 99,
+        };
+        let back = ScasrsStats::from_wire_bytes(&stats.to_wire_bytes()).unwrap();
+        assert_eq!(back, stats);
+    }
+}

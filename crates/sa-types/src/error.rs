@@ -39,6 +39,11 @@ pub enum SaError {
         /// The session watermark the item fell behind.
         watermark: EventTime,
     },
+    /// A wire-format payload or frame failed to decode: truncated input,
+    /// an unsupported version, a hostile length prefix, or a value that
+    /// violates the decoded type's invariants. Decoding never panics and
+    /// never trusts a length it has not bounded; it reports here instead.
+    Wire(String),
 }
 
 impl fmt::Display for SaError {
@@ -52,6 +57,7 @@ impl fmt::Display for SaError {
                 f,
                 "out-of-order item: event time {item} behind watermark {watermark}"
             ),
+            SaError::Wire(why) => write!(f, "wire format error: {why}"),
         }
     }
 }
@@ -80,6 +86,7 @@ mod tests {
                 item: EventTime::from_millis(5),
                 watermark: EventTime::from_millis(9),
             },
+            SaError::Wire("truncated varint".into()),
         ];
         for e in samples {
             let msg = e.to_string();

@@ -33,6 +33,7 @@ mod sample;
 mod seed;
 mod session;
 mod window;
+pub mod wire;
 
 pub use budget::{Confidence, QueryBudget};
 pub use error::SaError;
@@ -40,5 +41,6 @@ pub use item::{EventTime, StratumId, StreamItem};
 pub use result::{ApproxResult, ErrorBound};
 pub use sample::{StratifiedSample, StratumSample};
 pub use seed::RunSeed;
-pub use session::{IngestCounters, SessionStatus, ShardIngest};
+pub use session::{IngestCounters, SessionStatus, ShardIngest, WorkerStatus};
 pub use window::{Window, WindowSpec};
+pub use wire::{WireDecode, WireEncode, WireReader};

@@ -56,6 +56,26 @@ pub struct ShardIngest {
     pub sampled: u64,
 }
 
+/// One remote worker's last reported progress inside a distributed
+/// session, as of its most recent heartbeat or pane digest: the worker's
+/// unified [`IngestCounters`], its event-time watermark, and how far it
+/// lags behind its source (outstanding items in the replay log it has not
+/// yet consumed). The distributed coordinator surfaces one entry per
+/// connected worker on [`SessionStatus::workers`], mirroring the per-shard
+/// visibility `ShardedEngine` gives through
+/// [`SessionStatus::shards`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkerStatus {
+    /// The worker's id (canonical merge order).
+    pub worker: u32,
+    /// The worker's unified ingest accounting (accepted vs dropped-late).
+    pub ingest: IngestCounters,
+    /// The worker's event-time watermark; `None` before its first item.
+    pub watermark: Option<EventTime>,
+    /// Items outstanding between the worker and its source (0 = caught up).
+    pub lag: u64,
+}
+
 /// A point-in-time snapshot of an incremental session's progress,
 /// returned by `ApproxSession::status` in the `streamapprox` crate.
 ///
@@ -79,6 +99,7 @@ pub struct ShardIngest {
 ///     watermark: Some(EventTime::from_secs(4)),
 ///     ingest: IngestCounters { ingested: 1_000, dropped_late: 7 },
 ///     shards: Vec::new(),
+///     workers: Vec::new(),
 /// };
 /// assert_eq!(status.ingest.offered(), 1_007);
 /// ```
@@ -101,6 +122,9 @@ pub struct SessionStatus {
     /// Per-shard sampler counters for data-parallel engines, in shard
     /// order; empty on single-worker engines.
     pub shards: Vec<ShardIngest>,
+    /// Per-remote-worker progress for distributed sessions, in worker-id
+    /// order; empty on local engines.
+    pub workers: Vec<WorkerStatus>,
 }
 
 #[cfg(test)]
@@ -121,6 +145,15 @@ mod tests {
                 shard: 0,
                 ingested: 7,
                 sampled: 3,
+            }],
+            workers: vec![WorkerStatus {
+                worker: 0,
+                ingest: IngestCounters {
+                    ingested: 7,
+                    dropped_late: 0,
+                },
+                watermark: None,
+                lag: 2,
             }],
         };
         let b = a.clone();

@@ -1,0 +1,141 @@
+//! Going distributed: a TCP coordinator with three loopback workers.
+//!
+//! The paper's deployment shape (§4): workers sample their partitions of
+//! the stream next to the data and ship only compact mergeable sampler
+//! digests; one coordinator merges each pane's digests in canonical
+//! worker order and finalizes windows with error bounds. Here the
+//! "cluster" is three threads on loopback sockets, each replaying its
+//! share of a merged stream from the `sa-aggregator` replay log — but
+//! every byte between workers and coordinator crosses a real TCP
+//! connection in the versioned `sa-net` frame format.
+//!
+//! Worker 0 joins with `wants_results`, so the finalized windows stream
+//! back to it and come out of its own session `finish` — the paper's
+//! "results available at the edge" pattern.
+//!
+//! Run with: `cargo run --release -p streamapprox --example distributed_windows`
+
+use sa_aggregator::{Consumer, Partitioner, Producer, Topic};
+use sa_types::WindowSpec;
+use sa_workloads::Mix;
+use std::sync::atomic::Ordering;
+use std::thread;
+use std::time::Duration;
+use streamapprox::{
+    connect_worker, ApproxSession, DistributedConfig, FixedFraction, Query, StreamApprox,
+};
+
+const WORKERS: u32 = 3;
+
+fn main() {
+    // Three Gaussian sub-streams at very different rates over 12 s of
+    // event time, merged into one replayable topic: the aggregator role
+    // of §2.1. Round-robin batches keep every partition in event-time
+    // order, so each consumer replays an ordered sub-stream.
+    let items = Mix::gaussian([50_000.0, 12_000.0, 1_200.0]).generate(12_000, 42);
+    let total = items.len();
+    let topic = Topic::new("merged-events", WORKERS as usize);
+    let mut producer = Producer::new(topic.clone(), Partitioner::RoundRobin);
+    for batch in items.chunks(256) {
+        producer.send(batch.to_vec());
+    }
+    println!("published {total} items over 3 strata to {WORKERS} partitions of 'merged-events'");
+
+    let query = Query::new(|v: &f64| *v).with_window(WindowSpec::sliding_secs(2, 1));
+    let mut policy = FixedFraction(0.25);
+    let mut coordinator = StreamApprox::new(query, &mut policy)
+        .distributed(
+            DistributedConfig::new(WORKERS)
+                .with_seed(0xD15C_u64.into())
+                .with_expected_pane_items(total / 12)
+                .with_timeout(Duration::from_secs(30)),
+        )
+        .expect("bind a loopback coordinator");
+    let addr = coordinator.addr();
+    println!("coordinator listening on {addr}, sampling 25%\n");
+
+    let handles: Vec<_> = (0..WORKERS)
+        .map(|w| {
+            let topic = topic.clone();
+            thread::spawn(move || {
+                let wants_results = w == 0;
+                let engine = connect_worker(addr, w, wants_results, |v: &f64| *v)
+                    .expect("worker joins the coordinator");
+                let lag = engine.lag_handle();
+                let mut consumer = Consumer::group(topic, w as usize, WORKERS as usize);
+                let mut session = ApproxSession::from_engine(Box::new(engine));
+                loop {
+                    let batch = consumer.poll_items(64);
+                    lag.store(consumer.lag(), Ordering::Relaxed);
+                    if batch.is_empty() {
+                        if consumer.is_caught_up() {
+                            break;
+                        }
+                        continue;
+                    }
+                    session
+                        .push_batch(batch)
+                        .expect("partition replay stays event-time ordered");
+                }
+                // Sends the trailing pane and a clean shutdown; worker 0
+                // then drains the windows the coordinator streams back.
+                session.finish()
+            })
+        })
+        .collect();
+
+    // Watch answers arrive while the workers replay. Worker 0 stays
+    // connected until the coordinator finishes, so only wait on the
+    // others here.
+    let mut live = Vec::new();
+    while handles.iter().skip(1).any(|h| !h.is_finished()) {
+        for w in coordinator.poll_windows().expect("healthy workers") {
+            let (lo, hi) = w.mean.interval();
+            println!(
+                "  {}  mean {:7.1} in [{:7.1}, {:7.1}]  from {} of {} items",
+                w.window, w.mean.value, lo, hi, w.sum.sample_size, w.sum.population_size
+            );
+            live.push(w);
+        }
+        thread::sleep(Duration::from_millis(2));
+    }
+
+    let status = coordinator.status();
+    println!("\nworker  ingested  lag  watermark");
+    for w in &status.workers {
+        println!(
+            "{:>6}  {:>8}  {:>3}  {:?}",
+            w.worker, w.ingest.ingested, w.lag, w.watermark
+        );
+    }
+
+    let out = coordinator.finish().expect("all workers shut down cleanly");
+    let mut handles = handles.into_iter();
+    let subscriber_out = handles.next().expect("worker 0").join().expect("worker 0");
+    for h in handles {
+        h.join().expect("worker thread");
+    }
+
+    let finished = live.len() + out.windows.len();
+    println!(
+        "\ncoordinator: {finished} windows from {} items ({:.0}% aggregated), {:.0} K items/s",
+        out.items_ingested,
+        100.0 * out.effective_fraction(),
+        out.throughput() / 1_000.0,
+    );
+    println!(
+        "worker 0 got all {} windows streamed back over its own socket",
+        subscriber_out.windows.len()
+    );
+
+    assert_eq!(out.items_ingested, total as u64);
+    assert!(
+        out.items_aggregated < out.items_ingested,
+        "sampling must select a strict subset"
+    );
+    assert_eq!(
+        subscriber_out.windows.len(),
+        finished,
+        "the subscribing worker sees every finalized window"
+    );
+}

@@ -428,6 +428,7 @@ fn status_reflects_session_progress() {
             watermark: None,
             ingest: sa_types::IngestCounters::default(),
             shards: Vec::new(),
+            workers: Vec::new(),
         }
     );
     for ms in [0i64, 600, 1_200, 2_400] {

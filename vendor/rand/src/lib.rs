@@ -217,6 +217,30 @@ pub mod rngs {
         }
     }
 
+    impl SmallRng {
+        /// The generator's full internal state, for serialization: a
+        /// generator rebuilt from this state via
+        /// [`from_state`](SmallRng::from_state) continues the exact same
+        /// random stream.
+        #[inline]
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a previously captured state.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the state is all zeros — the one state xoshiro256++
+        /// can never leave (and can never legitimately reach from
+        /// `seed_from_u64`). Deserializers must validate before calling.
+        #[inline]
+        pub fn from_state(s: [u64; 4]) -> Self {
+            assert!(s != [0; 4], "all-zero xoshiro256++ state is invalid");
+            SmallRng { s }
+        }
+    }
+
     impl RngCore for SmallRng {
         #[inline]
         fn next_u64(&mut self) -> u64 {
