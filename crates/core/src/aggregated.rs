@@ -220,7 +220,7 @@ impl<R> Engine<R> for AggregatedEngine<'_, R> {
             let rest = items.split_off(n);
             self.pane_arrived += items.len() as u64;
             match &mut self.state {
-                PaneState::Sampling(sampler) => sampler.observe_batch(items),
+                PaneState::Sampling(sampler) => sampler.observe_batch(&mut items),
                 PaneState::Exact(acc) => acc.observe_slice(&items),
                 PaneState::Idle => unreachable!("a pane is open whenever items are observed"),
             }

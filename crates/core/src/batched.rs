@@ -315,10 +315,10 @@ where
         .into_iter()
         .zip(chunks_of(batch.items, w))
         .collect();
-    let results = config.cluster.run(inputs, |_, (mut sampler, chunk)| {
+    let results = config.cluster.run(inputs, |_, (mut sampler, mut chunk)| {
         // One batch call per worker chunk: same-stratum runs share a
         // lookup and skipped gaps cost no RNG draws.
-        sampler.observe_batch(chunk);
+        sampler.observe_batch(&mut chunk);
         let sample = sampler.finish_interval();
         (sampler, sample)
     });

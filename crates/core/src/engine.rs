@@ -77,7 +77,12 @@ pub trait Engine<R> {
     /// order, as of the last closed interval. Single-worker substrates
     /// keep the default empty answer; `ApproxSession::status` surfaces
     /// this through `SessionStatus::shards`.
-    fn shard_ingest(&self) -> Vec<ShardIngest> {
+    ///
+    /// Takes `&mut self` so data-parallel engines can settle an in-flight
+    /// interval barrier first: the sharded engine overlaps merging with
+    /// ingest, and a status probe must not report counters older than the
+    /// last closed pane.
+    fn shard_ingest(&mut self) -> Vec<ShardIngest> {
         Vec::new()
     }
 

@@ -244,11 +244,18 @@ impl<R> IntervalWorker<R> {
     /// ([`OasrsSampler::observe_batch`]), exact workers run the
     /// lookup-hoisted slice fold. Bit-for-bit identical to per-item
     /// [`observe`](IntervalWorker::observe) over the same items.
-    pub fn observe_chunk(&mut self, items: Vec<StreamItem<R>>) {
+    ///
+    /// The chunk is drained: it comes back empty with its allocation
+    /// intact, so data-parallel callers can recycle the buffer instead of
+    /// allocating per chunk.
+    pub fn observe_chunk(&mut self, items: &mut Vec<StreamItem<R>>) {
         self.ingested += items.len() as u64;
         match &mut self.kind {
             WorkerKind::Sampling(sampler) => sampler.observe_batch(items),
-            WorkerKind::Exact(acc) => acc.observe_slice(&items),
+            WorkerKind::Exact(acc) => {
+                acc.observe_slice(items);
+                items.clear();
+            }
         }
     }
 

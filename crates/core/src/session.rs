@@ -379,7 +379,11 @@ impl<'p, R> ApproxSession<'p, R> {
     /// watermark, the unified [`IngestCounters`] across every ingestion
     /// path, and — on data-parallel engines — per-shard sampler counters
     /// as of the last closed interval.
-    pub fn status(&self) -> SessionStatus {
+    ///
+    /// Takes `&mut self` because data-parallel engines settle any
+    /// in-flight interval barrier before reporting, so the counters are
+    /// never staler than the last closed pane.
+    pub fn status(&mut self) -> SessionStatus {
         SessionStatus {
             items_pushed: self.ingest.ingested,
             windows_completed: self.completed,

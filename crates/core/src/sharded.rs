@@ -1,5 +1,5 @@
 //! The sharded data-parallel engine: hash-partitioned OASRS over
-//! mergeable stratified samplers.
+//! mergeable stratified samplers, on a lock-free SPSC ring fabric.
 //!
 //! StreamApprox's core scalability claim is that OASRS is *mergeable*:
 //! shard-local samples combine without bias, so sampling parallelizes
@@ -7,36 +7,55 @@
 //! distributed follow-up develops the same idea across nodes). This
 //! engine is that claim as an execution substrate:
 //!
-//! * **Routing** — every accepted item is hash-partitioned
-//!   ([`ShardSet::route`]) across `N` worker shards, each a thread owning
-//!   its own per-stratum [`IntervalWorker`] (OASRS samplers at *full*
-//!   per-stratum capacity, or exact Welford accumulators under native
-//!   execution). Items travel in chunks, so shards sample concurrently
-//!   with ingestion and the pusher never blocks on a sampler.
-//! * **The shared interval clock** — the engine cuts panes on the caller
-//!   thread with the same [`PaneCursor`] the batched and aggregated
-//!   engines use. At every pane boundary it broadcasts a close, and each
-//!   shard answers with its interval's [`WorkerPane`]: the weighted
-//!   stratified *sample* (not statistics), plus its lifetime counters.
-//! * **Canonical merge** — shard panes are merged in ascending shard
-//!   order by the mergeable-sampler layer ([`ShardSet::merge_panes`]):
-//!   the seen-count-weighted reservoir union for fixed-size budgets, the
-//!   capacity-summing union for fraction budgets, plain concatenation of
-//!   Welford statistics for exact shards. Only then is the pane estimated
-//!   and handed to the shared [`ApproxRuntime`] for window assembly.
+//! * **Routing over bounded rings** — every accepted item is
+//!   hash-partitioned ([`ShardSet::route`]) across `N` worker shards,
+//!   each a thread owning its own per-stratum [`IntervalWorker`] (OASRS
+//!   samplers at *full* per-stratum capacity, or exact Welford
+//!   accumulators under native execution). Items travel in chunks over a
+//!   pair of bounded SPSC rings per shard ([`crossbeam::spsc`]): a
+//!   command ring down (arm/chunk/close, FIFO per shard) and a return
+//!   ring back up (drained chunk buffers and close answers). The rings
+//!   are lock-free slot arrays — no allocation, mutex or condvar wakeup
+//!   per message on the hot path.
+//! * **Buffer recycling** — a shard *drains* each chunk into its sampler
+//!   and hands the emptied `Vec` back on the return ring; the router
+//!   reuses it for a later chunk. At steady state routing therefore
+//!   performs **zero allocations per chunk** (only the first ring-depth
+//!   chunks are freshly allocated); the `chunks_routed`/`chunks_recycled`
+//!   counters on [`ShardIngest`] make this observable.
+//! * **Backpressure** — the command ring is bounded, so a shard that
+//!   falls behind fills its ring and the router's `push` blocks (spinning
+//!   and yielding, while still draining returns) instead of queueing
+//!   unboundedly: a lagging shard costs latency, never unbounded memory.
+//! * **Merge/ingest overlap** — at a pane boundary the engine broadcasts
+//!   the close and *returns immediately*: shards answer the close and
+//!   begin the next pane's chunks (already queued behind the close in
+//!   FIFO order) while the caller keeps routing. The barrier is settled —
+//!   answers collected, shard panes merged in canonical ascending-shard
+//!   order ([`ShardSet::merge_panes`]), the pane estimated and handed to
+//!   the shared [`ApproxRuntime`] — at the latest when the *next* pane
+//!   closes, and eagerly on `poll_windows`/`status`. Exactly one barrier
+//!   is ever in flight, so every close answer is attributable without
+//!   tags.
 //!
 //! # Watermark and ordering semantics
 //!
 //! The session in front of this engine enforces global event-time order,
-//! and each shard's channel is FIFO, so a shard observes its sub-stream
-//! in stream order. The engine's watermark only advances at a pane close,
-//! *after* every shard has answered the close barrier — no shard can
-//! contribute items to a pane whose windows the finalizer already sealed,
-//! so sharding never reorders or loses data relative to the
-//! single-threaded engines. With one shard the engine is bit-for-bit
-//! identical to the batched engine at the same seed and pane interval
-//! (`tests/engine_parity.rs` holds that oracle); with many shards the
-//! answers agree statistically, within the estimators' confidence bounds.
+//! and each shard's command ring is FIFO, so a shard observes its
+//! sub-stream in stream order and always finishes pane `k` (by answering
+//! its close) before touching pane `k+1` items. The engine's watermark
+//! only advances when a barrier *resolves* — after every shard has
+//! answered — so no shard can contribute items to a pane whose windows
+//! the finalizer already sealed, and deferring the barrier never
+//! reorders or loses data relative to the single-threaded engines. The
+//! cost policy is consulted once per pane, as on the blocking design;
+//! because the previous pane's merge may still be in flight at consult
+//! time, feedback-driven policies observe each pane's feedback one pane
+//! later than the batched engine (constant policies are unaffected).
+//! With one shard the engine stays bit-for-bit identical to the batched
+//! engine at the same seed and pane interval (`tests/engine_parity.rs`
+//! holds that oracle); with many shards the answers agree statistically,
+//! within the estimators' confidence bounds.
 
 use crate::combine::PanePayload;
 use crate::cost::PolicyHandle;
@@ -44,10 +63,10 @@ use crate::engine::Engine;
 use crate::output::{RunOutput, WindowResult};
 use crate::query::Query;
 use crate::runtime::{ApproxRuntime, IntervalWorker, PaneCursor, ShardSet, WorkerPane};
+use crossbeam::spsc;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use sa_types::{EventTime, RunSeed, SaError, ShardIngest, StreamItem, Window};
-use std::sync::mpsc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -60,9 +79,14 @@ pub struct ShardedConfig {
     /// the query's window slide, the paper's interval choice (§5.5).
     pub pane_interval_ms: Option<i64>,
     /// Items buffered per shard before a chunk is shipped to its thread;
-    /// larger chunks amortize channel traffic, smaller ones reduce the
+    /// larger chunks amortize ring traffic, smaller ones reduce the
     /// sampling lag behind ingestion.
     pub chunk_items: usize,
+    /// Chunks each shard's command ring holds before routing blocks on
+    /// that shard — the backpressure depth. Smaller rings bound memory
+    /// tighter and stall the router sooner behind a slow shard; larger
+    /// rings absorb longer hiccups.
+    pub ring_chunks: usize,
     /// Seed for every sampling (and merge) decision.
     pub seed: RunSeed,
     /// Expected items in the first pane — the fraction policy's
@@ -73,7 +97,8 @@ pub struct ShardedConfig {
 
 impl ShardedConfig {
     /// A configuration with `shards` worker threads and defaults
-    /// otherwise: slide-sized panes, 1024-item chunks, default seed.
+    /// otherwise: slide-sized panes, 1024-item chunks, 8-chunk rings,
+    /// default seed.
     ///
     /// # Panics
     ///
@@ -84,6 +109,7 @@ impl ShardedConfig {
             shards,
             pane_interval_ms: None,
             chunk_items: 1_024,
+            ring_chunks: 8,
             seed: RunSeed::DEFAULT,
             expected_pane_items: 0,
         }
@@ -113,6 +139,18 @@ impl ShardedConfig {
         self
     }
 
+    /// Sets the per-shard command-ring depth (in chunks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunks` is zero.
+    #[must_use]
+    pub fn with_ring_chunks(mut self, chunks: usize) -> Self {
+        assert!(chunks > 0, "ring depth must be positive");
+        self.ring_chunks = chunks;
+        self
+    }
+
     /// Sets the RNG seed.
     #[must_use]
     pub fn with_seed(mut self, seed: impl Into<RunSeed>) -> Self {
@@ -128,54 +166,83 @@ impl ShardedConfig {
     }
 }
 
-/// Commands the engine sends a shard thread.
+/// Commands the engine sends down a shard's command ring.
 enum ToShard<R> {
     /// Replace the shard's interval worker (first pane, or the cost
     /// policy changed its directive).
     Arm(Box<IntervalWorker<R>>),
-    /// A chunk of routed items to observe, in stream order.
+    /// A chunk of routed items to observe, in stream order. The shard
+    /// drains the buffer and returns it for recycling.
     Chunk(Vec<StreamItem<R>>),
     /// Close the current interval and answer with a [`ShardClose`].
     Close,
 }
 
-/// One shard's answer to a close barrier.
+/// Traffic a shard sends back up its return ring.
+enum FromShard<R> {
+    /// A drained chunk buffer, ready for the router to reuse.
+    Buffer(Vec<StreamItem<R>>),
+    /// The shard's answer to the in-flight close barrier.
+    Close(Box<ShardClose<R>>),
+}
+
+/// One shard's answer to a close barrier: the shard index is implied by
+/// which return ring carried it.
 struct ShardClose<R> {
-    shard: usize,
     pane: WorkerPane<R>,
     ingested: u64,
     sampled: u64,
 }
 
+/// A pane whose close barrier has been broadcast but not yet resolved:
+/// the caller keeps routing the next pane while shard answers accumulate
+/// here, and the merge happens once all have arrived.
+struct PendingPane<R> {
+    window: Window,
+    arrived: u64,
+    /// Pane index for the canonical merge RNG seed.
+    idx: u64,
+    /// Time already spent broadcasting the close (the resolve adds its
+    /// collect-and-merge span before the total reaches the cost policy).
+    nanos: u64,
+    answers: Vec<Option<Box<ShardClose<R>>>>,
+    collected: usize,
+    /// This close is the retiring workers' last report (a directive
+    /// change armed replacements behind it): when resolving, fold the
+    /// settled counters into the lifetime base.
+    folds_counters: bool,
+}
+
 /// The shard worker loop: owns the shard's [`IntervalWorker`] between
-/// rearms and runs until the engine drops its sender.
+/// rearms and runs until the engine drops the command ring's producer.
+/// Drained chunk buffers and close answers travel back on `results`; a
+/// dead engine (either ring disconnected) just ends the loop.
 fn shard_loop<R>(
-    shard: usize,
-    commands: mpsc::Receiver<ToShard<R>>,
-    results: mpsc::Sender<ShardClose<R>>,
+    mut commands: spsc::Consumer<ToShard<R>>,
+    mut results: spsc::Producer<FromShard<R>>,
 ) {
     let mut worker: Option<IntervalWorker<R>> = None;
-    while let Ok(command) = commands.recv() {
+    while let Ok(command) = commands.pop() {
         match command {
             ToShard::Arm(fresh) => worker = Some(*fresh),
-            ToShard::Chunk(items) => {
+            ToShard::Chunk(mut items) => {
                 let worker = worker.as_mut().expect("shard armed before items");
-                worker.observe_chunk(items);
+                worker.observe_chunk(&mut items);
+                if results.push(FromShard::Buffer(items)).is_err() {
+                    return;
+                }
             }
             ToShard::Close => {
                 let worker = worker.as_mut().expect("shard armed before close");
                 let pane = worker.close_interval_parts();
                 let (ingested, sampled) = worker.counters();
-                if results
-                    .send(ShardClose {
-                        shard,
-                        pane,
-                        ingested,
-                        sampled,
-                    })
-                    .is_err()
-                {
-                    return; // Engine gone: nothing left to answer to.
+                let answer = Box::new(ShardClose {
+                    pane,
+                    ingested,
+                    sampled,
+                });
+                if results.push(FromShard::Close(answer)).is_err() {
+                    return;
                 }
             }
         }
@@ -189,15 +256,19 @@ pub(crate) struct ShardedEngine<'p, R> {
     shard_set: ShardSet<R>,
     config: ShardedConfig,
     cursor: PaneCursor,
-    senders: Vec<mpsc::Sender<ToShard<R>>>,
-    results: mpsc::Receiver<ShardClose<R>>,
+    to_shards: Vec<spsc::Producer<ToShard<R>>>,
+    from_shards: Vec<spsc::Consumer<FromShard<R>>>,
     threads: Vec<JoinHandle<()>>,
     buffers: Vec<Vec<StreamItem<R>>>,
+    /// Drained chunk buffers returned by the shards, awaiting reuse.
+    free: Vec<Vec<StreamItem<R>>>,
     counters: Vec<ShardIngest>,
     /// Counter totals folded in from workers retired by a directive
     /// change: a [`ShardClose`] reports the *current* worker's lifetime
     /// counters, so the session-facing totals are `base + worker`.
     counter_base: Vec<ShardIngest>,
+    /// The one close barrier allowed in flight; `None` when fully merged.
+    pending: Option<PendingPane<R>>,
     pane_open: bool,
     first_pane: bool,
     pane_arrived: u64,
@@ -222,26 +293,32 @@ where
         let cursor = PaneCursor::new(pane_ms, query.window());
         let runtime = ApproxRuntime::new(&query, policy, config.seed, config.shards);
         let shard_set = ShardSet::new(config.shards, config.seed, query.projection());
-        let (result_tx, results) = mpsc::channel();
-        let mut senders = Vec::with_capacity(config.shards);
+        let mut to_shards = Vec::with_capacity(config.shards);
+        let mut from_shards = Vec::with_capacity(config.shards);
         let mut threads = Vec::with_capacity(config.shards);
-        for shard in 0..config.shards {
-            let (tx, rx) = mpsc::channel();
-            let results = result_tx.clone();
-            senders.push(tx);
-            threads.push(std::thread::spawn(move || shard_loop(shard, rx, results)));
+        for _ in 0..config.shards {
+            let (cmd_tx, cmd_rx) = spsc::ring(config.ring_chunks);
+            // The return ring is deeper than the command ring (buffers in
+            // flight plus one close answer), so a shard essentially never
+            // blocks handing buffers back; if it still fills, the
+            // router's send loop drains it, so progress is guaranteed.
+            let (ret_tx, ret_rx) = spsc::ring(config.ring_chunks + 2);
+            to_shards.push(cmd_tx);
+            from_shards.push(ret_rx);
+            threads.push(std::thread::spawn(move || shard_loop(cmd_rx, ret_tx)));
         }
         ShardedEngine {
             runtime,
             shard_set,
             config,
             cursor,
-            senders,
-            results,
+            to_shards,
+            from_shards,
             threads,
             buffers: (0..config.shards)
                 .map(|_| Vec::with_capacity(config.chunk_items))
                 .collect(),
+            free: Vec::new(),
             counters: (0..config.shards)
                 .map(|shard| ShardIngest {
                     shard,
@@ -254,6 +331,7 @@ where
                     ..ShardIngest::default()
                 })
                 .collect(),
+            pending: None,
             pane_open: false,
             first_pane: true,
             pane_arrived: 0,
@@ -264,20 +342,74 @@ where
         }
     }
 
-    fn send(&mut self, shard: usize, command: ToShard<R>) -> Result<(), SaError> {
-        if self.senders[shard].send(command).is_err() {
-            self.alive = false;
-            return Err(SaError::Disconnected("sharded worker thread died"));
+    fn dead(&mut self) -> SaError {
+        self.alive = false;
+        SaError::Disconnected("sharded worker thread died")
+    }
+
+    /// Returns a drained buffer to the freelist. No cap is needed: a
+    /// fresh buffer is only ever allocated when the freelist is empty, so
+    /// the buffer population is bounded by the fabric's peak demand
+    /// (every ring slot plus one in the shard and one in the router, per
+    /// shard) — and dropping spares here would just force the router to
+    /// re-allocate them later.
+    fn recycle(&mut self, buffer: Vec<StreamItem<R>>) {
+        self.free.push(buffer);
+    }
+
+    /// Pops everything currently waiting in one shard's return ring:
+    /// drained buffers go to the freelist, a close answer to the pending
+    /// barrier.
+    fn drain_returns(&mut self, shard: usize) -> Result<(), SaError> {
+        loop {
+            match self.from_shards[shard].try_pop() {
+                Ok(FromShard::Buffer(buffer)) => self.recycle(buffer),
+                Ok(FromShard::Close(answer)) => {
+                    let pending = self
+                        .pending
+                        .as_mut()
+                        .expect("close answer without a pending barrier");
+                    debug_assert!(pending.answers[shard].is_none());
+                    pending.answers[shard] = Some(answer);
+                    pending.collected += 1;
+                }
+                Err(spsc::PopError::Empty) => return Ok(()),
+                Err(spsc::PopError::Disconnected) => return Err(self.dead()),
+            }
         }
-        Ok(())
+    }
+
+    /// Sends one command down a shard's ring, spinning (and draining the
+    /// shard's returns, so the pair of bounded rings can never deadlock)
+    /// while the ring is full. This wait *is* the backpressure: a slow
+    /// shard stalls the router here with bounded memory in flight.
+    fn send(&mut self, shard: usize, command: ToShard<R>) -> Result<(), SaError> {
+        let mut command = command;
+        let mut spins = 0u32;
+        loop {
+            match self.to_shards[shard].try_push(command) {
+                Ok(()) => return Ok(()),
+                Err(spsc::PushError::Disconnected(_)) => return Err(self.dead()),
+                Err(spsc::PushError::Full(rejected)) => command = rejected,
+            }
+            self.drain_returns(shard)?;
+            spins += 1;
+            if spins < 128 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
     }
 
     /// Opens the cursor's current pane if none is open: consults the cost
     /// policy and, when its directive changed (or this is the first
-    /// pane), arms every shard with a fresh worker. With an unchanged
-    /// directive the armed workers keep running, so capacity adaptation
-    /// carries across panes exactly like the single-threaded sampler
-    /// pool.
+    /// pane), arms every shard with a fresh worker. The arm command is
+    /// FIFO-ordered behind the just-broadcast close, so the retiring
+    /// worker still answers its pane before being replaced. With an
+    /// unchanged directive the armed workers keep running, so capacity
+    /// adaptation carries across panes exactly like the single-threaded
+    /// sampler pool.
     fn ensure_armed(&mut self) -> Result<(), SaError> {
         if self.pane_open {
             return Ok(());
@@ -289,11 +421,13 @@ where
             self.prev_pane_arrived
         };
         if let Some(workers) = self.shard_set.rearm(directive, expected) {
-            // The retiring workers' counters (last reported at the
-            // previous close — no chunks travel between a close and the
-            // next arm) roll into the base so shard totals stay lifetime
-            // counters across directive changes.
-            self.counter_base.clone_from(&self.counters);
+            // The retiring workers' final counters arrive with the close
+            // that is still in flight (if any): fold the base then. With
+            // no barrier pending the counters are already settled.
+            match self.pending.as_mut() {
+                Some(pending) => pending.folds_counters = true,
+                None => self.counter_base.clone_from(&self.counters),
+            }
             for (shard, worker) in workers.into_iter().enumerate() {
                 self.send(shard, ToShard::Arm(Box::new(worker)))?;
             }
@@ -304,66 +438,141 @@ where
         Ok(())
     }
 
-    /// Flushes a shard's routing buffer to its thread.
+    /// Flushes a shard's routing buffer to its thread, swapping in a
+    /// recycled buffer from the freelist — the steady-state zero
+    /// allocation path — or a fresh one only when no buffer has come
+    /// back yet.
     fn flush(&mut self, shard: usize) -> Result<(), SaError> {
         if self.buffers[shard].is_empty() {
             return Ok(());
         }
-        let chunk = std::mem::replace(
-            &mut self.buffers[shard],
-            Vec::with_capacity(self.config.chunk_items),
-        );
+        if self.free.is_empty() {
+            // Refill opportunistically before paying for an allocation.
+            for other in 0..self.shard_set.num_shards() {
+                self.drain_returns(other)?;
+            }
+        }
+        let replacement = match self.free.pop() {
+            Some(buffer) => {
+                self.counters[shard].chunks_recycled += 1;
+                buffer
+            }
+            None => Vec::with_capacity(self.config.chunk_items),
+        };
+        self.counters[shard].chunks_routed += 1;
+        let chunk = std::mem::replace(&mut self.buffers[shard], replacement);
         self.send(shard, ToShard::Chunk(chunk))
     }
 
-    /// Closes the open pane: flushes every buffer, broadcasts the close
-    /// barrier, merges the shard panes canonically and advances the
-    /// watermark to the pane end.
-    fn close_pane(&mut self) -> Result<(), SaError> {
-        let (start, end) = self.cursor.pane().expect("close_pane needs an open pane");
+    /// Closes the open pane *without waiting for the shards*: flushes
+    /// every buffer, broadcasts the close barrier and records the pane as
+    /// pending. Shards answer at their own pace and move straight on to
+    /// the next pane's chunks; the caller merges when the barrier
+    /// resolves. Strict depth-1: any previous barrier is settled first,
+    /// so every incoming answer belongs to exactly one pane.
+    fn begin_close(&mut self) -> Result<(), SaError> {
+        self.resolve_pending()?;
+        let (start, end) = self.cursor.pane().expect("begin_close needs an open pane");
         let window = Window::new(EventTime::from_millis(start), EventTime::from_millis(end));
-        // Only the close barrier is clocked: routing stays clock-free, at
-        // the price of process_nanos under-reporting the (concurrent)
+        // Only the barrier is clocked: routing stays clock-free, at the
+        // price of process_nanos under-reporting the (concurrent)
         // per-item observe cost, like the aggregated engine.
         let closing = Instant::now();
-        for shard in 0..self.shard_set.num_shards() {
+        let shards = self.shard_set.num_shards();
+        for shard in 0..shards {
             self.flush(shard)?;
+        }
+        self.pending = Some(PendingPane {
+            window,
+            arrived: self.pane_arrived,
+            idx: self.pane_idx,
+            nanos: 0,
+            answers: (0..shards).map(|_| None).collect(),
+            collected: 0,
+            folds_counters: false,
+        });
+        for shard in 0..shards {
             self.send(shard, ToShard::Close)?;
         }
-        let mut panes: Vec<Option<WorkerPane<R>>> =
-            (0..self.shard_set.num_shards()).map(|_| None).collect();
-        for _ in 0..self.shard_set.num_shards() {
-            let Ok(close) = self.results.recv() else {
-                self.alive = false;
-                return Err(SaError::Disconnected("sharded worker thread died"));
-            };
-            self.counters[close.shard].ingested =
-                self.counter_base[close.shard].ingested + close.ingested;
-            self.counters[close.shard].sampled =
-                self.counter_base[close.shard].sampled + close.sampled;
-            panes[close.shard] = Some(close.pane);
+        let pending = self.pending.as_mut().expect("created above");
+        pending.nanos += closing.elapsed().as_nanos() as u64;
+        self.prev_pane_arrived = self.pane_arrived as usize;
+        self.pane_open = false;
+        self.pane_idx += 1;
+        Ok(())
+    }
+
+    /// Settles the in-flight barrier, blocking until every shard has
+    /// answered: updates lifetime counters, merges the shard panes in
+    /// canonical ascending-shard order with the pane-seeded merge RNG,
+    /// hands the pane to the runtime and advances the watermark. A no-op
+    /// when nothing is pending.
+    fn resolve_pending(&mut self) -> Result<(), SaError> {
+        if self.pending.is_none() {
+            return Ok(());
         }
-        // Canonical merge order: ascending shard index, whatever order the
-        // threads answered in.
-        let panes: Vec<WorkerPane<R>> = panes
-            .into_iter()
-            .map(|p| p.expect("every shard answers one close"))
-            .collect();
+        let merging = Instant::now();
+        let shards = self.shard_set.num_shards();
+        let mut spins = 0u32;
+        loop {
+            for shard in 0..shards {
+                self.drain_returns(shard)?;
+            }
+            let pending = self.pending.as_ref().expect("still pending");
+            if pending.collected == shards {
+                break;
+            }
+            spins += 1;
+            if spins < 128 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        let mut pending = self.pending.take().expect("resolved above");
+        let mut panes: Vec<WorkerPane<R>> = Vec::with_capacity(shards);
+        for (shard, slot) in pending.answers.iter_mut().enumerate() {
+            let answer = slot.take().expect("every shard answers one close");
+            self.counters[shard].ingested = self.counter_base[shard].ingested + answer.ingested;
+            self.counters[shard].sampled = self.counter_base[shard].sampled + answer.sampled;
+            panes.push(answer.pane);
+        }
+        if pending.folds_counters {
+            self.counter_base.clone_from(&self.counters);
+        }
         let mut merge_rng = SmallRng::seed_from_u64(
             self.config
                 .seed
                 .derive(0x5AADED)
-                .derive(self.pane_idx)
+                .derive(pending.idx)
                 .value(),
         );
         let payload: PanePayload = self.shard_set.merge_panes(panes, &mut merge_rng);
-        let process_nanos = closing.elapsed().as_nanos() as u64;
+        let process_nanos = pending.nanos + merging.elapsed().as_nanos() as u64;
         self.runtime
-            .ingest_interval(window, payload, self.pane_arrived, process_nanos);
-        self.runtime.close_interval(window.end);
-        self.prev_pane_arrived = self.pane_arrived as usize;
-        self.pane_open = false;
-        self.pane_idx += 1;
+            .ingest_interval(pending.window, payload, pending.arrived, process_nanos);
+        self.runtime.close_interval(pending.window.end);
+        Ok(())
+    }
+
+    /// Settles the in-flight barrier only if every shard has already
+    /// answered — the overlap's happy path, merging mid-ingest without
+    /// ever waiting on a shard.
+    fn try_resolve(&mut self) -> Result<(), SaError> {
+        if self.pending.is_none() {
+            return Ok(());
+        }
+        let shards = self.shard_set.num_shards();
+        for shard in 0..shards {
+            self.drain_returns(shard)?;
+        }
+        let complete = self
+            .pending
+            .as_ref()
+            .is_some_and(|pending| pending.collected == shards);
+        if complete {
+            self.resolve_pending()?;
+        }
         Ok(())
     }
 }
@@ -383,7 +592,7 @@ where
         let t = item.time.as_millis();
         while self.cursor.needs_close(t) {
             self.ensure_armed()?;
-            self.close_pane()?;
+            self.begin_close()?;
             self.cursor.next(t);
         }
         self.ensure_armed()?;
@@ -401,6 +610,9 @@ where
         if !self.alive {
             return Err(SaError::Disconnected("sharded worker thread died"));
         }
+        // Merge mid-ingest when the previous pane's answers are already
+        // in — one cheap ring sweep per chunk call, not per item.
+        self.try_resolve()?;
         // The batch fast path: pane-cursor and arm checks run once per
         // pane portion, then the portion is routed item-by-item (routing
         // is per-item by contract — `route(stratum, seq)` — but costs no
@@ -410,7 +622,7 @@ where
             let t = items[0].time.as_millis();
             while self.cursor.needs_close(t) {
                 self.ensure_armed()?;
-                self.close_pane()?;
+                self.begin_close()?;
                 self.cursor.next(t);
             }
             self.ensure_armed()?;
@@ -432,10 +644,21 @@ where
     }
 
     fn poll_windows(&mut self) -> Vec<WindowResult> {
+        // Settle a completed barrier so its windows are observable now;
+        // an error here resurfaces on the next push/finish.
+        if self.alive {
+            let _ = self.try_resolve();
+        }
         self.runtime.take_windows()
     }
 
-    fn shard_ingest(&self) -> Vec<ShardIngest> {
+    fn shard_ingest(&mut self) -> Vec<ShardIngest> {
+        // Counters must be no staler than the last closed pane, so a
+        // status probe pays for the in-flight barrier (if any) the same
+        // way the blocking design paid at every boundary.
+        if self.alive {
+            let _ = self.resolve_pending();
+        }
         self.counters.clone()
     }
 
@@ -444,18 +667,21 @@ where
         // last boundary, mirroring the batched engine. A dead shard loses
         // its trailing pane, like an operator death on the pipelined
         // engine.
-        if self.alive && self.pane_open {
-            let _ = self.close_pane();
+        if self.alive {
+            if self.pane_open {
+                let _ = self.begin_close();
+            }
+            let _ = self.resolve_pending();
         }
         let ShardedEngine {
             runtime,
-            senders,
+            to_shards,
             threads,
             ..
         } = *self;
-        // Dropping the senders ends every shard loop; join so no thread
-        // outlives the run.
-        drop(senders);
+        // Dropping the command producers ends every shard loop; join so
+        // no thread outlives the run.
+        drop(to_shards);
         for thread in threads {
             let _ = thread.join();
         }

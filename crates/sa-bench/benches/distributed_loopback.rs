@@ -192,7 +192,7 @@ fn main() {
     emit_json(
         "distributed_loopback",
         &format!(
-            "{{\n  \"bench\": \"distributed_loopback\",\n  \"host\": {{\"cores\": {cores}}},\n  \
+            "{{\n  \"bench\": \"distributed_loopback\",\n  \"host_cores\": {cores},\n  \
              \"items\": {},\n  \"fraction\": {FRACTION},\n  \"reps\": {REPS},\n  \
              \"series\": [\n{}\n  ]\n}}\n",
             items.len(),

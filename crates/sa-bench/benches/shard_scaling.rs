@@ -122,7 +122,7 @@ fn main() {
     emit_json(
         "shard_scaling",
         &format!(
-            "{{\n  \"bench\": \"shard_scaling\",\n  \"host\": {{\"cores\": {cores}}},\n  \
+            "{{\n  \"bench\": \"shard_scaling\",\n  \"host_cores\": {cores},\n  \
              \"items\": {},\n  \"fraction\": {FRACTION},\n  \"reps\": {REPS},\n  \
              \"series\": [\n{}\n  ]\n}}\n",
             items.len(),

@@ -238,15 +238,17 @@ impl<V> OasrsSampler<V> {
     /// lookup plus one [`Reservoir::observe_run`] call, which consumes
     /// skipped gaps with a counter bump and zero RNG draws. Accepted
     /// items are moved out of the batch; skipped items are dropped
-    /// without being touched.
+    /// without being touched. The batch is *drained*: it comes back empty
+    /// with its allocation intact, so callers on a hot path can recycle
+    /// the buffer instead of allocating a fresh one per chunk.
     ///
     /// The RNG draw order is identical to calling
     /// [`observe_item`](OasrsSampler::observe_item) once per item, so
     /// batch and per-item observation produce bit-for-bit identical
     /// sampler state from the same seed — chunk boundaries are invisible
     /// to the sample.
-    pub fn observe_batch(&mut self, items: Vec<StreamItem<V>>) {
-        let mut iter = items.into_iter();
+    pub fn observe_batch(&mut self, items: &mut Vec<StreamItem<V>>) {
+        let mut iter = items.drain(..);
         while let Some(first) = iter.next() {
             let stratum = first.stratum;
             // Length of the run of same-stratum followers still in the
@@ -422,7 +424,7 @@ mod tests {
         for chunk in [1usize, 13, 256, 20_000] {
             let mut batched = OasrsSampler::new(SizingPolicy::PerStratum(50), 77);
             for run in items.chunks(chunk) {
-                batched.observe_batch(run.to_vec());
+                batched.observe_batch(&mut run.to_vec());
             }
             assert_eq!(
                 batched.finish_interval(),

@@ -58,7 +58,7 @@
 //! same order, so the two paths produce bit-for-bit identical reservoirs
 //! from the same seed.
 
-use rand::Rng;
+use rand::{PreparedUniform, Rng};
 use serde::{Deserialize, Serialize};
 
 /// The seen-count-weighted union behind every merge in this crate: draws
@@ -276,6 +276,13 @@ impl<T> Reservoir<T> {
             self.items.push(item);
             off += 1;
         }
+        // Replacement-slot draws for the whole run share one prepared
+        // sampler: the capacity is fixed for the run's duration, so
+        // Lemire's rejection threshold and the range checks are set up
+        // once per accepting run instead of once per accepted item —
+        // while consuming a `u64` stream bit-identical to `gen_range`
+        // (so batch and per-item paths still agree exactly).
+        let mut slot_draw: Option<PreparedUniform> = None;
         while off < count && self.gap_mode() {
             if self.jump.is_none() {
                 self.arm_jump(rng);
@@ -291,7 +298,8 @@ impl<T> Reservoir<T> {
             let gap = jump.skip;
             off += gap;
             self.seen += gap + 1;
-            let slot = rng.gen_range(0..self.capacity);
+            let draw = *slot_draw.get_or_insert_with(|| PreparedUniform::new(self.capacity as u64));
+            let slot = draw.sample(rng) as usize;
             self.items[slot] = accept(off);
             self.arm_jump(rng);
             off += 1;

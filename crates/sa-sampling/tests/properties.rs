@@ -573,7 +573,7 @@ proptest! {
         let mut batched = OasrsSampler::new(SizingPolicy::PerStratum(cap), seed);
         let mut prev = 0usize;
         for cut in cuts.into_iter().chain([items.len()]) {
-            batched.observe_batch(items[prev..cut].to_vec());
+            batched.observe_batch(&mut items[prev..cut].to_vec());
             prev = cut;
         }
         prop_assert_eq!(batched.finish_interval(), per_item.finish_interval());

@@ -44,8 +44,9 @@ impl IngestCounters {
 }
 
 /// One shard's lifetime counters inside a data-parallel engine, as of the
-/// last closed interval: how many items the shard's sampler was offered
-/// and how many it selected for aggregation.
+/// last closed interval: how many items the shard's sampler was offered,
+/// how many it selected for aggregation, and how the router's chunk
+/// buffers cycled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ShardIngest {
     /// The shard's index (canonical merge order).
@@ -54,6 +55,13 @@ pub struct ShardIngest {
     pub ingested: u64,
     /// Items this shard's sampler selected for aggregation.
     pub sampled: u64,
+    /// Chunk buffers shipped to this shard by the router.
+    pub chunks_routed: u64,
+    /// Of those, buffers reused from the shard fabric's return ring
+    /// rather than freshly allocated. At steady state this tracks
+    /// `chunks_routed` with a constant offset (the fabric's ring depth),
+    /// i.e. routing allocates nothing per chunk.
+    pub chunks_recycled: u64,
 }
 
 /// One remote worker's last reported progress inside a distributed
@@ -145,6 +153,8 @@ mod tests {
                 shard: 0,
                 ingested: 7,
                 sampled: 3,
+                chunks_routed: 2,
+                chunks_recycled: 1,
             }],
             workers: vec![WorkerStatus {
                 worker: 0,

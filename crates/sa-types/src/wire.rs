@@ -549,6 +549,8 @@ impl WireEncode for ShardIngest {
         self.shard.encode(out);
         put_varint(out, self.ingested);
         put_varint(out, self.sampled);
+        put_varint(out, self.chunks_routed);
+        put_varint(out, self.chunks_recycled);
     }
 }
 
@@ -558,6 +560,8 @@ impl WireDecode for ShardIngest {
             shard: usize::decode(r)?,
             ingested: r.read_varint()?,
             sampled: r.read_varint()?,
+            chunks_routed: r.read_varint()?,
+            chunks_recycled: r.read_varint()?,
         })
     }
 }
@@ -709,6 +713,8 @@ mod tests {
             shard: 3,
             ingested: 99,
             sampled: 7,
+            chunks_routed: 12,
+            chunks_recycled: 11,
         });
         roundtrip(&WorkerStatus {
             worker: 2,

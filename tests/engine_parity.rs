@@ -683,6 +683,146 @@ fn sharded_shard_counters_survive_directive_changes() {
     let _ = session.finish();
 }
 
+/// At steady state the shard fabric routes chunks in *recycled* buffers:
+/// a shard drains each chunk into its sampler and hands the empty `Vec`
+/// back on its return ring, so after a short warm-up the router allocates
+/// nothing per chunk. Small chunks over a long stream make the warm-up a
+/// vanishing fraction: ≥ 99% of all routed chunks must ride recycled
+/// buffers, and the absolute number of fresh allocations must stay below
+/// the fabric's peak demand (ring slots + one in flight per side).
+#[test]
+fn sharded_routing_recycles_chunk_buffers_at_steady_state() {
+    let stream = Mix::gaussian([3_000.0, 800.0, 80.0]).generate(50_000, 46);
+    let mut policy = FixedFraction(0.4);
+    let mut session = StreamApprox::new(query(), &mut policy)
+        .sharded(
+            ShardedConfig::new(2)
+                .with_pane_interval_ms(500)
+                .with_chunk_items(16)
+                .with_ring_chunks(4)
+                .with_seed(0xFEED_u64),
+        )
+        .start();
+    session
+        .push_batch(stream.iter().copied())
+        .expect("in order");
+    let status = session.status();
+    let routed: u64 = status.shards.iter().map(|s| s.chunks_routed).sum();
+    let recycled: u64 = status.shards.iter().map(|s| s.chunks_recycled).sum();
+    assert!(
+        routed >= 1_000,
+        "expected a long chunk stream, got {routed}"
+    );
+    assert!(recycled <= routed);
+    // Fresh allocations are bounded by the fabric (2 shards × (4-deep
+    // command ring + 6-deep return ring + 2 in flight) = 24 buffers), not
+    // by the stream length.
+    let fresh = routed - recycled;
+    assert!(
+        fresh <= 24,
+        "router kept allocating past warm-up: {fresh} fresh of {routed} chunks"
+    );
+    assert!(
+        recycled * 100 >= routed * 99,
+        "steady-state recycling below 99%: {recycled}/{routed}"
+    );
+    let _ = session.finish();
+}
+
+/// The bounded command ring is the backpressure: when a shard can't keep
+/// up, the router's `push` stalls against the full ring instead of
+/// queueing unboundedly. A deliberately slow projection (exact execution
+/// projects every item on the shard thread) makes both shards lag far
+/// behind the router; the number of chunk buffers ever allocated must
+/// stay at the fabric bound while many times that number of chunks flow
+/// through — and the stalls must not perturb the results.
+#[test]
+fn sharded_backpressure_bounds_memory_behind_slow_shards() {
+    use std::time::{Duration, Instant};
+    let stream = items(46);
+    let slow_query = || {
+        Query::new(|v: &f64| {
+            let start = Instant::now();
+            while start.elapsed() < Duration::from_micros(20) {
+                std::hint::spin_loop();
+            }
+            *v
+        })
+        .with_window(WindowSpec::sliding_millis(2_000, 1_000))
+    };
+    let config = ShardedConfig::new(2)
+        .with_pane_interval_ms(500)
+        .with_chunk_items(64)
+        .with_ring_chunks(2)
+        .with_seed(0xFEED_u64);
+    let mut slow_policy = FixedFraction(1.0);
+    let mut session = StreamApprox::new(slow_query(), &mut slow_policy)
+        .sharded(config)
+        .start();
+    session
+        .push_batch(stream.iter().copied())
+        .expect("in order");
+    let status = session.status();
+    let routed: u64 = status.shards.iter().map(|s| s.chunks_routed).sum();
+    let fresh: u64 = routed - status.shards.iter().map(|s| s.chunks_recycled).sum::<u64>();
+    assert!(routed >= 40, "expected many chunks, got {routed}");
+    // 2 shards × (2-deep command ring + 4-deep return ring + 2 in
+    // flight) = 16 buffers is all the memory a stalled router may hold.
+    assert!(
+        fresh <= 16,
+        "slow shards did not backpressure the router: {fresh} buffers allocated"
+    );
+    let slow = session.finish();
+    // The stalls are invisible in the output: an unthrottled projection
+    // over the same fabric produces the identical exact answer.
+    let mut fast_policy = FixedFraction(1.0);
+    let mut fast_session = StreamApprox::new(query(), &mut fast_policy)
+        .sharded(config)
+        .start();
+    fast_session
+        .push_batch(stream.iter().copied())
+        .expect("in order");
+    let fast = fast_session.finish();
+    assert_eq!(slow.windows, fast.windows);
+    assert_eq!(slow.items_ingested, fast.items_ingested);
+}
+
+/// The multi-shard stress oracle: four shards on one-chunk rings with
+/// tiny chunks force constant ring wraparound, router stalls and close
+/// barriers queued behind data — and none of it may show in the answer,
+/// which must be bit-for-bit the run on the default (deep-ring, large
+/// chunk) fabric at the same seed.
+#[test]
+fn sharded_small_ring_stress_matches_default_fabric() {
+    let stream = items(47);
+    let first_pane_guess = stream
+        .iter()
+        .take_while(|i| i.time.as_millis() < 500)
+        .count();
+    let run = |config: ShardedConfig| {
+        let mut policy = FixedFraction(0.4);
+        let mut session = StreamApprox::new(query(), &mut policy)
+            .sharded(config)
+            .start();
+        session
+            .push_batch(stream.iter().copied())
+            .expect("in order");
+        session.finish()
+    };
+    let base = ShardedConfig::new(4)
+        .with_pane_interval_ms(500)
+        .with_seed(0xFEED_u64)
+        .with_expected_pane_items(first_pane_guess);
+    let stressed = run(base.with_ring_chunks(1).with_chunk_items(7));
+    let relaxed = run(base);
+    assert_eq!(
+        stressed.windows, relaxed.windows,
+        "ring depth / chunk size changed the sampled answer"
+    );
+    assert_eq!(stressed.items_ingested, relaxed.items_ingested);
+    assert_eq!(stressed.items_aggregated, relaxed.items_aggregated);
+}
+
 #[test]
 fn sts_baseline_matches_native_population_but_samples_proportionally() {
     let stream = items(6);

@@ -1,12 +1,17 @@
-//! Offline stand-in for `crossbeam`: MPMC channels and a `WaitGroup`.
+//! Offline stand-in for `crossbeam`: MPMC channels, a `WaitGroup`, and a
+//! bounded lock-free SPSC ring.
 //!
 //! Semantics match the real crate where this workspace relies on them:
 //! senders and receivers are cloneable, `recv` on a channel whose senders
 //! are all gone drains the queue and then errors, `send` into a channel
 //! whose receivers are all gone errors, and bounded `send` blocks while
-//! the queue is full.
+//! the queue is full. The [`spsc`] module is the `ArrayQueue` idea
+//! specialized to one producer and one consumer — the only module that
+//! needs `unsafe`, and the only one meant for per-item hot paths.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
+
+pub mod spsc;
 
 pub mod channel {
     //! Multi-producer multi-consumer FIFO channels.
