@@ -17,6 +17,7 @@
 //! on the spot, so memory stays bounded by reservoir capacity even for
 //! unbounded streams.
 
+use crate::checkpoint::RecordCodec;
 use crate::combine::PanePayload;
 use crate::cost::{PolicyHandle, SizingDirective};
 use crate::engine::Engine;
@@ -25,7 +26,11 @@ use crate::query::Query;
 use crate::runtime::{ApproxRuntime, ExactAccumulator, PaneCursor};
 use sa_estimate::StratumStats;
 use sa_sampling::OasrsSampler;
-use sa_types::{EventTime, RunSeed, SaError, StreamItem, Window};
+use sa_types::wire::put_varint;
+use sa_types::{
+    EngineSnapshot, EventTime, RunSeed, SaError, StreamItem, Window, WireDecode, WireEncode,
+    WireReader,
+};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -95,6 +100,7 @@ pub(crate) struct AggregatedEngine<'p, R> {
     state: PaneState<R>,
     pane_arrived: u64,
     prev_pane_arrived: usize,
+    codec: Option<RecordCodec<R>>,
 }
 
 impl<'p, R> AggregatedEngine<'p, R> {
@@ -102,6 +108,7 @@ impl<'p, R> AggregatedEngine<'p, R> {
         config: AggregatedConfig,
         query: Query<R>,
         policy: impl Into<PolicyHandle<'p>>,
+        codec: Option<RecordCodec<R>>,
     ) -> Self {
         let pane_ms = config
             .pane_interval_ms
@@ -115,7 +122,17 @@ impl<'p, R> AggregatedEngine<'p, R> {
             state: PaneState::Idle,
             pane_arrived: 0,
             prev_pane_arrived: 0,
+            codec,
         }
+    }
+
+    fn require_codec(&self) -> Result<RecordCodec<R>, SaError> {
+        self.codec.ok_or_else(|| {
+            SaError::Checkpoint(
+                "engine built without a record codec; enable with StreamApprox::checkpointable"
+                    .into(),
+            )
+        })
     }
 
     /// Opens the cursor's current pane: consults the cost policy and
@@ -231,6 +248,68 @@ impl<R> Engine<R> for AggregatedEngine<'_, R> {
 
     fn poll_windows(&mut self) -> Vec<WindowResult> {
         self.runtime.take_windows()
+    }
+
+    fn panes_closed(&self) -> u64 {
+        self.runtime.panes_closed()
+    }
+
+    fn snapshot(&mut self) -> Result<EngineSnapshot, SaError> {
+        let codec = self.require_codec()?;
+        let mut state = Vec::new();
+        self.cursor.start().encode(&mut state);
+        put_varint(&mut state, self.pane_arrived);
+        put_varint(&mut state, self.prev_pane_arrived as u64);
+        match &self.state {
+            PaneState::Idle => 0u8.encode(&mut state),
+            PaneState::Sampling(sampler) => {
+                1u8.encode(&mut state);
+                sampler.encode_state_with(&mut state, &mut |v, out| (codec.encode)(v, out));
+            }
+            PaneState::Exact(acc) => {
+                2u8.encode(&mut state);
+                acc.encode_state(&mut state);
+            }
+        }
+        self.runtime.encode_state(codec, &mut state);
+        Ok(EngineSnapshot {
+            engine: "aggregated".into(),
+            pane: self.cursor.start(),
+            state,
+        })
+    }
+
+    fn restore(&mut self, snapshot: &EngineSnapshot) -> Result<(), SaError> {
+        let codec = self.require_codec()?;
+        if snapshot.engine != "aggregated" {
+            return Err(SaError::Checkpoint(format!(
+                "cannot restore a '{}' snapshot into the aggregated engine",
+                snapshot.engine
+            )));
+        }
+        let mut r = WireReader::new(&snapshot.state);
+        self.cursor.restore_start(Option::decode(&mut r)?);
+        self.pane_arrived = r.read_varint()?;
+        self.prev_pane_arrived = usize::decode(&mut r)?;
+        self.state = match u8::decode(&mut r)? {
+            0 => PaneState::Idle,
+            // A mid-pane sampler was checked out of the runtime pool when
+            // the snapshot was taken, so the pool state restored below has
+            // it missing — close_pane checks it back in, as in the
+            // original run.
+            1 => PaneState::Sampling(OasrsSampler::decode_state_with(&mut r, &mut |r| {
+                (codec.decode)(r)
+            })?),
+            2 => PaneState::Exact(ExactAccumulator::decode_state(
+                &mut r,
+                Arc::clone(&self.proj),
+            )?),
+            tag => {
+                return Err(SaError::Wire(format!("unknown pane-state tag {tag}")));
+            }
+        };
+        self.runtime.restore_state(&mut r, codec)?;
+        r.finish()
     }
 
     fn finish(mut self: Box<Self>) -> RunOutput {

@@ -23,6 +23,7 @@
 //! [`run_batched`] is a convenience wrapper: one session, one
 //! `push_batch`, one `finish`.
 
+use crate::checkpoint::RecordCodec;
 use crate::combine::PanePayload;
 use crate::cost::{CostPolicy, PolicyHandle, SizingDirective};
 use crate::engine::Engine;
@@ -32,8 +33,11 @@ use crate::runtime::{ApproxRuntime, ExactAccumulator, PaneCursor};
 use crate::session::StreamApprox;
 use sa_batched::{Cluster, MicroBatch, Pds};
 use sa_estimate::StratumStats;
-use sa_types::EventTime;
-use sa_types::{RunSeed, SaError, StratumId, StreamItem, Window};
+use sa_types::wire::put_varint;
+use sa_types::{
+    EngineSnapshot, EventTime, RunSeed, SaError, StratumId, StreamItem, Window, WireDecode,
+    WireEncode, WireReader,
+};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -63,11 +67,14 @@ impl std::fmt::Display for BatchedSystem {
     }
 }
 
-/// Configuration of the batched engine for one run.
+/// Configuration of the batched engine for one run, including which
+/// batched [`system`](BatchedConfig::system) executes each pane.
 #[derive(Debug, Clone)]
 pub struct BatchedConfig {
     /// The worker pool (topology decides shuffle locality).
     pub cluster: Cluster,
+    /// Which batched system runs the panes (StreamApprox by default).
+    pub system: BatchedSystem,
     /// Micro-batch interval in milliseconds (the paper sweeps 250–1000 ms,
     /// Figure 4c).
     pub batch_interval_ms: i64,
@@ -80,16 +87,25 @@ pub struct BatchedConfig {
 }
 
 impl BatchedConfig {
-    /// A small-machine default: 250 ms batches on the given cluster.
+    /// A small-machine default: StreamApprox with 250 ms batches on the
+    /// given cluster.
     pub fn new(cluster: Cluster) -> Self {
         let workers = cluster.num_workers();
         BatchedConfig {
             cluster,
+            system: BatchedSystem::StreamApprox,
             batch_interval_ms: 250,
             num_partitions: workers.max(2),
             sample_workers: workers.max(1),
             seed: RunSeed::DEFAULT,
         }
+    }
+
+    /// Selects which batched system runs the panes.
+    #[must_use]
+    pub fn with_system(mut self, system: BatchedSystem) -> Self {
+        self.system = system;
+        self
     }
 
     /// Sets the batch interval.
@@ -151,7 +167,7 @@ where
     R: Send + Sync + Clone + 'static,
 {
     let mut session = StreamApprox::new(query.clone(), policy)
-        .batched(config.clone(), system)
+        .batched(config.clone().with_system(system))
         .start();
     session
         .push_batch(items)
@@ -173,6 +189,7 @@ pub(crate) struct BatchedEngine<'p, R> {
     pane_items: Vec<StreamItem<R>>,
     cursor: PaneCursor,
     pane_idx: u64,
+    codec: Option<RecordCodec<R>>,
 }
 
 impl<'p, R> BatchedEngine<'p, R>
@@ -181,12 +198,13 @@ where
 {
     pub(crate) fn new(
         config: BatchedConfig,
-        system: BatchedSystem,
         query: Query<R>,
         policy: impl Into<PolicyHandle<'p>>,
+        codec: Option<RecordCodec<R>>,
     ) -> Self {
         let runtime = ApproxRuntime::new(&query, policy, config.seed, config.sample_workers.max(1));
         let cursor = PaneCursor::new(config.batch_interval_ms, query.window());
+        let system = config.system;
         BatchedEngine {
             config,
             system,
@@ -195,7 +213,17 @@ where
             pane_items: Vec::new(),
             cursor,
             pane_idx: 0,
+            codec,
         }
+    }
+
+    fn require_codec(&self) -> Result<RecordCodec<R>, SaError> {
+        self.codec.ok_or_else(|| {
+            SaError::Checkpoint(
+                "engine built without a record codec; enable with StreamApprox::checkpointable"
+                    .into(),
+            )
+        })
     }
 
     /// Closes the current pane — runs the pane job over the buffered
@@ -282,6 +310,60 @@ where
 
     fn poll_windows(&mut self) -> Vec<WindowResult> {
         self.runtime.take_windows()
+    }
+
+    fn panes_closed(&self) -> u64 {
+        self.runtime.panes_closed()
+    }
+
+    fn snapshot(&mut self) -> Result<EngineSnapshot, SaError> {
+        let codec = self.require_codec()?;
+        let mut state = Vec::new();
+        put_varint(&mut state, self.pane_idx);
+        self.cursor.start().encode(&mut state);
+        // The open pane's buffered items: a micro-batch engine samples at
+        // pane close, so mid-pane state is the raw buffer itself — still
+        // O(pane), never O(stream).
+        put_varint(&mut state, self.pane_items.len() as u64);
+        for item in &self.pane_items {
+            item.stratum.encode(&mut state);
+            item.time.encode(&mut state);
+            (codec.encode)(&item.value, &mut state);
+        }
+        self.runtime.encode_state(codec, &mut state);
+        Ok(EngineSnapshot {
+            engine: "batched".into(),
+            pane: self.cursor.start(),
+            state,
+        })
+    }
+
+    fn restore(&mut self, snapshot: &EngineSnapshot) -> Result<(), SaError> {
+        let codec = self.require_codec()?;
+        if snapshot.engine != "batched" {
+            return Err(SaError::Checkpoint(format!(
+                "cannot restore a '{}' snapshot into the batched engine",
+                snapshot.engine
+            )));
+        }
+        let mut r = WireReader::new(&snapshot.state);
+        self.pane_idx = r.read_varint()?;
+        self.cursor.restore_start(Option::decode(&mut r)?);
+        let n = r.read_len()?;
+        let mut pane_items = Vec::with_capacity(n);
+        for _ in 0..n {
+            let stratum = StratumId::decode(&mut r)?;
+            let time = EventTime::decode(&mut r)?;
+            let value = (codec.decode)(&mut r)?;
+            pane_items.push(StreamItem {
+                stratum,
+                time,
+                value,
+            });
+        }
+        self.pane_items = pane_items;
+        self.runtime.restore_state(&mut r, codec)?;
+        r.finish()
     }
 
     fn finish(mut self: Box<Self>) -> RunOutput {

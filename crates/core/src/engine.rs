@@ -19,7 +19,7 @@
 //! [`crate::ApproxSession::from_engine`].
 
 use crate::output::{RunOutput, WindowResult};
-use sa_types::{SaError, ShardIngest, StreamItem, WorkerStatus};
+use sa_types::{EngineSnapshot, SaError, ShardIngest, StreamItem, WorkerStatus};
 
 /// One execution substrate driving the approximation runtime
 /// incrementally.
@@ -73,16 +73,29 @@ pub trait Engine<R> {
     /// Takes the windows completed since the last poll.
     fn poll_windows(&mut self) -> Vec<WindowResult>;
 
+    /// Settles any in-flight interval barrier so subsequent read-only
+    /// probes ([`shard_ingest`](Engine::shard_ingest), a
+    /// [`snapshot`](Engine::snapshot)) see state no older than the last
+    /// closed pane. Engines that overlap interval merging with ingest —
+    /// the sharded engine — block here until the pending merge resolves;
+    /// everything else keeps the default no-op.
+    ///
+    /// # Errors
+    ///
+    /// [`SaError::Disconnected`] if the substrate has shut down.
+    fn settle(&mut self) -> Result<(), SaError> {
+        Ok(())
+    }
+
     /// Per-shard sampler counters for data-parallel substrates, in shard
-    /// order, as of the last closed interval. Single-worker substrates
+    /// order, as of the last settled interval. Single-worker substrates
     /// keep the default empty answer; `ApproxSession::status` surfaces
     /// this through `SessionStatus::shards`.
     ///
-    /// Takes `&mut self` so data-parallel engines can settle an in-flight
-    /// interval barrier first: the sharded engine overlaps merging with
-    /// ingest, and a status probe must not report counters older than the
-    /// last closed pane.
-    fn shard_ingest(&mut self) -> Vec<ShardIngest> {
+    /// Read-only: counters are reported as of the last
+    /// [`settle`](Engine::settle) (or pane close, whichever is later) —
+    /// call `settle` first when freshness matters.
+    fn shard_ingest(&self) -> Vec<ShardIngest> {
         Vec::new()
     }
 
@@ -92,6 +105,57 @@ pub trait Engine<R> {
     /// surfaces this through `SessionStatus::workers`.
     fn worker_status(&self) -> Vec<WorkerStatus> {
         Vec::new()
+    }
+
+    /// Serializes the engine's full mergeable state — reservoirs,
+    /// per-stratum statistics, counters, pane cursor — into a versioned
+    /// [`EngineSnapshot`]. Call [`settle`](Engine::settle) first so
+    /// data-parallel engines snapshot quiescent state.
+    ///
+    /// The default answer is [`SaError::Checkpoint`]: engines support
+    /// snapshots only when built with a record codec (see
+    /// [`crate::StreamApprox::checkpointable`]), and some substrates
+    /// (the pipelined engine, whose state lives in operator threads)
+    /// do not support them at all.
+    ///
+    /// # Errors
+    ///
+    /// [`SaError::Checkpoint`] when the engine cannot snapshot.
+    fn snapshot(&mut self) -> Result<EngineSnapshot, SaError> {
+        Err(SaError::Checkpoint(
+            "this engine does not support snapshots".into(),
+        ))
+    }
+
+    /// Restores state captured by [`snapshot`](Engine::snapshot) into a
+    /// freshly built engine of the same kind and configuration. The
+    /// engine must verify `snapshot.engine` names it before decoding.
+    ///
+    /// # Errors
+    ///
+    /// [`SaError::Checkpoint`] when the snapshot names a different
+    /// engine or this engine cannot restore; [`SaError::Wire`] on
+    /// corrupt state bytes.
+    fn restore(&mut self, snapshot: &EngineSnapshot) -> Result<(), SaError> {
+        let _ = snapshot;
+        Err(SaError::Checkpoint(
+            "this engine does not support restore".into(),
+        ))
+    }
+
+    /// Panes closed (ingested into window assembly) over the run — the
+    /// cadence counter checkpoint policies measure against. Engines
+    /// without pane bookkeeping keep the default 0.
+    fn panes_closed(&self) -> u64 {
+        0
+    }
+
+    /// Informs the engine that a checkpoint of `snapshot_bytes` sealed
+    /// bytes covering up to `pane` was taken, so substrates that report
+    /// progress remotely (the distributed worker) can reset their
+    /// exposure-to-loss counters. Default: ignored.
+    fn note_checkpoint(&mut self, pane: Option<i64>, snapshot_bytes: u64) {
+        let _ = (pane, snapshot_bytes);
     }
 
     /// Ends the stream: flushes trailing windows and returns the

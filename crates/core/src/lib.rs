@@ -120,12 +120,19 @@
 //!   answers and run metrics.
 //! * [`PaneWindower`] / [`combine_window`] — pane-based window assembly,
 //!   used by the runtime's [`WindowFinalizer`].
+//! * [`StreamApprox::checkpointable`] / [`ApproxSession::checkpoint`] /
+//!   [`StreamApprox::resume`] with [`CheckpointStore`] — bounded-error
+//!   checkpoint & resume: snapshots of the mergeable sampler state
+//!   (O(sampling budget), not O(stream)) under a
+//!   [`sa_types::CheckpointPolicy`], sealed by [`seal_session_snapshot`]
+//!   and replayed from the logged consumer offsets.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod aggregated;
 mod batched;
+mod checkpoint;
 mod combine;
 mod cost;
 mod engine;
@@ -141,6 +148,10 @@ mod windowing;
 
 pub use aggregated::AggregatedConfig;
 pub use batched::{run_batched, BatchedConfig, BatchedSystem};
+pub use checkpoint::{
+    open_session_snapshot, seal_session_snapshot, CheckpointStore, FileCheckpointStore,
+    MemoryCheckpointStore, RecordCodec,
+};
 pub use combine::{combine_window, PanePayload};
 pub use cost::{
     confidence_for_budget, policy_for_budget, AccuracyPolicy, CostPolicy, FixedFraction,

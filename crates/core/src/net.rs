@@ -214,6 +214,9 @@ enum Event {
         ingest: IngestCounters,
         watermark: Option<EventTime>,
         lag: u64,
+        last_checkpoint_pane: Option<i64>,
+        items_since_checkpoint: u64,
+        snapshot_bytes: u64,
     },
     Done {
         worker: u32,
@@ -246,11 +249,17 @@ fn reader_loop(mut stream: TcpStream, worker: u32, events: Sender<Event>) {
                 ingest,
                 watermark,
                 lag,
+                last_checkpoint_pane,
+                items_since_checkpoint,
+                snapshot_bytes,
             })) if w == worker => Event::Heartbeat {
                 worker,
                 ingest,
                 watermark,
                 lag,
+                last_checkpoint_pane,
+                items_since_checkpoint,
+                snapshot_bytes,
             },
             Ok(Some(Message::Shutdown { .. })) => Event::Done { worker },
             Ok(Some(_)) => Event::Failed(SaError::Wire(format!(
@@ -450,6 +459,9 @@ impl DistributedSession {
                             ingest: IngestCounters::default(),
                             watermark: None,
                             lag: 0,
+                            last_checkpoint_pane: None,
+                            items_since_checkpoint: 0,
+                            snapshot_bytes: 0,
                         },
                         done: false,
                         results,
@@ -462,11 +474,17 @@ impl DistributedSession {
                 ingest,
                 watermark,
                 lag,
+                last_checkpoint_pane,
+                items_since_checkpoint,
+                snapshot_bytes,
             } => {
                 if let Some(peer) = self.workers.get_mut(&worker) {
                     peer.status.ingest = ingest;
                     peer.status.watermark = watermark.max(peer.status.watermark);
                     peer.status.lag = lag;
+                    peer.status.last_checkpoint_pane = last_checkpoint_pane;
+                    peer.status.items_since_checkpoint = items_since_checkpoint;
+                    peer.status.snapshot_bytes = snapshot_bytes;
                 }
             }
             Event::Done { worker } => {
@@ -506,6 +524,9 @@ impl DistributedSession {
             peer.status.ingest = digest.counters;
             peer.status.watermark = digest.watermark.max(peer.status.watermark);
             peer.status.lag = digest.lag;
+            peer.status.last_checkpoint_pane = digest.last_checkpoint_pane;
+            peer.status.items_since_checkpoint = digest.items_since_checkpoint;
+            peer.status.snapshot_bytes = digest.snapshot_bytes;
         }
         let worker = digest.worker;
         if self
@@ -623,8 +644,12 @@ impl DistributedSession {
     /// on [`SessionStatus::workers`], plus the merged totals.
     pub fn status(&self) -> SessionStatus {
         let mut ingest = IngestCounters::default();
+        let mut items_since_checkpoint = 0u64;
+        let mut snapshot_bytes = 0u64;
         for peer in self.workers.values() {
             ingest.absorb(peer.status.ingest);
+            items_since_checkpoint += peer.status.items_since_checkpoint;
+            snapshot_bytes += peer.status.snapshot_bytes;
         }
         SessionStatus {
             items_pushed: ingest.ingested,
@@ -633,6 +658,12 @@ impl DistributedSession {
             ingest,
             shards: Vec::new(),
             workers: self.workers.values().map(|p| p.status).collect(),
+            // Checkpointing is worker-local in the distributed tier: the
+            // coordinator has no session-wide checkpoint pane, and the
+            // exposure totals below sum the workers' reports.
+            last_checkpoint_pane: None,
+            items_since_checkpoint,
+            snapshot_bytes,
         }
     }
 
@@ -742,6 +773,12 @@ pub struct DigestEngine<R> {
     lag: Arc<AtomicU64>,
     started: Instant,
     alive: bool,
+    /// Checkpoint exposure the session reports through
+    /// [`Engine::note_checkpoint`], mirrored onto every digest and
+    /// heartbeat so the coordinator's [`WorkerStatus`] shows it.
+    last_checkpoint_pane: Option<i64>,
+    items_at_checkpoint: u64,
+    snapshot_bytes: u64,
 }
 
 /// Joins a coordinator as worker `worker`: connects, performs the
@@ -818,6 +855,9 @@ pub fn connect_worker<R>(
         lag: Arc::new(AtomicU64::new(0)),
         started: Instant::now(),
         alive: true,
+        last_checkpoint_pane: None,
+        items_at_checkpoint: 0,
+        snapshot_bytes: 0,
     })
 }
 
@@ -848,6 +888,9 @@ impl<R> DigestEngine<R> {
                 },
                 watermark: self.watermark,
                 lag: self.lag.load(Ordering::Relaxed),
+                last_checkpoint_pane: self.last_checkpoint_pane,
+                items_since_checkpoint: ingested.saturating_sub(self.items_at_checkpoint),
+                snapshot_bytes: self.snapshot_bytes,
             },
         )
     }
@@ -870,6 +913,9 @@ impl<R> DigestEngine<R> {
             },
             watermark: self.watermark,
             lag: self.lag.load(Ordering::Relaxed),
+            last_checkpoint_pane: self.last_checkpoint_pane,
+            items_since_checkpoint: ingested.saturating_sub(self.items_at_checkpoint),
+            snapshot_bytes: self.snapshot_bytes,
             payload,
         };
         let sent = write_message(&mut self.stream, &Message::PaneDigest(digest));
@@ -897,6 +943,13 @@ impl<R> Engine<R> for DigestEngine<R> {
 
     fn poll_windows(&mut self) -> Vec<WindowResult> {
         Vec::new()
+    }
+
+    fn note_checkpoint(&mut self, pane: Option<i64>, snapshot_bytes: u64) {
+        let (ingested, _) = self.sampler.counters();
+        self.last_checkpoint_pane = pane;
+        self.items_at_checkpoint = ingested;
+        self.snapshot_bytes = snapshot_bytes;
     }
 
     fn finish(self: Box<Self>) -> RunOutput {

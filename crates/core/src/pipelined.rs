@@ -49,6 +49,9 @@ impl std::fmt::Display for PipelinedSystem {
 /// Configuration of the pipelined engine for one run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PipelinedConfig {
+    /// Which system to run: Flink-based StreamApprox (the default) or
+    /// native Flink execution without sampling.
+    pub system: PipelinedSystem,
     /// Parallel instances of the sampling/stats stage.
     pub sample_workers: usize,
     /// Seed for sampling decisions.
@@ -68,11 +71,19 @@ impl PipelinedConfig {
     /// watermarks.
     pub fn new() -> Self {
         PipelinedConfig {
+            system: PipelinedSystem::StreamApprox,
             sample_workers: 2,
             seed: RunSeed::DEFAULT,
             watermark_interval_ms: 100,
             expected_pane_items: 0,
         }
+    }
+
+    /// Picks the system to run (StreamApprox or the native baseline).
+    #[must_use]
+    pub fn with_system(mut self, system: PipelinedSystem) -> Self {
+        self.system = system;
+        self
     }
 
     /// Sets the number of sampling workers.
@@ -280,7 +291,11 @@ where
         .take_while(|i| i.time.as_millis() < pane_ms)
         .count();
     let mut session = StreamApprox::new(query.clone(), policy)
-        .pipelined(config.with_expected_pane_items(first_pane_guess), system)
+        .pipelined(
+            config
+                .with_expected_pane_items(first_pane_guess)
+                .with_system(system),
+        )
         .start();
     session
         .push_batch(items)

@@ -30,6 +30,10 @@
 //! engine-specific: micro-batch dataset formation and cluster shuffles in
 //! `batched`, operator pipelines and exchanges in `pipelined`.
 
+use crate::checkpoint::{
+    decode_directive, decode_pane_payload, decode_window_result, encode_directive,
+    encode_pane_payload, encode_window_result, RecordCodec,
+};
 use crate::combine::{combine_window, PanePayload};
 use crate::cost::{CostPolicy, IntervalFeedback, PolicyHandle, SizingDirective};
 use crate::output::{RunOutput, WindowResult};
@@ -39,7 +43,8 @@ use rand::Rng;
 use sa_estimate::{estimate_mean, StratumStats, Welford};
 use sa_sampling::{merge_all_stratified, OasrsSampler, SizingPolicy};
 use sa_types::{
-    Confidence, EventTime, RunSeed, StratifiedSample, StratumId, StreamItem, Window, WindowSpec,
+    wire::put_varint, Confidence, EventTime, RunSeed, SaError, StratifiedSample, StratumId,
+    StreamItem, Window, WindowSpec, WireDecode, WireEncode, WireReader,
 };
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -128,6 +133,37 @@ impl<R> ExactAccumulator<R> {
             .into_iter()
             .map(|(stratum, acc)| StratumStats::from_parts(stratum, acc.count(), acc))
             .collect()
+    }
+
+    /// Serializes the open interval's accumulators for an engine snapshot.
+    pub(crate) fn encode_state(&self, out: &mut Vec<u8>) {
+        put_varint(out, self.accs.len() as u64);
+        for (stratum, acc) in &self.accs {
+            stratum.encode(out);
+            acc.encode(out);
+        }
+    }
+
+    /// Rebuilds an accumulator from snapshot state, projecting through
+    /// `proj` (not part of the state: the restored engine supplies the
+    /// same query's projection).
+    pub(crate) fn decode_state(
+        r: &mut WireReader<'_>,
+        proj: Arc<dyn Fn(&R) -> f64 + Send + Sync>,
+    ) -> Result<Self, SaError> {
+        let n = r.read_len()?;
+        let mut accs = BTreeMap::new();
+        for _ in 0..n {
+            let stratum = StratumId::decode(r)?;
+            let acc = Welford::decode(r)?;
+            if accs.insert(stratum, acc).is_some() {
+                return Err(SaError::Wire(format!(
+                    "duplicate stratum {} in accumulator state",
+                    stratum.0
+                )));
+            }
+        }
+        Ok(ExactAccumulator { accs, proj })
     }
 }
 
@@ -297,6 +333,48 @@ impl<R> IntervalWorker<R> {
     pub fn counters(&self) -> (u64, u64) {
         (self.ingested, self.sampled)
     }
+
+    /// Serializes the worker's full mid-interval state — sampler or
+    /// accumulator plus lifetime counters — for an engine snapshot.
+    /// Records inside reservoirs go through `codec`.
+    pub(crate) fn encode_state(&self, codec: RecordCodec<R>, out: &mut Vec<u8>) {
+        match &self.kind {
+            WorkerKind::Sampling(sampler) => {
+                0u8.encode(out);
+                sampler.encode_state_with(out, &mut |v, out| (codec.encode)(v, out));
+            }
+            WorkerKind::Exact(acc) => {
+                1u8.encode(out);
+                acc.encode_state(out);
+            }
+        }
+        put_varint(out, self.ingested);
+        put_varint(out, self.sampled);
+    }
+
+    /// Rebuilds a worker from snapshot state. The projection is supplied
+    /// by the restored engine (same query), not the snapshot.
+    pub(crate) fn decode_state(
+        r: &mut WireReader<'_>,
+        codec: RecordCodec<R>,
+        proj: Arc<dyn Fn(&R) -> f64 + Send + Sync>,
+    ) -> Result<Self, SaError> {
+        let kind = match u8::decode(r)? {
+            0 => WorkerKind::Sampling(OasrsSampler::decode_state_with(r, &mut |r| {
+                (codec.decode)(r)
+            })?),
+            1 => WorkerKind::Exact(ExactAccumulator::decode_state(r, Arc::clone(&proj))?),
+            tag => {
+                return Err(SaError::Wire(format!("unknown worker-kind tag {tag}")));
+            }
+        };
+        Ok(IntervalWorker {
+            kind,
+            proj,
+            ingested: r.read_varint()?,
+            sampled: r.read_varint()?,
+        })
+    }
 }
 
 /// The shard-aware sampler lifecycle for data-parallel engines: routing,
@@ -386,6 +464,23 @@ impl<R> ShardSet<R> {
                 .map(|i| IntervalWorker::for_shard(sizing, self.seed, i, Arc::clone(&self.proj)))
                 .collect(),
         )
+    }
+
+    /// The directive currently armed, if any.
+    pub(crate) fn directive(&self) -> Option<SizingDirective> {
+        self.directive
+    }
+
+    /// Forces the armed directive without building workers — used on
+    /// restore, where the workers come from the snapshot and
+    /// [`rearm`](ShardSet::rearm) must not replace them on the next pane.
+    pub(crate) fn force_directive(&mut self, directive: Option<SizingDirective>) {
+        self.directive = directive;
+    }
+
+    /// The projection handle, for rebuilding workers from snapshot state.
+    pub(crate) fn projection(&self) -> Arc<dyn Fn(&R) -> f64 + Send + Sync> {
+        Arc::clone(&self.proj)
     }
 
     /// Merges one interval's per-shard closes — given in ascending shard
@@ -491,6 +586,17 @@ impl PaneCursor {
         }
     }
 
+    /// The open pane's start, for engine snapshots (`None` before the
+    /// first item).
+    pub(crate) fn start(&self) -> Option<i64> {
+        self.start
+    }
+
+    /// Restores the open pane's start from a snapshot.
+    pub(crate) fn restore_start(&mut self, start: Option<i64>) {
+        self.start = start;
+    }
+
     /// Moves to the pane after a close: the adjacent interval, or — when
     /// the item at `t` is beyond the skip horizon — the item's own pane.
     pub(crate) fn next(&mut self, t: i64) {
@@ -561,6 +667,55 @@ impl WindowFinalizer {
                 .push(combine_window(window, panes, self.confidence));
         }
     }
+
+    /// Serializes the windower's open panes, watermark and any undrained
+    /// completed windows for an engine snapshot. The spec and confidence
+    /// are not state: a restored engine rebuilds them from the query.
+    pub(crate) fn encode_state(&self, out: &mut Vec<u8>) {
+        let (panes, watermark) = self.windower.state();
+        watermark.encode(out);
+        put_varint(out, panes.len() as u64);
+        for (&start, payloads) in panes {
+            start.encode(out);
+            put_varint(out, payloads.len() as u64);
+            for p in payloads {
+                encode_pane_payload(p, out);
+            }
+        }
+        put_varint(out, self.completed.len() as u64);
+        for w in &self.completed {
+            encode_window_result(w, out);
+        }
+    }
+
+    /// Restores the windower's panes, watermark and undrained windows
+    /// from a snapshot.
+    pub(crate) fn restore_state(&mut self, r: &mut WireReader<'_>) -> Result<(), SaError> {
+        let watermark = EventTime::decode(r)?;
+        let n = r.read_len()?;
+        let mut panes: BTreeMap<i64, Vec<PanePayload>> = BTreeMap::new();
+        for _ in 0..n {
+            let start = i64::decode(r)?;
+            let count = r.read_len()?;
+            let mut payloads = Vec::with_capacity(count);
+            for _ in 0..count {
+                payloads.push(decode_pane_payload(r)?);
+            }
+            if panes.insert(start, payloads).is_some() {
+                return Err(SaError::Wire(format!(
+                    "duplicate pane start {start} in windower state"
+                )));
+            }
+        }
+        self.windower.restore_state(panes, watermark);
+        let count = r.read_len()?;
+        let mut completed = Vec::with_capacity(count);
+        for _ in 0..count {
+            completed.push(decode_window_result(r)?);
+        }
+        self.completed = completed;
+        Ok(())
+    }
 }
 
 /// A persistent pool of per-worker OASRS samplers, rebuilt only when the
@@ -602,6 +757,7 @@ pub struct ApproxRuntime<'p, R> {
     workers: usize,
     ingested: u64,
     aggregated: u64,
+    panes: u64,
     started: Instant,
 }
 
@@ -623,8 +779,15 @@ impl<'p, R> ApproxRuntime<'p, R> {
             workers: workers.max(1),
             ingested: 0,
             aggregated: 0,
+            panes: 0,
             started: Instant::now(),
         }
+    }
+
+    /// Panes ingested over the run — the cadence counter checkpoint
+    /// policies measure "panes since the last snapshot" against.
+    pub fn panes_closed(&self) -> u64 {
+        self.panes
     }
 
     /// The cost policy's directive for the next interval.
@@ -685,6 +848,7 @@ impl<'p, R> ApproxRuntime<'p, R> {
     ) {
         self.ingested += arrived;
         self.aggregated += payload.sampled();
+        self.panes += 1;
         let relative_error = match &payload {
             PanePayload::Stratified(stats) if !stats.is_empty() => {
                 Some(estimate_mean(stats, self.finalizer.confidence()).relative_error())
@@ -709,6 +873,63 @@ impl<'p, R> ApproxRuntime<'p, R> {
     /// drain an [`crate::ApproxSession`] serves `poll_windows` from.
     pub fn take_windows(&mut self) -> Vec<WindowResult> {
         self.finalizer.drain_windows()
+    }
+
+    /// Serializes the runtime's snapshotable state: run counters, the
+    /// sampler pool (directive plus every sampler's mid-adaptation state)
+    /// and the window finalizer. Deliberately excluded: wall-clock time
+    /// and cost-policy adaptation (see `crate::checkpoint` module docs).
+    pub(crate) fn encode_state(&self, codec: RecordCodec<R>, out: &mut Vec<u8>) {
+        put_varint(out, self.ingested);
+        put_varint(out, self.aggregated);
+        put_varint(out, self.panes);
+        match &self.pool {
+            None => 0u8.encode(out),
+            Some(pool) => {
+                1u8.encode(out);
+                encode_directive(&pool.directive, out);
+                put_varint(out, pool.samplers.len() as u64);
+                for s in &pool.samplers {
+                    s.encode_state_with(out, &mut |v, out| (codec.encode)(v, out));
+                }
+            }
+        }
+        self.finalizer.encode_state(out);
+    }
+
+    /// Restores the runtime's snapshotable state in place. The policy,
+    /// seed, worker count and finalizer spec keep their freshly-built
+    /// values — they derive from the query and configuration, which must
+    /// match the snapshotting run's.
+    pub(crate) fn restore_state(
+        &mut self,
+        r: &mut WireReader<'_>,
+        codec: RecordCodec<R>,
+    ) -> Result<(), SaError> {
+        self.ingested = r.read_varint()?;
+        self.aggregated = r.read_varint()?;
+        self.panes = r.read_varint()?;
+        self.pool = match u8::decode(r)? {
+            0 => None,
+            1 => {
+                let directive = decode_directive(r)?;
+                let n = r.read_len()?;
+                let mut samplers = Vec::with_capacity(n);
+                for _ in 0..n {
+                    samplers.push(OasrsSampler::decode_state_with(r, &mut |r| {
+                        (codec.decode)(r)
+                    })?);
+                }
+                Some(SamplerPool {
+                    directive,
+                    samplers,
+                })
+            }
+            tag => {
+                return Err(SaError::Wire(format!("unknown sampler-pool tag {tag}")));
+            }
+        };
+        self.finalizer.restore_state(r)
     }
 
     /// Ends the run: flushes trailing windows and returns the completed

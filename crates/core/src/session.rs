@@ -13,6 +13,7 @@
 
 use crate::aggregated::{AggregatedConfig, AggregatedEngine};
 use crate::batched::{BatchedConfig, BatchedEngine, BatchedSystem};
+use crate::checkpoint::{seal_session_snapshot, CheckpointStore, RecordCodec};
 use crate::cost::{confidence_for_budget, policy_for_budget, CostPolicy, PolicyHandle};
 use crate::engine::Engine;
 use crate::net::{DistributedConfig, DistributedSession};
@@ -21,14 +22,20 @@ use crate::pipelined::{PipelinedConfig, PipelinedEngine, PipelinedSystem};
 use crate::query::Query;
 use crate::sharded::{ShardedConfig, ShardedEngine};
 use sa_aggregator::Consumer;
-use sa_types::{EventTime, IngestCounters, QueryBudget, SaError, SessionStatus, StreamItem};
+use sa_types::{
+    CheckpointPolicy, EventTime, IngestCounters, QueryBudget, SaError, SessionSnapshot,
+    SessionStatus, StreamItem, WireDecode, WireEncode,
+};
 
 /// Deferred engine construction: each builder method captures its config
 /// in a factory closure so that trait bounds stay per-engine — the
 /// batched engine needs `R: Clone` for dataset formation, the pipelined
 /// engine only `Send + Sync + 'static` for its threads, the aggregated
-/// path nothing at all — instead of `start()` demanding their union.
-type BuildFn<'p, R> = dyn FnOnce(Query<R>, PolicyHandle<'p>) -> Box<dyn Engine<R> + 'p> + 'p;
+/// path nothing at all — instead of `start()` demanding their union. The
+/// third argument is the record codec when the builder was made
+/// checkpointable, threaded through to engines that snapshot.
+type BuildFn<'p, R> =
+    dyn FnOnce(Query<R>, PolicyHandle<'p>, Option<RecordCodec<R>>) -> Box<dyn Engine<R> + 'p> + 'p;
 
 struct EngineFactory<'p, R> {
     name: &'static str,
@@ -38,8 +45,8 @@ struct EngineFactory<'p, R> {
 fn aggregated_factory<'p, R: 'p>(config: AggregatedConfig) -> EngineFactory<'p, R> {
     EngineFactory {
         name: "aggregated",
-        build: Box::new(move |query, policy| {
-            Box::new(AggregatedEngine::new(config, query, policy))
+        build: Box::new(move |query, policy, codec| {
+            Box::new(AggregatedEngine::new(config, query, policy, codec))
         }),
     }
 }
@@ -76,6 +83,8 @@ pub struct StreamApprox<'p, R> {
     query: Query<R>,
     policy: PolicyHandle<'p>,
     factory: EngineFactory<'p, R>,
+    codec: Option<RecordCodec<R>>,
+    checkpoint_policy: CheckpointPolicy,
 }
 
 impl<'p, R: 'p> StreamApprox<'p, R> {
@@ -88,6 +97,8 @@ impl<'p, R: 'p> StreamApprox<'p, R> {
             query,
             policy: policy.into(),
             factory: aggregated_factory(AggregatedConfig::new()),
+            codec: None,
+            checkpoint_policy: CheckpointPolicy::default(),
         }
     }
 
@@ -112,40 +123,102 @@ impl<'p, R: 'p> StreamApprox<'p, R> {
             query: query.with_confidence(confidence),
             policy: policy.into(),
             factory: aggregated_factory(AggregatedConfig::new()),
+            codec: None,
+            checkpoint_policy: CheckpointPolicy::default(),
         })
     }
 
-    /// Runs the session on the batched (Spark-Streaming-style) engine.
+    /// Enables checkpointing: the engine built by [`start`] carries a
+    /// record codec so [`ApproxSession::checkpoint`] can serialize its
+    /// reservoirs, and [`resume`](StreamApprox::resume) can rebuild them.
+    /// Requires the record type to speak the workspace wire codec.
+    ///
+    /// [`start`]: StreamApprox::start
     #[must_use]
-    pub fn batched(mut self, config: BatchedConfig, system: BatchedSystem) -> Self
+    pub fn checkpointable(mut self) -> Self
+    where
+        R: WireEncode + WireDecode,
+    {
+        self.codec = Some(RecordCodec::new());
+        self
+    }
+
+    /// Sets when [`ApproxSession::checkpoint_due`] reports a checkpoint
+    /// as due (default: at every pane close, no item budget).
+    #[must_use]
+    pub fn with_checkpoint_policy(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint_policy = policy;
+        self
+    }
+
+    /// Runs the session on the batched (Spark-Streaming-style) engine.
+    /// The system to run (StreamApprox or a baseline) is part of
+    /// [`BatchedConfig`]; see [`BatchedConfig::with_system`].
+    #[must_use]
+    pub fn batched(mut self, config: BatchedConfig) -> Self
     where
         R: Send + Sync + Clone + 'static,
     {
         self.factory = EngineFactory {
             name: "batched",
-            build: Box::new(move |query, policy| {
-                Box::new(BatchedEngine::new(config, system, query, policy))
+            build: Box::new(move |query, policy, codec| {
+                Box::new(BatchedEngine::new(config, query, policy, codec))
             }),
         };
         self
     }
 
-    /// Runs the session on the pipelined (Flink-style) engine.
+    /// Runs the session on the batched engine with an explicit system.
+    #[deprecated(
+        since = "0.1.0",
+        note = "fold the system into the config: `batched(config.with_system(system))`"
+    )]
     #[must_use]
-    pub fn pipelined(mut self, config: PipelinedConfig, system: PipelinedSystem) -> Self
+    pub fn batched_with_system(self, config: BatchedConfig, system: BatchedSystem) -> Self
+    where
+        R: Send + Sync + Clone + 'static,
+    {
+        self.batched(config.with_system(system))
+    }
+
+    /// Runs the session on the pipelined (Flink-style) engine. The system
+    /// to run is part of [`PipelinedConfig`]; see
+    /// [`PipelinedConfig::with_system`].
+    #[must_use]
+    pub fn pipelined(mut self, config: PipelinedConfig) -> Self
     where
         R: Send + Sync + 'static,
     {
         self.factory = EngineFactory {
             name: "pipelined",
-            build: Box::new(move |query, mut policy| {
+            build: Box::new(move |query, mut policy, _codec| {
                 // The pipelined engine consults the policy once at
                 // startup (§4.2.2 adaptivity lives in OASRS itself), so
-                // the engine does not carry the policy borrow.
-                Box::new(PipelinedEngine::new(&config, system, &query, &mut policy))
+                // the engine does not carry the policy borrow. Its state
+                // lives in operator threads, so it ignores the codec and
+                // does not snapshot.
+                Box::new(PipelinedEngine::new(
+                    &config,
+                    config.system,
+                    &query,
+                    &mut policy,
+                ))
             }),
         };
         self
+    }
+
+    /// Runs the session on the pipelined engine with an explicit system.
+    #[deprecated(
+        since = "0.1.0",
+        note = "fold the system into the config: `pipelined(config.with_system(system))`"
+    )]
+    #[must_use]
+    pub fn pipelined_with_system(self, config: PipelinedConfig, system: PipelinedSystem) -> Self
+    where
+        R: Send + Sync + 'static,
+    {
+        self.pipelined(config.with_system(system))
     }
 
     /// Runs the session on the sharded data-parallel engine: items are
@@ -160,8 +233,8 @@ impl<'p, R: 'p> StreamApprox<'p, R> {
     {
         self.factory = EngineFactory {
             name: "sharded",
-            build: Box::new(move |query, policy| {
-                Box::new(ShardedEngine::new(config, query, policy))
+            build: Box::new(move |query, policy, codec| {
+                Box::new(ShardedEngine::new(config, query, policy, codec))
             }),
         };
         self
@@ -206,8 +279,58 @@ impl<'p, R: 'p> StreamApprox<'p, R> {
             query,
             policy,
             factory,
+            codec,
+            checkpoint_policy,
         } = self;
-        ApproxSession::from_engine((factory.build)(query, policy))
+        let mut session = ApproxSession::from_engine((factory.build)(query, policy, codec));
+        session.checkpoint_policy = checkpoint_policy;
+        session
+    }
+
+    /// Builds the chosen engine and restores it from a
+    /// [`SessionSnapshot`], resuming the session where the checkpoint
+    /// left off: engine state, watermark, counters, and the consumer
+    /// replay offsets (the next
+    /// [`ingest_consumer`](ApproxSession::ingest_consumer) seeks them
+    /// before polling, so the already-counted log prefix is never
+    /// double-counted).
+    ///
+    /// The builder must be configured exactly like the one that took the
+    /// checkpoint — same engine, config, budget, and
+    /// [`checkpointable`](StreamApprox::checkpointable) — since only the
+    /// engine named in the snapshot can decode its state.
+    ///
+    /// # Errors
+    ///
+    /// [`SaError::Checkpoint`] when the snapshot names a different engine
+    /// or the builder is not checkpointable; [`SaError::Wire`] on corrupt
+    /// snapshot state.
+    pub fn resume(self, snapshot: &SessionSnapshot) -> Result<ApproxSession<'p, R>, SaError> {
+        let StreamApprox {
+            query,
+            policy,
+            factory,
+            codec,
+            checkpoint_policy,
+        } = self;
+        let mut engine = (factory.build)(query, policy, codec);
+        engine.restore(&snapshot.engine)?;
+        let snapshot_bytes = seal_session_snapshot(snapshot)?.len() as u64;
+        engine.note_checkpoint(snapshot.engine.pane, snapshot_bytes);
+        let panes_at_checkpoint = engine.panes_closed();
+        Ok(ApproxSession {
+            engine,
+            watermark: snapshot.watermark,
+            ingest: snapshot.ingest,
+            completed: snapshot.windows_completed,
+            checkpoint_policy,
+            last_checkpoint_pane: snapshot.engine.pane,
+            panes_at_checkpoint,
+            items_since_checkpoint: 0,
+            snapshot_bytes,
+            replay: snapshot.replay.clone(),
+            needs_seek: !snapshot.replay.is_empty(),
+        })
     }
 }
 
@@ -237,6 +360,20 @@ pub struct ApproxSession<'p, R> {
     watermark: Option<EventTime>,
     ingest: IngestCounters,
     completed: u64,
+    checkpoint_policy: CheckpointPolicy,
+    last_checkpoint_pane: Option<i64>,
+    /// The engine's `panes_closed()` reading at the last checkpoint — the
+    /// cadence baseline `checkpoint_due` measures against.
+    panes_at_checkpoint: u64,
+    items_since_checkpoint: u64,
+    snapshot_bytes: u64,
+    /// The log consumer's replay offsets: captured after every
+    /// `ingest_consumer` poll so a checkpoint records exactly where the
+    /// counted prefix ends.
+    replay: Vec<(usize, u64)>,
+    /// Set on resume: the next `ingest_consumer` must seek `replay`
+    /// before polling.
+    needs_seek: bool,
 }
 
 impl<'p, R> ApproxSession<'p, R> {
@@ -249,6 +386,13 @@ impl<'p, R> ApproxSession<'p, R> {
             watermark: None,
             ingest: IngestCounters::default(),
             completed: 0,
+            checkpoint_policy: CheckpointPolicy::default(),
+            last_checkpoint_pane: None,
+            panes_at_checkpoint: 0,
+            items_since_checkpoint: 0,
+            snapshot_bytes: 0,
+            replay: Vec::new(),
+            needs_seek: false,
         }
     }
 
@@ -274,6 +418,7 @@ impl<'p, R> ApproxSession<'p, R> {
         self.engine.push(item)?;
         self.watermark = Some(time);
         self.ingest.ingested += 1;
+        self.items_since_checkpoint += 1;
         Ok(())
     }
 
@@ -321,6 +466,7 @@ impl<'p, R> ApproxSession<'p, R> {
         self.engine.push_chunk(items)?;
         self.watermark = Some(last);
         self.ingest.ingested += delta.ingested;
+        self.items_since_checkpoint += delta.ingested;
         Ok(delta)
     }
 
@@ -352,9 +498,20 @@ impl<'p, R> ApproxSession<'p, R> {
     where
         R: Clone,
     {
+        // A resumed session replays the log from its snapshot's offsets:
+        // the already-counted prefix is skipped at the log, not dropped
+        // as late data.
+        if self.needs_seek {
+            consumer.seek(&self.replay)?;
+            self.needs_seek = false;
+        }
         // Same drop-late accounting as push_batch, and the polled batch
         // rides the engines' chunk fast path.
-        self.push_batch(consumer.poll_items(max_messages))
+        let delta = self.push_batch(consumer.poll_items(max_messages))?;
+        // Remember where the counted prefix ends, so a checkpoint taken
+        // now records exactly this poll boundary.
+        self.replay = consumer.offsets();
+        Ok(delta)
     }
 
     /// Takes the windows completed since the last poll, in watermark
@@ -375,15 +532,27 @@ impl<'p, R> ApproxSession<'p, R> {
         self.watermark
     }
 
+    /// Settles any in-flight interval barrier, so the next
+    /// [`status`](ApproxSession::status) reports shard counters no staler
+    /// than the last closed pane. A no-op on engines without deferred
+    /// barriers (everything but the sharded engine).
+    ///
+    /// # Errors
+    ///
+    /// [`SaError::Disconnected`] if the engine has shut down.
+    pub fn settle(&mut self) -> Result<(), SaError> {
+        self.engine.settle()
+    }
+
     /// A snapshot of the session's progress counters: pushes, polls,
     /// watermark, the unified [`IngestCounters`] across every ingestion
-    /// path, and — on data-parallel engines — per-shard sampler counters
-    /// as of the last closed interval.
+    /// path, checkpoint exposure, and — on data-parallel engines —
+    /// per-shard sampler counters.
     ///
-    /// Takes `&mut self` because data-parallel engines settle any
-    /// in-flight interval barrier before reporting, so the counters are
-    /// never staler than the last closed pane.
-    pub fn status(&mut self) -> SessionStatus {
+    /// Read-only: on the sharded engine the shard counters are as of the
+    /// last settled interval barrier — call
+    /// [`settle`](ApproxSession::settle) first when freshness matters.
+    pub fn status(&self) -> SessionStatus {
         SessionStatus {
             items_pushed: self.ingest.ingested,
             windows_completed: self.completed,
@@ -391,7 +560,78 @@ impl<'p, R> ApproxSession<'p, R> {
             ingest: self.ingest,
             shards: self.engine.shard_ingest(),
             workers: self.engine.worker_status(),
+            last_checkpoint_pane: self.last_checkpoint_pane,
+            items_since_checkpoint: self.items_since_checkpoint,
+            snapshot_bytes: self.snapshot_bytes,
         }
+    }
+
+    /// Whether the session's [`CheckpointPolicy`] says a checkpoint is
+    /// due — enough panes closed, or enough items accepted, since the
+    /// last one.
+    pub fn checkpoint_due(&self) -> bool {
+        let panes_since = self
+            .engine
+            .panes_closed()
+            .saturating_sub(self.panes_at_checkpoint);
+        self.checkpoint_policy.due(
+            panes_since.min(u64::from(u32::MAX)) as u32,
+            self.items_since_checkpoint,
+        )
+    }
+
+    /// Takes a checkpoint: settles the engine, snapshots its mergeable
+    /// state (O(sampling budget), not O(stream)), and wraps it with the
+    /// session's watermark, counters, and log replay offsets. The
+    /// session keeps running; feed the snapshot to
+    /// [`StreamApprox::resume`] (usually via a
+    /// [`CheckpointStore`]) after a crash.
+    ///
+    /// A checkpoint taken at a pane boundary restores bit-identically; one
+    /// taken mid-pane restores the engine exactly as of the items pushed
+    /// so far, so replaying the rest of the stream stays within the
+    /// estimator's confidence bounds of an uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// [`SaError::Checkpoint`] when the engine cannot snapshot (built
+    /// without [`StreamApprox::checkpointable`], or a substrate that does
+    /// not support snapshots); [`SaError::Disconnected`] if the engine has
+    /// shut down.
+    pub fn checkpoint(&mut self) -> Result<SessionSnapshot, SaError> {
+        self.engine.settle()?;
+        let engine_snapshot = self.engine.snapshot()?;
+        let snapshot = SessionSnapshot {
+            engine: engine_snapshot,
+            watermark: self.watermark,
+            ingest: self.ingest,
+            items_pushed: self.ingest.ingested,
+            windows_completed: self.completed,
+            replay: self.replay.clone(),
+        };
+        self.snapshot_bytes = seal_session_snapshot(&snapshot)?.len() as u64;
+        self.last_checkpoint_pane = snapshot.engine.pane;
+        self.panes_at_checkpoint = self.engine.panes_closed();
+        self.items_since_checkpoint = 0;
+        self.engine
+            .note_checkpoint(snapshot.engine.pane, self.snapshot_bytes);
+        Ok(snapshot)
+    }
+
+    /// Takes a checkpoint and persists its sealed frame to `store`,
+    /// returning the sealed size in bytes. Load it back with
+    /// [`CheckpointStore::load`] +
+    /// [`crate::open_session_snapshot`] + [`StreamApprox::resume`].
+    ///
+    /// # Errors
+    ///
+    /// Everything [`checkpoint`](ApproxSession::checkpoint) can return,
+    /// plus the store's I/O errors.
+    pub fn checkpoint_to(&mut self, store: &mut dyn CheckpointStore) -> Result<u64, SaError> {
+        let snapshot = self.checkpoint()?;
+        let sealed = seal_session_snapshot(&snapshot)?;
+        store.save(&sealed)?;
+        Ok(sealed.len() as u64)
     }
 
     /// Ends the stream: flushes every still-open window and returns the
@@ -458,6 +698,9 @@ mod tests {
                 ingest: IngestCounters::default(),
                 shards: Vec::new(),
                 workers: Vec::new(),
+                last_checkpoint_pane: None,
+                items_since_checkpoint: 0,
+                snapshot_bytes: 0,
             }
         );
         for ms in [0, 400, 1_200, 2_600] {
@@ -516,6 +759,32 @@ mod tests {
             sa_types::Confidence::P997
         );
         assert!(StreamApprox::with_budget(query(), QueryBudget::SampleFraction(0.0)).is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_system_shims_match_the_config_route() {
+        use crate::batched::BatchedSystem;
+        use sa_batched::Cluster;
+        let items: Vec<StreamItem<f64>> = (0..2_000)
+            .map(|ms| item(ms, f64::from(ms as u32 % 7)))
+            .collect();
+        let mut policy = FixedFraction(0.5);
+        let mut shim = StreamApprox::new(query(), &mut policy)
+            .batched_with_system(
+                BatchedConfig::new(Cluster::new(2)),
+                BatchedSystem::StreamApprox,
+            )
+            .start();
+        shim.push_batch(items.clone()).expect("in order");
+        let shim_out = shim.finish();
+        let mut policy = FixedFraction(0.5);
+        let mut direct = StreamApprox::new(query(), &mut policy)
+            .batched(BatchedConfig::new(Cluster::new(2)).with_system(BatchedSystem::StreamApprox))
+            .start();
+        direct.push_batch(items).expect("in order");
+        let direct_out = direct.finish();
+        assert_eq!(shim_out.windows, direct_out.windows);
     }
 
     #[test]

@@ -57,6 +57,7 @@
 //! holds that oracle); with many shards the answers agree statistically,
 //! within the estimators' confidence bounds.
 
+use crate::checkpoint::{decode_directive, encode_directive, RecordCodec};
 use crate::combine::PanePayload;
 use crate::cost::PolicyHandle;
 use crate::engine::Engine;
@@ -66,7 +67,12 @@ use crate::runtime::{ApproxRuntime, IntervalWorker, PaneCursor, ShardSet, Worker
 use crossbeam::spsc;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use sa_types::{EventTime, RunSeed, SaError, ShardIngest, StreamItem, Window};
+use sa_types::wire::put_varint;
+use sa_types::{
+    EngineSnapshot, EventTime, RunSeed, SaError, ShardIngest, StreamItem, Window, WireDecode,
+    WireEncode, WireReader,
+};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -176,6 +182,11 @@ enum ToShard<R> {
     Chunk(Vec<StreamItem<R>>),
     /// Close the current interval and answer with a [`ShardClose`].
     Close,
+    /// Serialize the shard's worker state (for a checkpoint) and answer
+    /// with a [`FromShard::Snapshot`]. Sent only on a quiescent fabric —
+    /// after the pending barrier resolved and every buffer flushed — so
+    /// the encoded state is exactly the shard's view of the open pane.
+    Snapshot(RecordCodec<R>),
 }
 
 /// Traffic a shard sends back up its return ring.
@@ -184,6 +195,9 @@ enum FromShard<R> {
     Buffer(Vec<StreamItem<R>>),
     /// The shard's answer to the in-flight close barrier.
     Close(Box<ShardClose<R>>),
+    /// The shard's answer to a [`ToShard::Snapshot`]: its serialized
+    /// worker state (`Option<IntervalWorker>` as a tag byte + state).
+    Snapshot(Vec<u8>),
 }
 
 /// One shard's answer to a close barrier: the shard index is implied by
@@ -245,6 +259,19 @@ fn shard_loop<R>(
                     return;
                 }
             }
+            ToShard::Snapshot(codec) => {
+                let mut state = Vec::new();
+                match &worker {
+                    None => 0u8.encode(&mut state),
+                    Some(worker) => {
+                        1u8.encode(&mut state);
+                        worker.encode_state(codec, &mut state);
+                    }
+                }
+                if results.push(FromShard::Snapshot(state)).is_err() {
+                    return;
+                }
+            }
         }
     }
 }
@@ -269,6 +296,10 @@ pub(crate) struct ShardedEngine<'p, R> {
     counter_base: Vec<ShardIngest>,
     /// The one close barrier allowed in flight; `None` when fully merged.
     pending: Option<PendingPane<R>>,
+    /// Per-shard worker-state answers to an in-flight snapshot request;
+    /// `None` when no snapshot is being collected.
+    pending_snapshots: Option<Vec<Option<Vec<u8>>>>,
+    codec: Option<RecordCodec<R>>,
     pane_open: bool,
     first_pane: bool,
     pane_arrived: u64,
@@ -286,6 +317,7 @@ where
         config: ShardedConfig,
         query: Query<R>,
         policy: impl Into<PolicyHandle<'p>>,
+        codec: Option<RecordCodec<R>>,
     ) -> Self {
         let pane_ms = config
             .pane_interval_ms
@@ -332,6 +364,8 @@ where
                 })
                 .collect(),
             pending: None,
+            pending_snapshots: None,
+            codec,
             pane_open: false,
             first_pane: true,
             pane_arrived: 0,
@@ -345,6 +379,15 @@ where
     fn dead(&mut self) -> SaError {
         self.alive = false;
         SaError::Disconnected("sharded worker thread died")
+    }
+
+    fn require_codec(&self) -> Result<RecordCodec<R>, SaError> {
+        self.codec.ok_or_else(|| {
+            SaError::Checkpoint(
+                "engine built without a record codec; enable with StreamApprox::checkpointable"
+                    .into(),
+            )
+        })
     }
 
     /// Returns a drained buffer to the freelist. No cap is needed: a
@@ -372,6 +415,14 @@ where
                     debug_assert!(pending.answers[shard].is_none());
                     pending.answers[shard] = Some(answer);
                     pending.collected += 1;
+                }
+                Ok(FromShard::Snapshot(state)) => {
+                    let slots = self
+                        .pending_snapshots
+                        .as_mut()
+                        .expect("snapshot answer without a snapshot request");
+                    debug_assert!(slots[shard].is_none());
+                    slots[shard] = Some(state);
                 }
                 Err(spsc::PopError::Empty) => return Ok(()),
                 Err(spsc::PopError::Disconnected) => return Err(self.dead()),
@@ -652,14 +703,139 @@ where
         self.runtime.take_windows()
     }
 
-    fn shard_ingest(&mut self) -> Vec<ShardIngest> {
-        // Counters must be no staler than the last closed pane, so a
-        // status probe pays for the in-flight barrier (if any) the same
-        // way the blocking design paid at every boundary.
-        if self.alive {
-            let _ = self.resolve_pending();
+    fn settle(&mut self) -> Result<(), SaError> {
+        if !self.alive {
+            return Err(SaError::Disconnected("sharded worker thread died"));
         }
+        self.resolve_pending()
+    }
+
+    fn shard_ingest(&self) -> Vec<ShardIngest> {
+        // Read-only by contract: counters are as of the last settled
+        // barrier — callers that need them no staler than the last closed
+        // pane call `settle` first (the session's status path does).
         self.counters.clone()
+    }
+
+    fn panes_closed(&self) -> u64 {
+        self.runtime.panes_closed()
+    }
+
+    fn snapshot(&mut self) -> Result<EngineSnapshot, SaError> {
+        let codec = self.require_codec()?;
+        if !self.alive {
+            return Err(SaError::Disconnected("sharded worker thread died"));
+        }
+        // Quiesce the fabric: settle the in-flight barrier, hand every
+        // buffered item to its shard, then ask each shard (FIFO behind
+        // those chunks) for its serialized worker. The engine keeps
+        // running afterwards — the snapshot is a pure read.
+        self.resolve_pending()?;
+        let shards = self.shard_set.num_shards();
+        for shard in 0..shards {
+            self.flush(shard)?;
+        }
+        self.pending_snapshots = Some((0..shards).map(|_| None).collect());
+        for shard in 0..shards {
+            self.send(shard, ToShard::Snapshot(codec))?;
+        }
+        let mut spins = 0u32;
+        loop {
+            for shard in 0..shards {
+                self.drain_returns(shard)?;
+            }
+            let slots = self.pending_snapshots.as_ref().expect("requested above");
+            if slots.iter().all(Option::is_some) {
+                break;
+            }
+            spins += 1;
+            if spins < 128 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        let slots = self.pending_snapshots.take().expect("collected above");
+        let mut state = Vec::new();
+        self.cursor.start().encode(&mut state);
+        put_varint(&mut state, self.seq);
+        put_varint(&mut state, self.pane_idx);
+        put_varint(&mut state, self.pane_arrived);
+        put_varint(&mut state, self.prev_pane_arrived as u64);
+        self.first_pane.encode(&mut state);
+        self.pane_open.encode(&mut state);
+        self.counters.encode(&mut state);
+        self.counter_base.encode(&mut state);
+        match self.shard_set.directive() {
+            None => 0u8.encode(&mut state),
+            Some(directive) => {
+                1u8.encode(&mut state);
+                encode_directive(&directive, &mut state);
+            }
+        }
+        for blob in &slots {
+            state.extend_from_slice(blob.as_deref().expect("every slot collected"));
+        }
+        self.runtime.encode_state(codec, &mut state);
+        Ok(EngineSnapshot {
+            engine: "sharded".into(),
+            pane: self.cursor.start(),
+            state,
+        })
+    }
+
+    fn restore(&mut self, snapshot: &EngineSnapshot) -> Result<(), SaError> {
+        let codec = self.require_codec()?;
+        if snapshot.engine != "sharded" {
+            return Err(SaError::Checkpoint(format!(
+                "cannot restore a '{}' snapshot into the sharded engine",
+                snapshot.engine
+            )));
+        }
+        if !self.alive {
+            return Err(SaError::Disconnected("sharded worker thread died"));
+        }
+        let mut r = WireReader::new(&snapshot.state);
+        self.cursor.restore_start(Option::decode(&mut r)?);
+        self.seq = r.read_varint()?;
+        self.pane_idx = r.read_varint()?;
+        self.pane_arrived = r.read_varint()?;
+        self.prev_pane_arrived = usize::decode(&mut r)?;
+        self.first_pane = bool::decode(&mut r)?;
+        self.pane_open = bool::decode(&mut r)?;
+        self.counters = Vec::decode(&mut r)?;
+        self.counter_base = Vec::decode(&mut r)?;
+        let shards = self.shard_set.num_shards();
+        if self.counters.len() != shards || self.counter_base.len() != shards {
+            return Err(SaError::Checkpoint(format!(
+                "snapshot covers {} shards but the engine has {shards}",
+                self.counters.len()
+            )));
+        }
+        let directive = match u8::decode(&mut r)? {
+            0 => None,
+            1 => Some(decode_directive(&mut r)?),
+            tag => return Err(SaError::Wire(format!("unknown directive tag {tag}"))),
+        };
+        // Force the armed directive so the next `ensure_armed` compares
+        // against what the restored workers are actually running, instead
+        // of rearming fresh ones over them.
+        self.shard_set.force_directive(directive);
+        let proj = self.shard_set.projection();
+        for shard in 0..shards {
+            match u8::decode(&mut r)? {
+                0 => {}
+                1 => {
+                    let worker = IntervalWorker::decode_state(&mut r, codec, Arc::clone(&proj))?;
+                    self.send(shard, ToShard::Arm(Box::new(worker)))?;
+                }
+                tag => {
+                    return Err(SaError::Wire(format!("unknown shard-worker tag {tag}")));
+                }
+            }
+        }
+        self.runtime.restore_state(&mut r, codec)?;
+        r.finish()
     }
 
     fn finish(mut self: Box<Self>) -> RunOutput {

@@ -144,6 +144,19 @@ impl<P: Clone> PaneWindower<P> {
         out
     }
 
+    /// The internal pane map and watermark, for engine snapshots.
+    pub(crate) fn state(&self) -> (&BTreeMap<i64, Vec<P>>, EventTime) {
+        (&self.panes, self.watermark)
+    }
+
+    /// Overwrites the pane map and watermark from a snapshot. The spec is
+    /// not part of the state: a restored engine is rebuilt from the same
+    /// query, so its spec already matches.
+    pub(crate) fn restore_state(&mut self, panes: BTreeMap<i64, Vec<P>>, watermark: EventTime) {
+        self.panes = panes;
+        self.watermark = watermark;
+    }
+
     /// Flushes everything: completes every window that contains a stored
     /// pane, without inventing empty windows past the end of the data.
     pub fn finish(&mut self) -> Vec<(Window, Vec<P>)> {

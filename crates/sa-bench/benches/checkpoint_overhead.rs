@@ -1,0 +1,146 @@
+//! Checkpoint overhead: what bounded-error fault tolerance costs on the
+//! ingest hot path. The AF-Stream-style pitch is that snapshots are
+//! O(sampling budget) — reservoirs, per-stratum statistics, counters —
+//! so sealing one should be microseconds, and a realistic cadence should
+//! shave only a few percent off session throughput.
+//!
+//! The bench runs the same consumer-path session three ways — no
+//! checkpoints, a checkpoint every 8 panes, a checkpoint every pane — and
+//! reports median throughput, the number of snapshots taken, and the
+//! sealed snapshot size. Per config it reports the median of `REPS`
+//! wall-clock runs; besides the table it emits
+//! `results/checkpoint_overhead.json` to seed the bench trajectory.
+//!
+//! `SA_BENCH_SMOKE=1` shrinks the workload to CI-smoke size and skips the
+//! JSON emission so scheduled runs cannot clobber recorded results.
+
+use sa_bench::{emit_json, fmt_kps, Table};
+use sa_types::{CheckpointPolicy, StreamItem, WindowSpec};
+use sa_workloads::Mix;
+use std::time::Instant;
+use streamapprox::{AggregatedConfig, FixedFraction, MemoryCheckpointStore, Query, StreamApprox};
+
+const REPS: usize = 5;
+/// Items per `push_batch` call — a realistic consumer poll size, and the
+/// granularity at which `checkpoint_due` is consulted.
+const CHUNK: usize = 4_096;
+/// Checkpoint cadence in panes; `None` never checkpoints.
+const CADENCES: [Option<u32>; 3] = [None, Some(8), Some(1)];
+
+fn smoke() -> bool {
+    std::env::var_os("SA_BENCH_SMOKE").is_some()
+}
+
+fn query() -> Query<f64> {
+    Query::new(|v: &f64| *v).with_window(WindowSpec::sliding_secs(2, 1))
+}
+
+struct RunStats {
+    throughput: f64,
+    checkpoints: u64,
+    sealed_bytes: u64,
+}
+
+/// One full session run; returns push-to-finish throughput plus the
+/// checkpoint count and the last sealed snapshot size.
+fn run(cadence: Option<u32>, items: &[StreamItem<f64>]) -> RunStats {
+    let mut policy = FixedFraction(0.2);
+    let mut builder = StreamApprox::new(query(), &mut policy)
+        .checkpointable()
+        .aggregated(AggregatedConfig::new().with_seed(0xFEED_u64));
+    if let Some(panes) = cadence {
+        builder = builder.with_checkpoint_policy(CheckpointPolicy::every_panes(panes));
+    }
+    let mut session = builder.start();
+    let mut store = MemoryCheckpointStore::new();
+    let mut checkpoints = 0u64;
+    let mut sealed_bytes = 0u64;
+    let started = Instant::now();
+    for chunk in items.chunks(CHUNK) {
+        session
+            .push_batch(chunk.iter().copied())
+            .expect("recorded stream is in order");
+        if cadence.is_some() && session.checkpoint_due() {
+            sealed_bytes = session
+                .checkpoint_to(&mut store)
+                .expect("aggregated engine snapshots");
+            checkpoints += 1;
+        }
+    }
+    let out = session.finish();
+    let secs = started.elapsed().as_secs_f64();
+    assert_eq!(out.items_ingested, items.len() as u64);
+    RunStats {
+        throughput: items.len() as f64 / secs,
+        checkpoints,
+        sealed_bytes,
+    }
+}
+
+fn median_stats(cadence: Option<u32>, items: &[StreamItem<f64>]) -> RunStats {
+    let mut runs: Vec<RunStats> = (0..REPS).map(|_| run(cadence, items)).collect();
+    runs.sort_by(|a, b| {
+        a.throughput
+            .partial_cmp(&b.throughput)
+            .expect("finite throughputs")
+    });
+    runs.remove(runs.len() / 2)
+}
+
+fn main() {
+    // Smoke still spans two 1s panes, so the seal path actually runs in CI.
+    let event_ms = if smoke() { 2_000 } else { 10_000 };
+    // The fig4-shaped high-rate mix: ~61k items per event-time second.
+    let items = Mix::gaussian([48_000.0, 12_000.0, 1_200.0]).generate(event_ms, 17);
+    println!(
+        "checkpoint_overhead: {} items over {event_ms} ms event time, chunk {CHUNK}, {REPS} reps",
+        items.len()
+    );
+
+    let mut table = Table::new(
+        "Checkpoint overhead: session throughput by snapshot cadence",
+        &["cadence", "K items/s", "vs none", "checkpoints", "sealed B"],
+    );
+    let mut series = Vec::new();
+    let mut baseline = 0.0f64;
+    for cadence in CADENCES {
+        let stats = median_stats(cadence, &items);
+        if cadence.is_none() {
+            baseline = stats.throughput;
+        }
+        assert!(
+            cadence != Some(1) || stats.checkpoints > 0,
+            "per-pane cadence must exercise the seal path"
+        );
+        let label = cadence.map_or("none".to_string(), |p| format!("every {p} pane(s)"));
+        let vs_none = stats.throughput / baseline;
+        table.row(vec![
+            label.clone(),
+            fmt_kps(stats.throughput),
+            format!("{vs_none:.2}x"),
+            stats.checkpoints.to_string(),
+            stats.sealed_bytes.to_string(),
+        ]);
+        series.push(format!(
+            "    {{\"cadence\": \"{label}\", \
+             \"throughput_items_per_s\": {:.0}, \"vs_none\": {vs_none:.4}, \
+             \"checkpoints\": {}, \"sealed_bytes\": {}}}",
+            stats.throughput, stats.checkpoints, stats.sealed_bytes
+        ));
+    }
+    table.emit("checkpoint_overhead");
+    if smoke() {
+        println!("checkpoint_overhead: smoke mode, skipping results/checkpoint_overhead.json");
+        return;
+    }
+    emit_json(
+        "checkpoint_overhead",
+        &format!(
+            "{{\n  \"bench\": \"checkpoint_overhead\",\n  \"items\": {},\n  \
+             \"event_ms\": {event_ms},\n  \"chunk_items\": {CHUNK},\n  \"reps\": {REPS},\n  \
+             \"series\": [\n{}\n  ]\n}}\n",
+            items.len(),
+            series.join(",\n")
+        ),
+    );
+}

@@ -302,6 +302,9 @@ mod tests {
                 ingest: Default::default(),
                 watermark: None,
                 lag: 5,
+                last_checkpoint_pane: None,
+                items_since_checkpoint: 0,
+                snapshot_bytes: 0,
             },
             Message::Shutdown { worker: 1 },
         ];

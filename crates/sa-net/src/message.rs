@@ -125,6 +125,12 @@ pub struct Digest {
     pub watermark: Option<EventTime>,
     /// Outstanding items between the worker and its source.
     pub lag: u64,
+    /// The pane start (ms) of the worker's last checkpoint, if any.
+    pub last_checkpoint_pane: Option<i64>,
+    /// Items the worker ingested since its last checkpoint.
+    pub items_since_checkpoint: u64,
+    /// Encoded size of the worker's last snapshot in bytes.
+    pub snapshot_bytes: u64,
     /// The pane's mergeable sampler state.
     pub payload: DigestPayload,
 }
@@ -136,6 +142,9 @@ impl WireEncode for Digest {
         self.counters.encode(out);
         self.watermark.encode(out);
         put_varint(out, self.lag);
+        self.last_checkpoint_pane.encode(out);
+        put_varint(out, self.items_since_checkpoint);
+        put_varint(out, self.snapshot_bytes);
         self.payload.encode(out);
     }
 }
@@ -148,6 +157,9 @@ impl WireDecode for Digest {
             counters: IngestCounters::decode(r)?,
             watermark: Option::<EventTime>::decode(r)?,
             lag: r.read_varint()?,
+            last_checkpoint_pane: Option::<i64>::decode(r)?,
+            items_since_checkpoint: r.read_varint()?,
+            snapshot_bytes: r.read_varint()?,
             payload: DigestPayload::decode(r)?,
         })
     }
@@ -245,6 +257,12 @@ pub enum Message {
         watermark: Option<EventTime>,
         /// Outstanding items between the worker and its source.
         lag: u64,
+        /// The pane start (ms) of the worker's last checkpoint, if any.
+        last_checkpoint_pane: Option<i64>,
+        /// Items the worker ingested since its last checkpoint.
+        items_since_checkpoint: u64,
+        /// Encoded size of the worker's last snapshot in bytes.
+        snapshot_bytes: u64,
     },
     /// A finalized window estimate (coordinator → worker).
     WindowResult(WindowResultMsg),
@@ -295,12 +313,18 @@ impl WireEncode for Message {
                 ingest,
                 watermark,
                 lag,
+                last_checkpoint_pane,
+                items_since_checkpoint,
+                snapshot_bytes,
             } => {
                 out.push(3);
                 worker.encode(out);
                 ingest.encode(out);
                 watermark.encode(out);
                 put_varint(out, *lag);
+                last_checkpoint_pane.encode(out);
+                put_varint(out, *items_since_checkpoint);
+                put_varint(out, *snapshot_bytes);
             }
             Message::WindowResult(result) => {
                 out.push(4);
@@ -360,6 +384,9 @@ impl WireDecode for Message {
                 ingest: IngestCounters::decode(r)?,
                 watermark: Option::<EventTime>::decode(r)?,
                 lag: r.read_varint()?,
+                last_checkpoint_pane: Option::<i64>::decode(r)?,
+                items_since_checkpoint: r.read_varint()?,
+                snapshot_bytes: r.read_varint()?,
             }),
             4 => Ok(Message::WindowResult(WindowResultMsg::decode(r)?)),
             5 => Ok(Message::Shutdown {
@@ -391,6 +418,9 @@ mod tests {
             },
             watermark: Some(EventTime::from_millis(499)),
             lag: 12,
+            last_checkpoint_pane: Some(0),
+            items_since_checkpoint: 140,
+            snapshot_bytes: 512,
             payload: DigestPayload::Sampled(sample),
         }
     }
@@ -421,6 +451,9 @@ mod tests {
                 },
                 watermark: None,
                 lag: 0,
+                last_checkpoint_pane: None,
+                items_since_checkpoint: 7,
+                snapshot_bytes: 0,
             },
             Message::WindowResult(WindowResultMsg {
                 window: Window::new(EventTime::from_millis(0), EventTime::from_millis(1_000)),

@@ -38,21 +38,43 @@ impl WireDecode for Jump {
     }
 }
 
-impl<T: WireEncode> WireEncode for Reservoir<T> {
-    fn encode(&self, out: &mut Vec<u8>) {
+impl<T> Reservoir<T> {
+    /// Encodes the reservoir's full state — capacity, seen counter, jump
+    /// state, and held items — serializing each item through the caller's
+    /// `item` codec. This is the state-extraction hook checkpointing uses
+    /// for record types that carry their codec out-of-band; the
+    /// [`WireEncode`] impl is this with `item = WireEncode::encode`.
+    pub fn encode_state_with(&self, out: &mut Vec<u8>, item: &mut dyn FnMut(&T, &mut Vec<u8>)) {
         self.capacity.encode(out);
         put_varint(out, self.seen);
         self.jump.encode(out);
-        self.items.encode(out);
+        put_varint(out, self.items.len() as u64);
+        for v in &self.items {
+            item(v, out);
+        }
     }
-}
 
-impl<T: WireDecode> WireDecode for Reservoir<T> {
-    fn decode(r: &mut WireReader<'_>) -> Result<Self, SaError> {
+    /// Decodes a reservoir serialized by
+    /// [`encode_state_with`](Reservoir::encode_state_with), reading each
+    /// item through the caller's `item` codec and enforcing the same
+    /// representation invariants as the [`WireDecode`] impl.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SaError::Wire`] on malformed input, an over-full
+    /// reservoir, or a seen counter below the held count.
+    pub fn decode_state_with(
+        r: &mut WireReader<'_>,
+        item: &mut dyn FnMut(&mut WireReader<'_>) -> Result<T, SaError>,
+    ) -> Result<Self, SaError> {
         let capacity = usize::decode(r)?;
         let seen = r.read_varint()?;
         let jump = Option::<Jump>::decode(r)?;
-        let items = Vec::<T>::decode(r)?;
+        let len = r.read_len()?;
+        let mut items = Vec::with_capacity(len.min(capacity.max(1)));
+        for _ in 0..len {
+            items.push(item(r)?);
+        }
         if capacity == 0 {
             return Err(SaError::Wire("reservoir capacity zero".to_string()));
         }
@@ -74,6 +96,18 @@ impl<T: WireDecode> WireDecode for Reservoir<T> {
             seen,
             jump,
         })
+    }
+}
+
+impl<T: WireEncode> WireEncode for Reservoir<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.encode_state_with(out, &mut |v, out| v.encode(out));
+    }
+}
+
+impl<T: WireDecode> WireDecode for Reservoir<T> {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, SaError> {
+        Reservoir::decode_state_with(r, &mut T::decode)
     }
 }
 
@@ -121,8 +155,14 @@ impl WireDecode for SizingPolicy {
     }
 }
 
-impl<V: WireEncode> WireEncode for OasrsSampler<V> {
-    fn encode(&self, out: &mut Vec<u8>) {
+impl<V> OasrsSampler<V> {
+    /// Encodes the sampler's full state — sizing policy, every stratum
+    /// reservoir with its jump state, the adaptive capacity plan, and the
+    /// RNG words — serializing each held item through the caller's `item`
+    /// codec. This is the state-extraction hook checkpointing uses for
+    /// record types that carry their codec out-of-band; the [`WireEncode`]
+    /// impl is this with `item = WireEncode::encode`.
+    pub fn encode_state_with(&self, out: &mut Vec<u8>, item: &mut dyn FnMut(&V, &mut Vec<u8>)) {
         self.sizing.encode(out);
         // The sparse stratum table ships as (index, reservoir) pairs in
         // ascending index order; the flat table rebuilds on decode.
@@ -130,7 +170,7 @@ impl<V: WireEncode> WireEncode for OasrsSampler<V> {
         for (idx, slot) in self.strata.iter().enumerate() {
             if let Some(res) = slot {
                 idx.encode(out);
-                res.encode(out);
+                res.encode_state_with(out, item);
             }
         }
         put_varint(out, self.next_capacity.len() as u64);
@@ -142,10 +182,21 @@ impl<V: WireEncode> WireEncode for OasrsSampler<V> {
             put_u64_le(out, word);
         }
     }
-}
 
-impl<V: WireDecode> WireDecode for OasrsSampler<V> {
-    fn decode(r: &mut WireReader<'_>) -> Result<Self, SaError> {
+    /// Decodes a sampler serialized by
+    /// [`encode_state_with`](OasrsSampler::encode_state_with), reading
+    /// each held item through the caller's `item` codec. The decoded
+    /// sampler continues the original's random stream draw for draw.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SaError::Wire`] on malformed input or any smuggled
+    /// invariant violation (out-of-order strata, zero planned capacity,
+    /// the all-zero RNG state).
+    pub fn decode_state_with(
+        r: &mut WireReader<'_>,
+        item: &mut dyn FnMut(&mut WireReader<'_>) -> Result<V, SaError>,
+    ) -> Result<Self, SaError> {
         let sizing = SizingPolicy::decode(r)?;
         let present = r.read_len()?;
         let mut strata: Vec<Option<Reservoir<V>>> = Vec::new();
@@ -161,7 +212,7 @@ impl<V: WireDecode> WireDecode for OasrsSampler<V> {
                 )));
             }
             last_idx = Some(idx);
-            let res = Reservoir::<V>::decode(r)?;
+            let res = Reservoir::<V>::decode_state_with(r, item)?;
             if idx >= strata.len() {
                 strata.resize_with(idx + 1, || None);
             }
@@ -200,6 +251,18 @@ impl<V: WireDecode> WireDecode for OasrsSampler<V> {
             next_capacity,
             rng: SmallRng::from_state(state),
         })
+    }
+}
+
+impl<V: WireEncode> WireEncode for OasrsSampler<V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.encode_state_with(out, &mut |v, out| v.encode(out));
+    }
+}
+
+impl<V: WireDecode> WireDecode for OasrsSampler<V> {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, SaError> {
+        OasrsSampler::decode_state_with(r, &mut V::decode)
     }
 }
 
@@ -299,6 +362,52 @@ mod tests {
             Reservoir::<f64>::from_wire_bytes(&bytes),
             Err(SaError::Wire(_))
         ));
+    }
+
+    #[test]
+    fn state_hooks_roundtrip_codec_less_records() {
+        // A record type with no WireEncode/WireDecode impls: the state
+        // hooks carry its codec as closures instead.
+        #[derive(Debug, Clone, PartialEq)]
+        struct Rec {
+            t: i64,
+            v: f64,
+        }
+        let mut a = OasrsSampler::new(SizingPolicy::SharedTotal(8), 42);
+        for i in 0..300i64 {
+            a.observe(
+                StratumId((i % 4) as u32),
+                Rec {
+                    t: i,
+                    v: i as f64 * 0.25,
+                },
+            );
+        }
+        let mut bytes = Vec::new();
+        a.encode_state_with(&mut bytes, &mut |rec, out| {
+            rec.t.encode(out);
+            rec.v.encode(out);
+        });
+        let mut r = WireReader::new(&bytes);
+        let mut b = OasrsSampler::<Rec>::decode_state_with(&mut r, &mut |r| {
+            Ok(Rec {
+                t: i64::decode(r)?,
+                v: r.read_f64()?,
+            })
+        })
+        .unwrap();
+        r.finish().unwrap();
+        assert_eq!(a, b);
+        // Observed further, both draw the same random decisions.
+        for i in 0..300i64 {
+            let rec = Rec {
+                t: i,
+                v: i as f64 * 0.5,
+            };
+            a.observe(StratumId((i % 6) as u32), rec.clone());
+            b.observe(StratumId((i % 6) as u32), rec);
+        }
+        assert_eq!(a, b);
     }
 
     #[test]

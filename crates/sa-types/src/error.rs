@@ -44,6 +44,11 @@ pub enum SaError {
     /// violates the decoded type's invariants. Decoding never panics and
     /// never trusts a length it has not bounded; it reports here instead.
     Wire(String),
+    /// A checkpoint or restore operation failed: the engine does not
+    /// support snapshots, the session was built without a record codec,
+    /// the snapshot belongs to a different engine, or the backing store
+    /// could not be read or written.
+    Checkpoint(String),
 }
 
 impl fmt::Display for SaError {
@@ -58,6 +63,7 @@ impl fmt::Display for SaError {
                 "out-of-order item: event time {item} behind watermark {watermark}"
             ),
             SaError::Wire(why) => write!(f, "wire format error: {why}"),
+            SaError::Checkpoint(why) => write!(f, "checkpoint error: {why}"),
         }
     }
 }
@@ -87,6 +93,7 @@ mod tests {
                 watermark: EventTime::from_millis(9),
             },
             SaError::Wire("truncated varint".into()),
+            SaError::Checkpoint("engine does not support snapshots".into()),
         ];
         for e in samples {
             let msg = e.to_string();

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 mod budget;
+mod checkpoint;
 mod error;
 mod item;
 mod result;
@@ -36,6 +37,7 @@ mod window;
 pub mod wire;
 
 pub use budget::{Confidence, QueryBudget};
+pub use checkpoint::{CheckpointPolicy, EngineSnapshot, SessionSnapshot};
 pub use error::SaError;
 pub use item::{EventTime, StratumId, StreamItem};
 pub use result::{ApproxResult, ErrorBound};

@@ -82,6 +82,15 @@ pub struct WorkerStatus {
     pub watermark: Option<EventTime>,
     /// Items outstanding between the worker and its source (0 = caught up).
     pub lag: u64,
+    /// The pane start (ms) of the worker's last checkpoint; `None` if the
+    /// worker has never checkpointed.
+    pub last_checkpoint_pane: Option<i64>,
+    /// Items the worker ingested since its last checkpoint — its current
+    /// exposure to loss on a crash.
+    pub items_since_checkpoint: u64,
+    /// Encoded size of the worker's last snapshot in bytes (0 before the
+    /// first checkpoint).
+    pub snapshot_bytes: u64,
 }
 
 /// A point-in-time snapshot of an incremental session's progress,
@@ -108,6 +117,9 @@ pub struct WorkerStatus {
 ///     ingest: IngestCounters { ingested: 1_000, dropped_late: 7 },
 ///     shards: Vec::new(),
 ///     workers: Vec::new(),
+///     last_checkpoint_pane: None,
+///     items_since_checkpoint: 1_000,
+///     snapshot_bytes: 0,
 /// };
 /// assert_eq!(status.ingest.offered(), 1_007);
 /// ```
@@ -133,6 +145,16 @@ pub struct SessionStatus {
     /// Per-remote-worker progress for distributed sessions, in worker-id
     /// order; empty on local engines.
     pub workers: Vec<WorkerStatus>,
+    /// The pane start (ms) the session's last checkpoint covered; `None`
+    /// if the session has never checkpointed.
+    pub last_checkpoint_pane: Option<i64>,
+    /// Items accepted since the last checkpoint — the session's current
+    /// exposure to loss on a crash (equals `items_pushed` before the first
+    /// checkpoint).
+    pub items_since_checkpoint: u64,
+    /// Encoded size of the last session snapshot in bytes (0 before the
+    /// first checkpoint).
+    pub snapshot_bytes: u64,
 }
 
 #[cfg(test)]
@@ -164,7 +186,13 @@ mod tests {
                 },
                 watermark: None,
                 lag: 2,
+                last_checkpoint_pane: Some(0),
+                items_since_checkpoint: 3,
+                snapshot_bytes: 64,
             }],
+            last_checkpoint_pane: None,
+            items_since_checkpoint: 7,
+            snapshot_bytes: 0,
         };
         let b = a.clone();
         assert_eq!(a, b);

@@ -119,6 +119,17 @@ impl<'a> WireReader<'a> {
         Ok(self.take(1)?[0])
     }
 
+    /// Reads `n` raw bytes as a slice borrowed from the input — the bulk
+    /// path for opaque payloads (nested snapshot state, UTF-8 strings)
+    /// whose length was already bounds-checked by [`WireReader::read_len`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SaError::Wire`] if fewer than `n` bytes remain.
+    pub fn read_bytes(&mut self, n: usize) -> Result<&'a [u8], SaError> {
+        self.take(n)
+    }
+
     /// Reads a LEB128 varint.
     ///
     /// # Errors
@@ -376,6 +387,23 @@ impl<T: WireDecode> WireDecode for Vec<T> {
     }
 }
 
+impl WireEncode for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_varint(out, self.len() as u64);
+        out.extend_from_slice(self.as_bytes());
+    }
+}
+
+impl WireDecode for String {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, SaError> {
+        let len = r.read_len()?;
+        let bytes = r.read_bytes(len)?;
+        std::str::from_utf8(bytes)
+            .map(str::to_owned)
+            .map_err(|_| SaError::Wire("string payload is not valid utf-8".to_string()))
+    }
+}
+
 impl<A: WireEncode, B: WireEncode> WireEncode for (A, B) {
     fn encode(&self, out: &mut Vec<u8>) {
         self.0.encode(out);
@@ -572,6 +600,9 @@ impl WireEncode for WorkerStatus {
         self.ingest.encode(out);
         self.watermark.encode(out);
         put_varint(out, self.lag);
+        self.last_checkpoint_pane.encode(out);
+        put_varint(out, self.items_since_checkpoint);
+        put_varint(out, self.snapshot_bytes);
     }
 }
 
@@ -582,6 +613,9 @@ impl WireDecode for WorkerStatus {
             ingest: IngestCounters::decode(r)?,
             watermark: Option::<EventTime>::decode(r)?,
             lag: r.read_varint()?,
+            last_checkpoint_pane: Option::<i64>::decode(r)?,
+            items_since_checkpoint: r.read_varint()?,
+            snapshot_bytes: r.read_varint()?,
         })
     }
 }
@@ -724,7 +758,12 @@ mod tests {
             },
             watermark: Some(EventTime::from_secs(9)),
             lag: 4,
+            last_checkpoint_pane: Some(-1_000),
+            items_since_checkpoint: 17,
+            snapshot_bytes: 2_048,
         });
+        roundtrip(&String::from("aggregated"));
+        roundtrip(&String::new());
         let sample: StratifiedSample<f64> = [
             StratumSample::new(StratumId(0), vec![1.0, 2.0], 10, 4),
             StratumSample::new(StratumId(3), vec![-0.5], 1, 4),
@@ -820,6 +859,14 @@ mod tests {
         // Unknown confidence tag.
         assert!(matches!(
             Confidence::from_wire_bytes(&[9]),
+            Err(SaError::Wire(_))
+        ));
+        // A string whose bytes are not valid UTF-8.
+        let mut bytes = Vec::new();
+        put_varint(&mut bytes, 2);
+        bytes.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(matches!(
+            String::from_wire_bytes(&bytes),
             Err(SaError::Wire(_))
         ));
         // Strata out of canonical order.

@@ -169,7 +169,7 @@ fn full_pipeline_via_aggregator() {
     let query = Query::new(|v: &f64| *v).with_window(WindowSpec::tumbling_millis(1_000));
     let mut policy = FixedFraction(0.5);
     let mut session = StreamApprox::new(query, &mut policy)
-        .batched(batched_config(), BatchedSystem::StreamApprox)
+        .batched(batched_config().with_system(BatchedSystem::StreamApprox))
         .start();
     let mut consumer = Consumer::whole_topic(topic);
     let mut live_windows = 0usize;

@@ -305,7 +305,7 @@ fn incremental_push_matches_oneshot_batched() {
         for chunk_size in [1usize, 37] {
             let mut policy = FixedFraction(0.3);
             let mut session = StreamApprox::new(query(), &mut policy)
-                .batched(config.clone(), system)
+                .batched(config.clone().with_system(system))
                 .start();
             let mut windows = Vec::new();
             for chunk in stream.chunks(chunk_size) {
@@ -350,7 +350,11 @@ fn incremental_push_matches_oneshot_pipelined() {
         for chunk_size in [1usize, 53] {
             let mut policy = FixedFraction(0.3);
             let mut session = StreamApprox::new(query(), &mut policy)
-                .pipelined(config.with_expected_pane_items(first_pane_guess), system)
+                .pipelined(
+                    config
+                        .with_expected_pane_items(first_pane_guess)
+                        .with_system(system),
+                )
                 .start();
             let mut windows = Vec::new();
             for chunk in stream.chunks(chunk_size) {
@@ -430,8 +434,8 @@ fn push_chunk_is_bit_identical_to_per_item_push() {
                     .batched(
                         BatchedConfig::new(Cluster::new(2))
                             .with_batch_interval_ms(500)
-                            .with_seed(0xFEED_u64),
-                        BatchedSystem::StreamApprox,
+                            .with_seed(0xFEED_u64)
+                            .with_system(BatchedSystem::StreamApprox),
                     )
                     .start()
             }),
@@ -667,7 +671,10 @@ fn sharded_shard_counters_survive_directive_changes() {
     }
     // Counters run as of the last closed pane, so only the still-open
     // pane's items may be uncounted; everything before the last pane
-    // boundary must have accumulated across every rearm.
+    // boundary must have accumulated across every rearm. `status()` is
+    // read-only, so settle the rearm barrier first to collect retired
+    // workers' counters.
+    session.settle().expect("engine alive");
     let status = session.status();
     let routed: u64 = status.shards.iter().map(|s| s.ingested).sum();
     let last_boundary = 500 * (stream.last().unwrap().time.as_millis() / 500);

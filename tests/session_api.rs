@@ -33,7 +33,7 @@ fn windows_are_observable_before_the_stream_ends() {
     let total = stream.len();
     let mut policy = FixedFraction(0.4);
     let mut session = StreamApprox::new(query(), &mut policy)
-        .batched(batched_config(), BatchedSystem::StreamApprox)
+        .batched(batched_config().with_system(BatchedSystem::StreamApprox))
         .start();
 
     // Push only items from the first ~2.1 seconds of the 5-second stream;
@@ -87,7 +87,7 @@ fn pipelined_windows_surface_while_the_stream_is_open() {
     let stream = items(22);
     let mut policy = FixedFraction(0.5);
     let mut session = StreamApprox::new(query(), &mut policy)
-        .pipelined(PipelinedConfig::new(), PipelinedSystem::StreamApprox)
+        .pipelined(PipelinedConfig::new().with_system(PipelinedSystem::StreamApprox))
         .start();
     let cutoff = EventTime::from_millis(4_000);
     let mut pushed_all = true;
@@ -188,7 +188,7 @@ fn consumer_fed_session_matches_oneshot() {
         Query::new(|v: &f64| *v).with_window(WindowSpec::tumbling_millis(1_000)),
         &mut policy,
     )
-    .batched(batched_config(), BatchedSystem::StreamApprox)
+    .batched(batched_config().with_system(BatchedSystem::StreamApprox))
     .start();
     let mut consumer = Consumer::whole_topic(topic);
     let mut windows = Vec::new();
@@ -285,7 +285,7 @@ fn far_future_item_is_bounded_work_on_every_engine() {
     // Batched: session == one-shot across the gap, few windows, fast.
     let mut policy = FixedFraction(0.5);
     let mut session = StreamApprox::new(query(), &mut policy)
-        .batched(batched_config(), BatchedSystem::StreamApprox)
+        .batched(batched_config().with_system(BatchedSystem::StreamApprox))
         .start();
     session
         .push_batch(stream.iter().copied())
@@ -380,7 +380,7 @@ fn out_of_order_items_are_rejected_on_every_engine() {
 
     let mut p1 = FixedFraction(0.5);
     let mut batched = StreamApprox::new(query(), &mut p1)
-        .batched(batched_config(), BatchedSystem::StreamApprox)
+        .batched(batched_config().with_system(BatchedSystem::StreamApprox))
         .start();
     batched.push(late).expect("in order");
     assert!(matches!(
@@ -391,7 +391,7 @@ fn out_of_order_items_are_rejected_on_every_engine() {
 
     let mut p2 = FixedFraction(0.5);
     let mut pipelined = StreamApprox::new(query(), &mut p2)
-        .pipelined(PipelinedConfig::new(), PipelinedSystem::StreamApprox)
+        .pipelined(PipelinedConfig::new().with_system(PipelinedSystem::StreamApprox))
         .start();
     pipelined.push(late).expect("in order");
     assert!(matches!(
@@ -418,7 +418,7 @@ fn status_reflects_session_progress() {
         Query::new(|v: &f64| *v).with_window(WindowSpec::tumbling_millis(1_000)),
         &mut policy,
     )
-    .batched(batched_config(), BatchedSystem::Native)
+    .batched(batched_config().with_system(BatchedSystem::Native))
     .start();
     assert_eq!(
         session.status(),
@@ -429,6 +429,9 @@ fn status_reflects_session_progress() {
             ingest: sa_types::IngestCounters::default(),
             shards: Vec::new(),
             workers: Vec::new(),
+            last_checkpoint_pane: None,
+            items_since_checkpoint: 0,
+            snapshot_bytes: 0,
         }
     );
     for ms in [0i64, 600, 1_200, 2_400] {
