@@ -36,6 +36,7 @@
 use crate::combine::PanePayload;
 use crate::cost::SizingDirective;
 use crate::output::WindowResult;
+use sa_types::wire::put_varint;
 use sa_types::{SaError, SessionSnapshot, WireDecode, WireEncode, WireReader};
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -272,6 +273,8 @@ pub(crate) fn encode_window_result(w: &WindowResult, out: &mut Vec<u8>) {
     w.mean.encode(out);
     w.sum_by_stratum.encode(out);
     w.mean_by_stratum.encode(out);
+    w.degraded.encode(out);
+    put_varint(out, w.lost_items);
 }
 
 pub(crate) fn decode_window_result(r: &mut WireReader<'_>) -> Result<WindowResult, SaError> {
@@ -281,6 +284,8 @@ pub(crate) fn decode_window_result(r: &mut WireReader<'_>) -> Result<WindowResul
         mean: WireDecode::decode(r)?,
         sum_by_stratum: Vec::decode(r)?,
         mean_by_stratum: Vec::decode(r)?,
+        degraded: bool::decode(r)?,
+        lost_items: r.read_varint()?,
     })
 }
 
@@ -370,6 +375,8 @@ mod tests {
             mean: result(1.0125),
             sum_by_stratum: vec![(StratumId(0), result(4.0)), (StratumId(1), result(6.125))],
             mean_by_stratum: vec![(StratumId(0), result(2.0))],
+            degraded: true,
+            lost_items: 512,
         };
         let mut out = Vec::new();
         encode_window_result(&w, &mut out);

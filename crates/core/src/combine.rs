@@ -80,6 +80,8 @@ fn combine_stratified(
         mean: estimate_mean(&stats, confidence),
         sum_by_stratum: estimate_sum_by_stratum(&stats, confidence),
         mean_by_stratum: estimate_mean_by_stratum(&stats, confidence),
+        degraded: false,
+        lost_items: 0,
     }
 }
 
@@ -104,6 +106,8 @@ fn combine_srs(
         mean: srs_mean(&sample, |v| *v, confidence),
         sum_by_stratum: srs_sum_by_stratum(&sample, |v| *v, confidence),
         mean_by_stratum: srs_mean_by_stratum(&sample, |v| *v, confidence),
+        degraded: false,
+        lost_items: 0,
     }
 }
 

@@ -158,6 +158,15 @@ pub trait Engine<R> {
         let _ = (pane, snapshot_bytes);
     }
 
+    /// Hands the engine the sealed session-snapshot bytes of the
+    /// checkpoint just taken, so substrates with a remote coordinator
+    /// (the distributed worker) can ship the slice upstream for
+    /// dead-shard handoff. Called after
+    /// [`note_checkpoint`](Engine::note_checkpoint). Default: ignored.
+    fn publish_checkpoint(&mut self, sealed: &[u8]) {
+        let _ = sealed;
+    }
+
     /// Ends the stream: flushes trailing windows and returns the
     /// completed run.
     #[must_use = "finish returns the run's windows and metrics"]

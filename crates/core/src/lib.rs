@@ -158,7 +158,7 @@ pub use cost::{
     FixedPerStratum, IntervalFeedback, LatencyPolicy, PolicyHandle, SizingDirective, TokenPolicy,
 };
 pub use engine::Engine;
-pub use net::{connect_worker, DigestEngine, DistributedConfig, DistributedSession};
+pub use net::{connect_worker, rejoin_worker, DigestEngine, DistributedConfig, DistributedSession};
 pub use output::{RunOutput, WindowResult};
 pub use pipelined::{run_pipelined, PipelinedConfig, PipelinedSystem};
 pub use query::Query;

@@ -1,4 +1,5 @@
-//! The distributed tier: a TCP coordinator/worker aggregation service.
+//! The distributed tier: a self-healing TCP coordinator/worker
+//! aggregation service.
 //!
 //! The paper deploys StreamApprox as *one* logical computation over many
 //! machines: workers sample their partitions of the stream close to the
@@ -14,10 +15,11 @@
 //!   digests in canonical worker-id order through the same [`ShardSet`]
 //!   path the in-process sharded engine uses, and finalizes windows with
 //!   estimation-layer error bounds.
-//! * [`DigestEngine`] (built by [`connect_worker`]) — one worker: a local
-//!   [`Engine`] that samples its shard of the stream with full-capacity
-//!   OASRS and ships the pane's sampler state at every pane close instead
-//!   of estimating locally. Wrap it in
+//! * [`DigestEngine`] (built by [`connect_worker`] or [`rejoin_worker`]) —
+//!   one worker: a local [`Engine`] that samples its shard of the stream
+//!   with full-capacity OASRS and ships the pane's sampler state at every
+//!   pane close instead of estimating locally, heartbeating automatically
+//!   in the background. Wrap it in
 //!   [`crate::ApproxSession::from_engine`] for the ordinary push/poll
 //!   session API.
 //!
@@ -25,15 +27,75 @@
 //! [`ShardSet::rearm`] would hand shard `w`, digests merge in ascending
 //! worker id, and each pane's merge RNG is seeded by
 //! [`crate::pane_merge_seed`] from the run seed and the pane's *start
-//! time* — so a distributed run reproduces, bit for bit, the
+//! time* — so a fault-free distributed run reproduces, bit for bit, the
 //! single-process merge of the same per-shard samplers (§3.2's merge
 //! soundness, verified end-to-end in `tests/distributed.rs`).
 //!
-//! Failure semantics are typed, never hangs: a socket that closes without
-//! a [`sa_net::Message::Shutdown`] is a worker failure and surfaces as
-//! [`SaError::Disconnected`] from the coordinator's `poll_windows` /
-//! `finish`; hostile or malformed frames surface as [`SaError::Wire`].
+//! # Surviving worker failure
+//!
+//! Each worker shard is supervised through a five-state lifecycle, driven
+//! by the [`FaultPolicy`] on [`DistributedConfig`]:
+//!
+//! ```text
+//!              HelloJoin                    Shutdown
+//!   Empty ────────────────▶ Live ────────────────────▶ Done
+//!                           │  ▲
+//!          connection lost, │  │ rejoin adopts the shard
+//!          or heartbeats    │  │ (generation + 1, at most
+//!          missed for       │  │ `max_respawn` times)
+//!          `dead_after()`   ▼  │
+//!                           Dead ──────────────────▶ Retired
+//!                                 no replacement within
+//!                                 `backoff`
+//! ```
+//!
+//! * **Liveness.** Workers heartbeat automatically every
+//!   `heartbeat_interval` (the cadence is assigned in the join
+//!   handshake). The coordinator tracks each worker's last sign of life —
+//!   heartbeat, digest, or checkpoint slice, in any phase of the run —
+//!   and declares a worker `Dead` after `miss_budget` consecutive missed
+//!   heartbeats, or immediately when its connection drops without a clean
+//!   [`sa_net::Message::Shutdown`]. A late heartbeat from a worker that
+//!   was declared dead but never replaced revives it.
+//! * **Degraded merges.** A pane blocked on a dead or straggling worker
+//!   for longer than `pane_timeout` (and every pane a `Retired` worker
+//!   can no longer serve) merges from the digests that did arrive. The
+//!   missing shards' mass is estimated from the present digests,
+//!   populations are inflated Horvitz–Thompson-style
+//!   ([`widen_for_shortfall`]) so confidence intervals widen to cover the
+//!   loss, and every window touching the pane is stamped
+//!   [`WindowResult::degraded`] with the summed
+//!   [`WindowResult::lost_items`]. The watermark keeps advancing; a run
+//!   degrades, it does not hang.
+//! * **Rejoin and handoff.** Workers publish their sealed session
+//!   snapshots to the coordinator at every checkpoint
+//!   ([`Engine::publish_checkpoint`] →
+//!   [`sa_net::Message::SnapshotSlice`]). A replacement process calls
+//!   [`rejoin_worker`]: the coordinator hands it the first dead shard
+//!   (generation-tagged, so frames from the dead predecessor are
+//!   ignored), together with that shard's last snapshot. Resuming via
+//!   [`crate::ApproxSession::resume_from_engine`] replays the shard's
+//!   source from the recorded consumer offsets, so recovery loses at most
+//!   the checkpoint exposure budget; digests for panes the coordinator
+//!   already merged, and duplicates of digests the dead predecessor
+//!   delivered, are dropped so nothing is double-counted.
+//! * **Bounded waits.** Every coordinator wait is bounded: the acceptor
+//!   accepts in a dedicated thread forever (a connection that wedges
+//!   before its `HelloJoin` only stalls its own handshake thread, for at
+//!   most `pane_timeout`), pane collection is bounded by `pane_timeout`,
+//!   and [`DistributedSession::finish`] by the configured run timeout.
+//!
+//! Failure semantics stay typed at the session boundary: a worker that
+//! can never be excused (it never joined, or the fault policy windows
+//! have not elapsed when the run timeout expires) surfaces as
+//! [`SaError::Disconnected`]; hostile or malformed frames on a worker's
+//! connection kill that connection (and only it), while protocol
+//! violations that reach the merge layer — misaligned panes, payloads
+//! contradicting the run directive, duplicate first-generation digests —
+//! surface as [`SaError::Wire`].
 
+use crate::checkpoint::{open_session_snapshot, RecordCodec};
+use crate::combine::PanePayload;
 use crate::cost::SizingDirective;
 use crate::engine::Engine;
 use crate::output::{RunOutput, WindowResult};
@@ -43,26 +105,29 @@ use crate::runtime::{
 };
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use sa_estimate::widen_for_shortfall;
 use sa_net::frame::{read_message, write_message};
 use sa_net::{Digest, DigestPayload, Directive, Message, WindowResultMsg};
+use sa_types::wire::{WireDecode, WireEncode, WireReader};
 use sa_types::{
-    Confidence, EventTime, IngestCounters, RunSeed, SaError, SessionStatus, StratifiedSample,
-    StratumSample, StreamItem, Window, WindowSpec, WorkerStatus,
+    Confidence, EngineSnapshot, EventTime, FaultPolicy, IngestCounters, RunSeed, SaError,
+    SessionSnapshot, SessionStatus, StratifiedSample, StratumSample, StreamItem, Window,
+    WindowSpec, WorkerHealth, WorkerStatus,
 };
 use std::collections::BTreeMap;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::sync::Arc;
-use std::thread;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 /// Configuration of a distributed coordinator session.
 ///
 /// Mirrors [`crate::ShardedConfig`] — the distributed tier is the sharded
 /// engine with processes for threads and frames for channels — plus the
-/// transport knobs a real service needs: a bind address and a straggler
-/// timeout.
+/// transport knobs a real service needs: a bind address, a run timeout,
+/// and the [`FaultPolicy`] governing failure detection and self-healing.
 #[derive(Debug, Clone)]
 pub struct DistributedConfig {
     /// Number of workers that will join; also the shard count of the
@@ -84,11 +149,15 @@ pub struct DistributedConfig {
     /// How long `finish` waits for missing workers or outstanding digests
     /// before declaring the run disconnected.
     pub timeout: Duration,
+    /// Failure detection and self-healing: heartbeat cadence, miss
+    /// budget, pane straggler timeout, respawn cap and retirement
+    /// backoff. The defaults never trip on a healthy loopback run.
+    pub fault: FaultPolicy,
 }
 
 impl DistributedConfig {
     /// A loopback configuration for `workers` workers with a 30-second
-    /// straggler timeout.
+    /// straggler timeout and the default [`FaultPolicy`].
     pub fn new(workers: u32) -> Self {
         DistributedConfig {
             workers,
@@ -97,6 +166,7 @@ impl DistributedConfig {
             seed: RunSeed::DEFAULT,
             expected_pane_items: 1_000,
             timeout: Duration::from_secs(30),
+            fault: FaultPolicy::default(),
         }
     }
 
@@ -128,10 +198,17 @@ impl DistributedConfig {
         self
     }
 
-    /// Sets the straggler timeout.
+    /// Sets the run timeout `finish` waits under.
     #[must_use]
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.timeout = timeout;
+        self
+    }
+
+    /// Sets the failure-detection and self-healing policy.
+    #[must_use]
+    pub fn with_fault_policy(mut self, fault: FaultPolicy) -> Self {
+        self.fault = fault;
         self
     }
 }
@@ -161,6 +238,8 @@ fn result_to_wire(result: &WindowResult) -> WindowResultMsg {
         mean: result.mean,
         sum_by_stratum: result.sum_by_stratum.clone(),
         mean_by_stratum: result.mean_by_stratum.clone(),
+        degraded: result.degraded,
+        lost_items: result.lost_items,
     }
 }
 
@@ -171,6 +250,17 @@ fn result_from_wire(msg: WindowResultMsg) -> WindowResult {
         mean: msg.mean,
         sum_by_stratum: msg.sum_by_stratum,
         mean_by_stratum: msg.mean_by_stratum,
+        degraded: msg.degraded,
+        lost_items: msg.lost_items,
+    }
+}
+
+/// Total item population a digest accounts for, across all its strata —
+/// the per-shard mass the lost-contribution estimate extrapolates from.
+fn digest_population(digest: &Digest) -> u64 {
+    match &digest.payload {
+        DigestPayload::Sampled(sample) => sample.iter().map(|s| s.population).sum(),
+        DigestPayload::Exact(stats) => stats.iter().map(|s| s.population).sum(),
     }
 }
 
@@ -185,6 +275,7 @@ struct AssignTemplate {
     expected_pane_items: u64,
     window: WindowSpec,
     confidence: Confidence,
+    heartbeat_interval_ms: u64,
 }
 
 impl AssignTemplate {
@@ -198,19 +289,74 @@ impl AssignTemplate {
             expected_pane_items: self.expected_pane_items,
             window: self.window,
             confidence: self.confidence,
+            heartbeat_interval_ms: self.heartbeat_interval_ms,
         }
     }
 }
 
-/// What the acceptor and reader threads report to the session.
+/// Supervision state of one worker shard's slot.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum SlotState {
+    /// No worker has ever claimed the shard.
+    Empty,
+    /// A worker (of the slot's current generation) owns the shard.
+    Live,
+    /// The owner failed; the shard is open for adoption.
+    Dead,
+    /// The shard died and no replacement arrived within the backoff; its
+    /// remaining panes merge degraded.
+    Retired,
+    /// The owner shut down cleanly; the shard's stream is complete.
+    Done,
+}
+
+/// One shard's supervision slot, shared between the session, the
+/// acceptor's handshake threads (which claim slots) and the reader
+/// threads (which store checkpoint slices).
+struct Slot {
+    state: SlotState,
+    /// Bumped on every adoption; events from older generations are stale.
+    gen: u32,
+    /// Times the shard has been re-adopted.
+    respawns: u32,
+    /// The owner's last sealed session snapshot (empty until the first
+    /// checkpoint is published) — the handoff a replacement resumes from.
+    snapshot: Vec<u8>,
+    snapshot_pane: Option<i64>,
+}
+
+struct SlotTable {
+    slots: Vec<Slot>,
+    /// Set when the session shuts down; stops the acceptor and refuses
+    /// late handshakes.
+    closed: bool,
+}
+
+/// Poison-tolerant lock: supervision state stays usable even if a
+/// service thread panicked while holding it.
+fn lock(table: &Mutex<SlotTable>) -> MutexGuard<'_, SlotTable> {
+    table
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// What the acceptor, handshake and reader threads report to the
+/// session. Every worker-scoped event is generation-tagged so frames
+/// from a replaced worker's lingering connection are ignored.
 enum Event {
     Joined {
         worker: u32,
+        gen: u32,
+        respawns: u32,
         results: Option<TcpStream>,
     },
-    Digest(Box<Digest>),
+    Digest {
+        gen: u32,
+        digest: Box<Digest>,
+    },
     Heartbeat {
         worker: u32,
+        gen: u32,
         ingest: IngestCounters,
         watermark: Option<EventTime>,
         lag: u64,
@@ -218,9 +364,25 @@ enum Event {
         items_since_checkpoint: u64,
         snapshot_bytes: u64,
     },
+    /// A sign of life that carries no progress report (a checkpoint
+    /// slice was stored).
+    Alive {
+        worker: u32,
+        gen: u32,
+    },
     Done {
         worker: u32,
+        gen: u32,
     },
+    /// The worker's connection is gone or spoke garbage — fatal to the
+    /// connection (the worker is declared dead and its shard opened for
+    /// adoption), never to the session.
+    ConnLost {
+        worker: u32,
+        gen: u32,
+        error: SaError,
+    },
+    /// The accept service itself failed — fatal to the session.
     Failed(SaError),
 }
 
@@ -229,19 +391,41 @@ struct WorkerPeer {
     status: WorkerStatus,
     done: bool,
     results: Option<TcpStream>,
+    gen: u32,
+    last_seen: Instant,
+    died_at: Option<Instant>,
 }
 
-fn reader_loop(mut stream: TcpStream, worker: u32, events: Sender<Event>) {
+fn reader_loop(
+    mut stream: TcpStream,
+    worker: u32,
+    gen: u32,
+    fault: FaultPolicy,
+    table: Arc<Mutex<SlotTable>>,
+    events: Sender<Event>,
+) {
+    // Bound the read so a socket that wedges open without traffic cannot
+    // pin this thread forever: any live worker heartbeats well inside
+    // twice the declared-dead window.
+    let read_timeout = (fault.dead_after() * 2).max(Duration::from_secs(1));
+    let _ = stream.set_read_timeout(Some(read_timeout));
     loop {
         let event = match read_message(&mut stream) {
             Ok(Some(Message::PaneDigest(digest))) => {
                 if digest.worker != worker {
-                    Event::Failed(SaError::Wire(format!(
-                        "digest claims worker {} on worker {worker}'s connection",
-                        digest.worker
-                    )))
+                    Event::ConnLost {
+                        worker,
+                        gen,
+                        error: SaError::Wire(format!(
+                            "digest claims worker {} on worker {worker}'s connection",
+                            digest.worker
+                        )),
+                    }
                 } else {
-                    Event::Digest(Box::new(digest))
+                    Event::Digest {
+                        gen,
+                        digest: Box::new(digest),
+                    }
                 }
             }
             Ok(Some(Message::Heartbeat {
@@ -254,6 +438,7 @@ fn reader_loop(mut stream: TcpStream, worker: u32, events: Sender<Event>) {
                 snapshot_bytes,
             })) if w == worker => Event::Heartbeat {
                 worker,
+                gen,
                 ingest,
                 watermark,
                 lag,
@@ -261,70 +446,201 @@ fn reader_loop(mut stream: TcpStream, worker: u32, events: Sender<Event>) {
                 items_since_checkpoint,
                 snapshot_bytes,
             },
-            Ok(Some(Message::Shutdown { .. })) => Event::Done { worker },
-            Ok(Some(_)) => Event::Failed(SaError::Wire(format!(
-                "unexpected message from worker {worker}"
-            ))),
-            Ok(None) => Event::Failed(SaError::Disconnected("worker closed without shutdown")),
-            Err(error) => Event::Failed(error),
+            Ok(Some(Message::SnapshotSlice {
+                worker: w,
+                pane,
+                sealed,
+            })) if w == worker => {
+                let mut t = lock(&table);
+                let slot = &mut t.slots[worker as usize];
+                if slot.gen == gen {
+                    slot.snapshot = sealed;
+                    slot.snapshot_pane = pane;
+                }
+                drop(t);
+                Event::Alive { worker, gen }
+            }
+            Ok(Some(Message::Shutdown { .. })) => Event::Done { worker, gen },
+            Ok(Some(_)) => Event::ConnLost {
+                worker,
+                gen,
+                error: SaError::Wire(format!("unexpected message from worker {worker}")),
+            },
+            Ok(None) => Event::ConnLost {
+                worker,
+                gen,
+                error: SaError::Disconnected("worker closed without shutdown"),
+            },
+            Err(error) => Event::ConnLost { worker, gen, error },
         };
-        let terminal = !matches!(event, Event::Digest(_) | Event::Heartbeat { .. });
+        let terminal = !matches!(
+            event,
+            Event::Digest { .. } | Event::Heartbeat { .. } | Event::Alive { .. }
+        );
         if events.send(event).is_err() || terminal {
             return;
         }
     }
 }
 
-fn acceptor_loop(listener: TcpListener, assign: AssignTemplate, events: Sender<Event>) {
-    let mut joined = vec![false; assign.num_workers as usize];
-    let mut remaining = assign.num_workers;
-    while remaining > 0 {
-        let mut stream = match listener.accept() {
+/// Performs one connection's join handshake: claims a slot, replies with
+/// the assignment (and the handoff snapshot on a rejoin), and announces
+/// the worker to the session. Any violation — unknown shard, duplicate
+/// claim, malformed hello, handshake timeout — drops this connection and
+/// nothing else.
+fn handshake(
+    mut stream: TcpStream,
+    assign: AssignTemplate,
+    fault: FaultPolicy,
+    table: &Arc<Mutex<SlotTable>>,
+    events: &Sender<Event>,
+) -> Option<(TcpStream, u32, u32)> {
+    let _ = stream.set_read_timeout(Some(fault.pane_timeout));
+    let _ = stream.set_write_timeout(Some(fault.pane_timeout));
+    let hello = read_message(&mut stream).ok()??;
+    let (worker, gen, respawns, wants_results, handoff) = match hello {
+        Message::HelloJoin {
+            worker,
+            wants_results,
+        } => {
+            if worker >= assign.num_workers {
+                return None;
+            }
+            let mut t = lock(table);
+            if t.closed {
+                return None;
+            }
+            let slot = &mut t.slots[worker as usize];
+            match slot.state {
+                SlotState::Empty => {
+                    slot.state = SlotState::Live;
+                    (worker, slot.gen, slot.respawns, wants_results, None)
+                }
+                // Joining a dead shard by id restarts it fresh; state
+                // adoption goes through `HelloRejoin`.
+                SlotState::Dead if slot.respawns < fault.max_respawn => {
+                    slot.gen += 1;
+                    slot.respawns += 1;
+                    slot.state = SlotState::Live;
+                    (worker, slot.gen, slot.respawns, wants_results, None)
+                }
+                _ => return None,
+            }
+        }
+        Message::HelloRejoin { wants_results } => {
+            // Wait (bounded) for a shard to need adopting: the session
+            // may not have noticed the death yet when the replacement
+            // dials in.
+            let deadline = Instant::now() + fault.pane_timeout;
+            loop {
+                {
+                    let mut t = lock(table);
+                    if t.closed {
+                        return None;
+                    }
+                    let found = t
+                        .slots
+                        .iter()
+                        .position(|s| s.state == SlotState::Dead && s.respawns < fault.max_respawn);
+                    if let Some(idx) = found {
+                        let slot = &mut t.slots[idx];
+                        slot.gen += 1;
+                        slot.respawns += 1;
+                        slot.state = SlotState::Live;
+                        break (
+                            idx as u32,
+                            slot.gen,
+                            slot.respawns,
+                            wants_results,
+                            Some(slot.snapshot.clone()),
+                        );
+                    }
+                }
+                if Instant::now() >= deadline {
+                    return None;
+                }
+                thread::sleep(Duration::from_millis(10));
+            }
+        }
+        _ => return None,
+    };
+    let replied = write_message(&mut stream, &assign.for_worker(worker)).is_ok()
+        && match &handoff {
+            Some(snapshot) => write_message(
+                &mut stream,
+                &Message::Reassign {
+                    worker,
+                    respawns,
+                    snapshot: snapshot.clone(),
+                },
+            )
+            .is_ok(),
+            None => true,
+        };
+    if !replied {
+        // The claim never completed; reopen the slot for the next taker.
+        let mut t = lock(table);
+        let slot = &mut t.slots[worker as usize];
+        if slot.gen == gen {
+            slot.state = if gen == 0 {
+                SlotState::Empty
+            } else {
+                SlotState::Dead
+            };
+        }
+        return None;
+    }
+    let results = if wants_results {
+        stream.try_clone().ok()
+    } else {
+        None
+    };
+    if events
+        .send(Event::Joined {
+            worker,
+            gen,
+            respawns,
+            results,
+        })
+        .is_err()
+    {
+        return None;
+    }
+    Some((stream, worker, gen))
+}
+
+/// Accepts forever; each connection handshakes on its own thread, so a
+/// client that wedges before its hello cannot stall other joins or the
+/// run. The session stops the loop by setting `closed` and dialing a
+/// poison-pill connection to unblock `accept`.
+fn acceptor_loop(
+    listener: TcpListener,
+    assign: AssignTemplate,
+    fault: FaultPolicy,
+    table: Arc<Mutex<SlotTable>>,
+    events: Sender<Event>,
+) {
+    loop {
+        let stream = match listener.accept() {
             Ok((stream, _)) => stream,
             Err(e) => {
+                if lock(&table).closed {
+                    return;
+                }
                 let _ = events.send(Event::Failed(SaError::Wire(format!("accept failed: {e}"))));
                 return;
             }
         };
-        let (worker, wants_results) = match read_message(&mut stream) {
-            Ok(Some(Message::HelloJoin {
-                worker,
-                wants_results,
-            })) => (worker, wants_results),
-            Ok(_) => {
-                let _ = events.send(Event::Failed(SaError::Wire(
-                    "connection did not open with a join".to_string(),
-                )));
-                return;
+        if lock(&table).closed {
+            return;
+        }
+        let table = Arc::clone(&table);
+        let events = events.clone();
+        thread::spawn(move || {
+            if let Some((stream, worker, gen)) = handshake(stream, assign, fault, &table, &events) {
+                reader_loop(stream, worker, gen, fault, table, events);
             }
-            Err(error) => {
-                let _ = events.send(Event::Failed(error));
-                return;
-            }
-        };
-        if worker >= assign.num_workers || joined[worker as usize] {
-            let _ = events.send(Event::Failed(SaError::Wire(format!(
-                "worker {worker} is not joinable (of {}, duplicates rejected)",
-                assign.num_workers
-            ))));
-            return;
-        }
-        if let Err(error) = write_message(&mut stream, &assign.for_worker(worker)) {
-            let _ = events.send(Event::Failed(error));
-            return;
-        }
-        let results = if wants_results {
-            stream.try_clone().ok()
-        } else {
-            None
-        };
-        joined[worker as usize] = true;
-        remaining -= 1;
-        if events.send(Event::Joined { worker, results }).is_err() {
-            return;
-        }
-        let reader_events = events.clone();
-        thread::spawn(move || reader_loop(stream, worker, reader_events));
+        });
     }
 }
 
@@ -333,16 +649,19 @@ fn acceptor_loop(listener: TcpListener, assign: AssignTemplate, events: Sender<E
 /// [`crate::StreamApprox::distributed`].
 ///
 /// The session is passive between calls — digests queue on a channel fed
-/// by per-connection reader threads, and merging happens on the caller's
-/// thread inside [`poll_windows`](DistributedSession::poll_windows) and
+/// by per-connection reader threads, and merging, liveness checking and
+/// retirement happen on the caller's thread inside
+/// [`poll_windows`](DistributedSession::poll_windows) and
 /// [`finish`](DistributedSession::finish). A pane is merged once every
 /// worker has either delivered it, provably advanced past it (its
-/// watermark reached the pane end), or shut down cleanly; merges happen
-/// in pane order so windows still finalize in watermark order.
+/// watermark reached the pane end), shut down cleanly, or been retired —
+/// or once the pane has been blocked for the fault policy's
+/// `pane_timeout`, in which case it merges degraded from the digests at
+/// hand. Merges happen in pane order so windows still finalize in
+/// watermark order.
 ///
-/// Transport failures are sticky: once a worker connection breaks without
-/// a clean shutdown, every subsequent poll and the final `finish` return
-/// the typed error instead of silently under-merged windows.
+/// The module-level docs in `net.rs` draw the worker lifecycle state
+/// machine behind all of this.
 pub struct DistributedSession {
     addr: SocketAddr,
     events: Receiver<Event>,
@@ -353,11 +672,21 @@ pub struct DistributedSession {
     shard_set: ShardSet<f64>,
     finalizer: WindowFinalizer,
     pending: BTreeMap<i64, BTreeMap<u32, Digest>>,
+    /// When each pending pane first saw a digest — the straggler clock
+    /// `pane_timeout` measures against.
+    pending_since: BTreeMap<i64, Instant>,
     workers: BTreeMap<u32, WorkerPeer>,
+    table: Arc<Mutex<SlotTable>>,
+    fault: FaultPolicy,
     ready: Vec<WindowResult>,
     error: Option<SaError>,
     completed: u64,
     aggregated: u64,
+    degraded_panes: u64,
+    lost_items: u64,
+    /// Why the most recently failed worker connection died — diagnostic
+    /// only (connection loss degrades, it does not error the session).
+    last_conn_error: Option<(u32, SaError)>,
     merged_watermark: Option<EventTime>,
     timeout: Duration,
     started: Instant,
@@ -384,6 +713,17 @@ impl DistributedSession {
                     "sampling fraction {f} outside (0, 1]"
                 )));
             }
+        }
+        let fault = config.fault;
+        if fault.heartbeat_interval.is_zero()
+            || fault.miss_budget == 0
+            || fault.pane_timeout.is_zero()
+        {
+            return Err(SaError::InvalidConfig(
+                "the fault policy needs a positive heartbeat interval, miss budget and pane \
+                 timeout"
+                    .to_string(),
+            ));
         }
         let interval_ms = config.pane_interval_ms.unwrap_or(window.slide_millis());
         if interval_ms <= 0 {
@@ -412,9 +752,23 @@ impl DistributedSession {
             expected_pane_items: config.expected_pane_items as u64,
             window,
             confidence,
+            heartbeat_interval_ms: fault.heartbeat_interval.as_millis() as u64,
         };
+        let table = Arc::new(Mutex::new(SlotTable {
+            slots: (0..config.workers)
+                .map(|_| Slot {
+                    state: SlotState::Empty,
+                    gen: 0,
+                    respawns: 0,
+                    snapshot: Vec::new(),
+                    snapshot_pane: None,
+                })
+                .collect(),
+            closed: false,
+        }));
         let (tx, rx) = channel();
-        thread::spawn(move || acceptor_loop(listener, assign, tx));
+        let acceptor_table = Arc::clone(&table);
+        thread::spawn(move || acceptor_loop(listener, assign, fault, acceptor_table, tx));
         Ok(DistributedSession {
             addr,
             events: rx,
@@ -425,11 +779,17 @@ impl DistributedSession {
             shard_set,
             finalizer: WindowFinalizer::new(window, confidence),
             pending: BTreeMap::new(),
+            pending_since: BTreeMap::new(),
             workers: BTreeMap::new(),
+            table,
+            fault,
             ready: Vec::new(),
             error: None,
             completed: 0,
             aggregated: 0,
+            degraded_panes: 0,
+            lost_items: 0,
+            last_conn_error: None,
             merged_watermark: None,
             timeout: config.timeout,
             started: Instant::now(),
@@ -448,29 +808,141 @@ impl DistributedSession {
         }
     }
 
+    fn set_slot_state(&mut self, worker: u32, gen: u32, state: SlotState) {
+        let mut t = lock(&self.table);
+        let slot = &mut t.slots[worker as usize];
+        if slot.gen == gen {
+            slot.state = state;
+        }
+    }
+
+    /// Declares a worker dead: its shard opens for adoption and its panes
+    /// stop being waited on once the fault windows elapse.
+    fn mark_dead(&mut self, worker: u32) {
+        let Some(peer) = self.workers.get_mut(&worker) else {
+            return;
+        };
+        if peer.done
+            || matches!(
+                peer.status.health,
+                WorkerHealth::Dead | WorkerHealth::Retired
+            )
+        {
+            return;
+        }
+        peer.status.health = WorkerHealth::Dead;
+        peer.died_at = Some(Instant::now());
+        let gen = peer.gen;
+        self.set_slot_state(worker, gen, SlotState::Dead);
+    }
+
+    /// Applies the fault policy's clocks: heartbeat misses demote workers
+    /// to `Suspect` then `Dead`, and dead shards with no replacement
+    /// inside the backoff retire for good.
+    fn check_liveness(&mut self) {
+        let dead_after = self.fault.dead_after();
+        let suspect_after = self.fault.heartbeat_interval * 2;
+        let mut to_kill = Vec::new();
+        let mut to_retire = Vec::new();
+        for (&worker, peer) in &mut self.workers {
+            if peer.done {
+                continue;
+            }
+            match peer.status.health {
+                WorkerHealth::Done | WorkerHealth::Retired => {}
+                WorkerHealth::Dead => {
+                    if peer
+                        .died_at
+                        .is_some_and(|died| died.elapsed() >= self.fault.backoff)
+                    {
+                        peer.status.health = WorkerHealth::Retired;
+                        to_retire.push((worker, peer.gen));
+                    }
+                }
+                WorkerHealth::Healthy | WorkerHealth::Suspect => {
+                    let idle = peer.last_seen.elapsed();
+                    if idle >= dead_after {
+                        to_kill.push(worker);
+                    } else if idle >= suspect_after {
+                        peer.status.health = WorkerHealth::Suspect;
+                    }
+                }
+            }
+        }
+        for worker in to_kill {
+            self.mark_dead(worker);
+        }
+        for (worker, gen) in to_retire {
+            self.set_slot_state(worker, gen, SlotState::Retired);
+        }
+    }
+
+    /// A sign of life from the worker's current generation.
+    fn note_alive(&mut self, worker: u32, gen: u32) -> bool {
+        let Some(peer) = self.workers.get_mut(&worker) else {
+            return false;
+        };
+        if peer.gen != gen {
+            return false;
+        }
+        peer.last_seen = Instant::now();
+        match peer.status.health {
+            WorkerHealth::Suspect => peer.status.health = WorkerHealth::Healthy,
+            // A worker declared dead on missed heartbeats whose frames
+            // resume before a replacement claims its shard was only
+            // paused: revive it.
+            WorkerHealth::Dead => {
+                peer.status.health = WorkerHealth::Healthy;
+                peer.died_at = None;
+                self.set_slot_state(worker, gen, SlotState::Live);
+            }
+            _ => {}
+        }
+        true
+    }
+
     fn absorb(&mut self, event: Event) {
         match event {
-            Event::Joined { worker, results } => {
-                self.workers.insert(
-                    worker,
-                    WorkerPeer {
-                        status: WorkerStatus {
-                            worker,
-                            ingest: IngestCounters::default(),
-                            watermark: None,
-                            lag: 0,
-                            last_checkpoint_pane: None,
-                            items_since_checkpoint: 0,
-                            snapshot_bytes: 0,
-                        },
-                        done: false,
-                        results,
+            Event::Joined {
+                worker,
+                gen,
+                respawns,
+                results,
+            } => {
+                let peer = self.workers.entry(worker).or_insert_with(|| WorkerPeer {
+                    status: WorkerStatus {
+                        worker,
+                        ingest: IngestCounters::default(),
+                        watermark: None,
+                        lag: 0,
+                        last_checkpoint_pane: None,
+                        items_since_checkpoint: 0,
+                        snapshot_bytes: 0,
+                        health: WorkerHealth::Healthy,
+                        respawns: 0,
                     },
-                );
+                    done: false,
+                    results: None,
+                    gen: 0,
+                    last_seen: Instant::now(),
+                    died_at: None,
+                });
+                peer.status.health = WorkerHealth::Healthy;
+                peer.status.respawns = respawns;
+                peer.done = false;
+                peer.results = results;
+                peer.gen = gen;
+                peer.last_seen = Instant::now();
+                peer.died_at = None;
             }
-            Event::Digest(digest) => self.absorb_digest(*digest),
+            Event::Digest { gen, digest } => {
+                if self.note_alive(digest.worker, gen) {
+                    self.absorb_digest(*digest, gen > 0);
+                }
+            }
             Event::Heartbeat {
                 worker,
+                gen,
                 ingest,
                 watermark,
                 lag,
@@ -478,7 +950,8 @@ impl DistributedSession {
                 items_since_checkpoint,
                 snapshot_bytes,
             } => {
-                if let Some(peer) = self.workers.get_mut(&worker) {
+                if self.note_alive(worker, gen) {
+                    let peer = self.workers.get_mut(&worker).expect("noted alive");
                     peer.status.ingest = ingest;
                     peer.status.watermark = watermark.max(peer.status.watermark);
                     peer.status.lag = lag;
@@ -487,16 +960,33 @@ impl DistributedSession {
                     peer.status.snapshot_bytes = snapshot_bytes;
                 }
             }
-            Event::Done { worker } => {
+            Event::Alive { worker, gen } => {
+                let _ = self.note_alive(worker, gen);
+            }
+            Event::Done { worker, gen } => {
                 if let Some(peer) = self.workers.get_mut(&worker) {
-                    peer.done = true;
+                    if peer.gen == gen {
+                        peer.done = true;
+                        peer.status.health = WorkerHealth::Done;
+                        self.set_slot_state(worker, gen, SlotState::Done);
+                    }
+                }
+            }
+            Event::ConnLost { worker, gen, error } => {
+                let stale = self
+                    .workers
+                    .get(&worker)
+                    .map_or(true, |peer| peer.gen != gen || peer.done);
+                if !stale {
+                    self.last_conn_error = Some((worker, error));
+                    self.mark_dead(worker);
                 }
             }
             Event::Failed(error) => self.fail(error),
         }
     }
 
-    fn absorb_digest(&mut self, digest: Digest) {
+    fn absorb_digest(&mut self, digest: Digest, respawned: bool) {
         let start = digest.pane.start.as_millis();
         let end = digest.pane.end.as_millis();
         if start.rem_euclid(self.interval_ms) != 0 || end != start + self.interval_ms {
@@ -512,14 +1002,6 @@ impl DistributedSession {
                 digest.worker
             )));
         }
-        if let Some(merged) = self.merged_watermark {
-            if start < merged.as_millis() {
-                return self.fail(SaError::Wire(format!(
-                    "worker {} digest for already-merged pane {}",
-                    digest.worker, digest.pane
-                )));
-            }
-        }
         if let Some(peer) = self.workers.get_mut(&digest.worker) {
             peer.status.ingest = digest.counters;
             peer.status.watermark = digest.watermark.max(peer.status.watermark);
@@ -528,18 +1010,30 @@ impl DistributedSession {
             peer.status.items_since_checkpoint = digest.items_since_checkpoint;
             peer.status.snapshot_bytes = digest.snapshot_bytes;
         }
+        if let Some(merged) = self.merged_watermark {
+            if start < merged.as_millis() {
+                // The pane was already merged — by straggler timeout or a
+                // degraded close — and a replacement replaying its log
+                // legitimately re-derives it. Dropping (never
+                // re-merging) is what keeps recovery exactly-once at
+                // pane granularity.
+                return;
+            }
+        }
         let worker = digest.worker;
-        if self
-            .pending
-            .entry(start)
-            .or_default()
-            .insert(worker, digest)
-            .is_some()
-        {
-            self.fail(SaError::Wire(format!(
+        let slot = self.pending.entry(start).or_default();
+        if slot.contains_key(&worker) {
+            if respawned {
+                // First delivery wins: the dead predecessor's digest for
+                // this pane already counts its items.
+                return;
+            }
+            return self.fail(SaError::Wire(format!(
                 "worker {worker} sent two digests for one pane"
             )));
         }
+        slot.insert(worker, digest);
+        self.pending_since.entry(start).or_insert_with(Instant::now);
     }
 
     fn drain_pending_events(&mut self) {
@@ -549,8 +1043,10 @@ impl DistributedSession {
     }
 
     /// Whether every worker has accounted for the pane starting at
-    /// `start`: delivered a digest, watermarked past its end, or shut
-    /// down for good.
+    /// `start`: delivered a digest, watermarked past its end, shut down
+    /// for good, or been retired. Dead-but-not-retired workers still
+    /// hold panes back — their replacement may yet refill them — until
+    /// the pane's own timeout forces a degraded merge.
     fn pane_ready(&self, start: i64) -> bool {
         let end = start + self.interval_ms;
         let digests = self.pending.get(&start);
@@ -559,6 +1055,7 @@ impl DistributedSession {
                 return false; // not yet joined
             };
             peer.done
+                || peer.status.health == WorkerHealth::Retired
                 || digests.is_some_and(|d| d.contains_key(&w))
                 || peer.status.watermark.is_some_and(|t| t.as_millis() >= end)
         })
@@ -569,17 +1066,62 @@ impl DistributedSession {
             let Some((&start, _)) = self.pending.iter().next() else {
                 break;
             };
-            if !self.pane_ready(start) {
-                break;
+            if self.pane_ready(start) {
+                self.merge_pane(start);
+                continue;
             }
-            self.merge_pane(start);
+            // The straggler clock: a pane blocked past the policy's
+            // timeout merges from whatever arrived, so one wedged worker
+            // cannot stall the watermark.
+            let waited = self
+                .pending_since
+                .get(&start)
+                .map(|since| since.elapsed())
+                .unwrap_or_default();
+            if waited >= self.fault.pane_timeout {
+                self.merge_pane(start);
+                continue;
+            }
+            break;
         }
     }
 
     fn merge_pane(&mut self, start: i64) {
         let end = start + self.interval_ms;
+        self.pending_since.remove(&start);
         let mut digests = self.pending.remove(&start).unwrap_or_default();
         let exact = self.directive == SizingDirective::Everything;
+        // Workers with no digest and no excuse (clean shutdown, watermark
+        // past the pane) are the degraded merge's missing shards. On the
+        // healthy path this is empty and the merge below is bit-identical
+        // to the in-process shard merge.
+        let missing: Vec<u32> = (0..self.num_workers)
+            .filter(|w| {
+                let excused = match self.workers.get(w) {
+                    None => false,
+                    Some(peer) => {
+                        peer.done
+                            || digests.contains_key(w)
+                            || peer.status.watermark.is_some_and(|t| t.as_millis() >= end)
+                    }
+                };
+                !excused
+            })
+            .collect();
+        let lost = if missing.is_empty() {
+            0
+        } else {
+            // Hash routing spreads every stratum uniformly over shards,
+            // so the present shards' mean pane population is an unbiased
+            // estimate of each missing shard's contribution.
+            let present: Vec<u64> = digests.values().map(digest_population).collect();
+            if present.is_empty() {
+                0
+            } else {
+                let total: u128 = present.iter().map(|&p| u128::from(p)).sum();
+                (total * missing.len() as u128 / present.len() as u128) as u64
+            }
+        };
         // A worker with no digest for a ready pane skipped it over a quiet
         // gap; its contribution is the same empty close an idle in-process
         // shard would have produced.
@@ -592,8 +1134,23 @@ impl DistributedSession {
             })
             .collect();
         let mut rng = SmallRng::seed_from_u64(pane_merge_seed(self.seed, start));
-        let payload = self.shard_set.merge_panes(panes, &mut rng);
+        let mut payload = self.shard_set.merge_panes(panes, &mut rng);
         self.aggregated += payload.sampled();
+        if !missing.is_empty() {
+            for &w in &missing {
+                if let Some(peer) = self.workers.get_mut(&w) {
+                    if peer.status.health == WorkerHealth::Healthy {
+                        peer.status.health = WorkerHealth::Suspect;
+                    }
+                }
+            }
+            self.degraded_panes += 1;
+            self.lost_items += lost;
+            if let PanePayload::Stratified(stats) = &mut payload {
+                widen_for_shortfall(stats, lost);
+            }
+            self.finalizer.note_degraded_pane(start, lost);
+        }
         let pane = Window::new(EventTime::from_millis(start), EventTime::from_millis(end));
         self.finalizer.ingest_interval(pane, payload);
         self.finalizer.close_interval(EventTime::from_millis(end));
@@ -624,14 +1181,18 @@ impl DistributedSession {
 
     /// Takes the windows finalized since the last poll, in watermark
     /// order, without blocking: only digests already received are merged.
+    /// Liveness checks run here too — a session that polls regularly
+    /// notices dead workers and force-merges timed-out panes promptly.
     ///
     /// # Errors
     ///
-    /// [`SaError::Disconnected`] once any worker connection has broken
-    /// without a clean shutdown (the error is sticky), [`SaError::Wire`]
-    /// on protocol violations.
+    /// [`SaError::Wire`] on protocol violations that reach the merge
+    /// layer, [`SaError::Disconnected`] if the accept service died
+    /// (worker connection failures do **not** error here — they degrade;
+    /// watch [`SessionStatus::workers`] for health).
     pub fn poll_windows(&mut self) -> Result<Vec<WindowResult>, SaError> {
         self.drain_pending_events();
+        self.check_liveness();
         self.merge_ready_panes();
         if let Some(error) = &self.error {
             return Err(error.clone());
@@ -640,8 +1201,9 @@ impl DistributedSession {
     }
 
     /// A snapshot of the run's progress: per-worker ingest counters,
-    /// watermarks and lag (as of each worker's last digest or heartbeat)
-    /// on [`SessionStatus::workers`], plus the merged totals.
+    /// watermarks, lag, health and respawn counts (as of each worker's
+    /// last digest or heartbeat) on [`SessionStatus::workers`], plus the
+    /// merged totals and the degraded-merge ledger.
     pub fn status(&self) -> SessionStatus {
         let mut ingest = IngestCounters::default();
         let mut items_since_checkpoint = 0u64;
@@ -664,27 +1226,39 @@ impl DistributedSession {
             last_checkpoint_pane: None,
             items_since_checkpoint,
             snapshot_bytes,
+            degraded_panes: self.degraded_panes,
+            lost_items: self.lost_items,
         }
     }
 
+    /// Every shard's stream is over: its worker shut down cleanly, or
+    /// the shard was retired after its fault windows elapsed.
     fn all_done(&self) -> bool {
-        self.workers.len() == self.num_workers as usize && self.workers.values().all(|p| p.done)
+        (0..self.num_workers).all(|w| {
+            self.workers
+                .get(&w)
+                .is_some_and(|p| p.done || p.status.health == WorkerHealth::Retired)
+        })
     }
 
-    /// Waits for every worker to shut down cleanly, merges the remaining
-    /// panes, and returns the completed run. Results not drained through
+    /// Waits for every shard to settle — workers shutting down cleanly,
+    /// or dead shards retiring once their fault windows elapse — merges
+    /// the remaining panes (degraded where shards went missing), and
+    /// returns the completed run. Results not drained through
     /// [`poll_windows`](DistributedSession::poll_windows) are in the
     /// output's `windows`, exactly like a local session's `finish`.
     ///
     /// # Errors
     ///
-    /// [`SaError::Disconnected`] if a worker connection broke without a
-    /// shutdown, or if workers are still missing when the configured
-    /// timeout runs out; [`SaError::Wire`] on protocol violations.
+    /// [`SaError::Disconnected`] if a shard can never settle before the
+    /// configured run timeout (a worker that never joined, or fault
+    /// windows longer than the timeout); [`SaError::Wire`] on protocol
+    /// violations that reach the merge layer.
     pub fn finish(mut self) -> Result<RunOutput, SaError> {
         let deadline = Instant::now() + self.timeout;
         loop {
             self.drain_pending_events();
+            self.check_liveness();
             self.merge_ready_panes();
             if let Some(error) = self.error.take() {
                 return Err(error);
@@ -695,11 +1269,12 @@ impl DistributedSession {
             let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
                 return Err(SaError::Disconnected("timed out waiting for workers"));
             };
-            match self.events.recv_timeout(remaining) {
+            // Wake regularly even without events: retirement and pane
+            // timeouts are clock-driven, not frame-driven.
+            let tick = remaining.min(Duration::from_millis(20));
+            match self.events.recv_timeout(tick) {
                 Ok(event) => self.absorb(event),
-                Err(RecvTimeoutError::Timeout) => {
-                    return Err(SaError::Disconnected("timed out waiting for workers"));
-                }
+                Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => {
                     return Err(SaError::Disconnected("coordinator service threads died"));
                 }
@@ -721,6 +1296,15 @@ impl DistributedSession {
     }
 }
 
+impl Drop for DistributedSession {
+    fn drop(&mut self) {
+        // Stop the accept service: mark the table closed so handshakes
+        // refuse, then dial a poison-pill connection to unblock `accept`.
+        lock(&self.table).closed = true;
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
 impl std::fmt::Debug for DistributedSession {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DistributedSession")
@@ -728,6 +1312,8 @@ impl std::fmt::Debug for DistributedSession {
             .field("num_workers", &self.num_workers)
             .field("joined", &self.workers.len())
             .field("windows_completed", &self.completed)
+            .field("degraded_panes", &self.degraded_panes)
+            .field("last_conn_error", &self.last_conn_error)
             .field("watermark", &self.merged_watermark)
             .finish()
     }
@@ -749,30 +1335,130 @@ fn project_sample<R>(
         .collect()
 }
 
+/// Worker-side state shared with the background heartbeat thread: the
+/// framed connection (one mutex serializes whole frames, so heartbeats
+/// never interleave with digests) and the progress counters heartbeats
+/// report.
+struct WorkerShared {
+    stream: Mutex<TcpStream>,
+    worker: u32,
+    stop: AtomicBool,
+    alive: AtomicBool,
+    ingested: AtomicU64,
+    /// Event-time watermark in ms; `i64::MIN` before the first item.
+    watermark: AtomicI64,
+    lag: Arc<AtomicU64>,
+    /// Pane start of the last checkpoint; `i64::MIN` before the first.
+    last_checkpoint_pane: AtomicI64,
+    items_at_checkpoint: AtomicU64,
+    snapshot_bytes: AtomicU64,
+}
+
+const NO_TIME: i64 = i64::MIN;
+
+impl WorkerShared {
+    fn send(&self, message: &Message) -> Result<(), SaError> {
+        let mut stream = self
+            .stream
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let sent = write_message(&mut *stream, message);
+        if sent.is_err() {
+            self.alive.store(false, Ordering::Release);
+        }
+        sent
+    }
+
+    fn heartbeat_message(&self) -> Message {
+        let ingested = self.ingested.load(Ordering::Relaxed);
+        let watermark = match self.watermark.load(Ordering::Relaxed) {
+            NO_TIME => None,
+            t => Some(EventTime::from_millis(t)),
+        };
+        let last_checkpoint_pane = match self.last_checkpoint_pane.load(Ordering::Relaxed) {
+            NO_TIME => None,
+            p => Some(p),
+        };
+        Message::Heartbeat {
+            worker: self.worker,
+            ingest: IngestCounters {
+                ingested,
+                dropped_late: 0,
+            },
+            watermark,
+            lag: self.lag.load(Ordering::Relaxed),
+            last_checkpoint_pane,
+            items_since_checkpoint: ingested
+                .saturating_sub(self.items_at_checkpoint.load(Ordering::Relaxed)),
+            snapshot_bytes: self.snapshot_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The background liveness loop: one heartbeat per interval until the
+/// engine stops it (or the coordinator goes away). Sleeps in short
+/// slices so engine drop is never blocked behind a full interval.
+fn heartbeat_loop(shared: Arc<WorkerShared>, interval: Duration) {
+    let slice = Duration::from_millis(20).min(interval);
+    let mut last = Instant::now();
+    loop {
+        if shared.stop.load(Ordering::Acquire) || !shared.alive.load(Ordering::Acquire) {
+            return;
+        }
+        if last.elapsed() < interval {
+            thread::sleep(slice);
+            continue;
+        }
+        last = Instant::now();
+        if shared.send(&shared.heartbeat_message()).is_err() {
+            return;
+        }
+    }
+}
+
 /// The worker side of the distributed tier: a local [`Engine`] that
 /// samples its shard of the stream and ships one digest per closed pane
-/// to the coordinator, built by [`connect_worker`].
+/// to the coordinator, built by [`connect_worker`] (fresh shards) or
+/// [`rejoin_worker`] (adopting a dead shard).
 ///
 /// The engine holds worker `w`'s full-capacity shard sampler — the exact
 /// sampler [`ShardSet::rearm`] hands shard `w` in the in-process sharded
 /// engine — so the coordinator's canonical merge of all workers' digests
 /// is bit-identical to the single-process merge of the same shards.
 ///
+/// A background thread heartbeats at the coordinator-assigned cadence
+/// for as long as the engine lives, so quiet sources never look like
+/// failures. Dropping the engine (or the session wrapping it) without
+/// `finish` stops the heartbeats and severs the connection — exactly a
+/// crash, as the coordinator sees it.
+///
 /// `poll_windows` is always empty on a worker: estimation happens on the
 /// coordinator. A worker that joined with `wants_results` receives the
 /// finalized windows back in [`Engine::finish`]'s `RunOutput` once the
 /// coordinator completes the run.
+///
+/// With a record codec attached
+/// ([`checkpointable`](DigestEngine::checkpointable)), the engine
+/// supports session checkpoints: snapshots serialize the shard sampler
+/// and pane cursor, and every sealed checkpoint is also published to the
+/// coordinator so a replacement worker can adopt this shard's state.
 pub struct DigestEngine<R> {
-    stream: TcpStream,
+    shared: Arc<WorkerShared>,
+    /// A second handle onto the same socket for the results drain, so a
+    /// blocking read never holds the write lock against the heartbeat
+    /// thread.
+    reader: TcpStream,
+    heartbeat: Option<JoinHandle<()>>,
     worker: u32,
+    respawns: u32,
     wants_results: bool,
     cursor: PaneCursor,
     sampler: IntervalWorker<R>,
+    codec: Option<RecordCodec<R>>,
     proj: Arc<dyn Fn(&R) -> f64 + Send + Sync>,
     watermark: Option<EventTime>,
-    lag: Arc<AtomicU64>,
+    panes: u64,
     started: Instant,
-    alive: bool,
     /// Checkpoint exposure the session reports through
     /// [`Engine::note_checkpoint`], mirrored onto every digest and
     /// heartbeat so the coordinator's [`WorkerStatus`] shows it.
@@ -781,21 +1467,132 @@ pub struct DigestEngine<R> {
     snapshot_bytes: u64,
 }
 
+/// The run configuration a coordinator hands a joining worker.
+struct Assignment {
+    worker: u32,
+    num_workers: u32,
+    seed: RunSeed,
+    directive: Directive,
+    pane_interval_ms: i64,
+    expected_pane_items: u64,
+    window: WindowSpec,
+    heartbeat_interval_ms: u64,
+}
+
+fn read_assignment(stream: &mut TcpStream) -> Result<Assignment, SaError> {
+    let Some(reply) = read_message(stream)? else {
+        return Err(SaError::Disconnected("coordinator hung up mid-handshake"));
+    };
+    let Message::HelloAssign {
+        worker,
+        num_workers,
+        seed,
+        directive,
+        pane_interval_ms,
+        expected_pane_items,
+        window,
+        confidence: _,
+        heartbeat_interval_ms,
+    } = reply
+    else {
+        return Err(SaError::Wire(
+            "coordinator did not answer the join with an assignment".to_string(),
+        ));
+    };
+    Ok(Assignment {
+        worker,
+        num_workers,
+        seed,
+        directive,
+        pane_interval_ms,
+        expected_pane_items,
+        window,
+        heartbeat_interval_ms,
+    })
+}
+
+fn assemble_engine<R>(
+    stream: TcpStream,
+    assignment: Assignment,
+    respawns: u32,
+    wants_results: bool,
+    proj: Arc<dyn Fn(&R) -> f64 + Send + Sync>,
+) -> Result<DigestEngine<R>, SaError> {
+    let reader = stream
+        .try_clone()
+        .map_err(|e| SaError::Wire(format!("cannot clone the coordinator socket: {e}")))?;
+    // Exactly the sampler ShardSet::rearm builds for shard `worker`, so
+    // the coordinator's merge sees the same per-shard state a
+    // single-process sharded run would.
+    let sizing = sampler_sizing(
+        directive_from_wire(assignment.directive),
+        assignment.expected_pane_items as usize,
+        assignment.num_workers as usize,
+    );
+    let sampler = IntervalWorker::for_shard(
+        sizing,
+        assignment.seed,
+        assignment.worker as usize,
+        Arc::clone(&proj),
+    );
+    let shared = Arc::new(WorkerShared {
+        stream: Mutex::new(stream),
+        worker: assignment.worker,
+        stop: AtomicBool::new(false),
+        alive: AtomicBool::new(true),
+        ingested: AtomicU64::new(0),
+        watermark: AtomicI64::new(NO_TIME),
+        lag: Arc::new(AtomicU64::new(0)),
+        last_checkpoint_pane: AtomicI64::new(NO_TIME),
+        items_at_checkpoint: AtomicU64::new(0),
+        snapshot_bytes: AtomicU64::new(0),
+    });
+    let heartbeat = if assignment.heartbeat_interval_ms > 0 {
+        let interval = Duration::from_millis(assignment.heartbeat_interval_ms);
+        let hb = Arc::clone(&shared);
+        Some(thread::spawn(move || heartbeat_loop(hb, interval)))
+    } else {
+        None
+    };
+    Ok(DigestEngine {
+        shared,
+        reader,
+        heartbeat,
+        worker: assignment.worker,
+        respawns,
+        wants_results,
+        cursor: PaneCursor::new(assignment.pane_interval_ms, assignment.window),
+        sampler,
+        codec: None,
+        proj,
+        watermark: None,
+        panes: 0,
+        started: Instant::now(),
+        last_checkpoint_pane: None,
+        items_at_checkpoint: 0,
+        snapshot_bytes: 0,
+    })
+}
+
 /// Joins a coordinator as worker `worker`: connects, performs the
 /// join/assign handshake, and builds the worker's [`DigestEngine`] from
 /// the assigned run configuration (seed, directive, pane interval,
-/// window — workers need no local configuration beyond the address, their
-/// id, and the projection from their record type).
+/// window, heartbeat cadence — workers need no local configuration
+/// beyond the address, their id, and the projection from their record
+/// type).
 ///
 /// Wrap the engine in [`crate::ApproxSession::from_engine`] for the
 /// push/poll session API; with `wants_results` the finalized windows come
-/// back in the session's `finish` output.
+/// back in the session's `finish` output. To adopt a *dead* worker's
+/// shard together with its checkpointed state, use [`rejoin_worker`]
+/// instead (joining a dead shard by its id here restarts it fresh).
 ///
 /// # Errors
 ///
 /// [`SaError::InvalidConfig`] when the coordinator is unreachable,
 /// [`SaError::Wire`] / [`SaError::Disconnected`] when the handshake is
-/// malformed or cut short.
+/// malformed, refused (unknown or already-owned worker id), or cut
+/// short.
 pub fn connect_worker<R>(
     addr: impl ToSocketAddrs,
     worker: u32,
@@ -811,88 +1608,125 @@ pub fn connect_worker<R>(
             wants_results,
         },
     )?;
-    let Some(reply) = read_message(&mut stream)? else {
-        return Err(SaError::Disconnected("coordinator hung up mid-handshake"));
-    };
-    let Message::HelloAssign {
-        worker: assigned,
-        num_workers,
-        seed,
-        directive,
-        pane_interval_ms,
-        expected_pane_items,
-        window,
-        confidence: _,
-    } = reply
-    else {
-        return Err(SaError::Wire(
-            "coordinator did not answer the join with an assignment".to_string(),
-        ));
-    };
-    if assigned != worker {
+    let assignment = read_assignment(&mut stream)?;
+    if assignment.worker != worker {
         return Err(SaError::Wire(format!(
-            "coordinator assigned id {assigned} to worker {worker}"
+            "coordinator assigned id {} to worker {worker}",
+            assignment.worker
         )));
     }
-    let proj: Arc<dyn Fn(&R) -> f64 + Send + Sync> = Arc::new(proj);
-    // Exactly the sampler ShardSet::rearm builds for shard `worker`, so
-    // the coordinator's merge sees the same per-shard state a
-    // single-process sharded run would.
-    let sizing = sampler_sizing(
-        directive_from_wire(directive),
-        expected_pane_items as usize,
-        num_workers as usize,
-    );
-    let sampler = IntervalWorker::for_shard(sizing, seed, worker as usize, Arc::clone(&proj));
-    Ok(DigestEngine {
-        stream,
+    assemble_engine(stream, assignment, 0, wants_results, Arc::new(proj))
+}
+
+/// Joins a coordinator as a *replacement*: volunteers for whichever
+/// worker shard is currently dead, receives that shard's id, run
+/// configuration and last published checkpoint, and returns the rebuilt
+/// engine (already [`checkpointable`](DigestEngine::checkpointable))
+/// together with the decoded [`SessionSnapshot`], if the dead worker
+/// ever checkpointed.
+///
+/// Resume with [`crate::ApproxSession::resume_from_engine`] and replay
+/// the shard's source from the snapshot's consumer offsets; without a
+/// snapshot, wrap the engine in [`crate::ApproxSession::from_engine`]
+/// and replay from the start of the shard's log. Either way the
+/// coordinator drops digests for panes it already merged and duplicates
+/// of the predecessor's deliveries, so the replay never double-counts.
+///
+/// The coordinator holds the connection until a shard actually dies, for
+/// at most its fault policy's `pane_timeout` — so a standby replacement
+/// can dial in *before* any failure.
+///
+/// # Errors
+///
+/// [`SaError::InvalidConfig`] when the coordinator is unreachable;
+/// [`SaError::Disconnected`] when no shard needed adopting within the
+/// coordinator's patience (or the respawn budget is exhausted);
+/// [`SaError::Wire`] / [`SaError::Checkpoint`] on a malformed handshake
+/// or handoff snapshot.
+pub fn rejoin_worker<R: WireEncode + WireDecode>(
+    addr: impl ToSocketAddrs,
+    wants_results: bool,
+    proj: impl Fn(&R) -> f64 + Send + Sync + 'static,
+) -> Result<(DigestEngine<R>, Option<SessionSnapshot>), SaError> {
+    let mut stream = TcpStream::connect(addr)
+        .map_err(|e| SaError::InvalidConfig(format!("cannot reach the coordinator: {e}")))?;
+    write_message(&mut stream, &Message::HelloRejoin { wants_results })?;
+    let assignment = read_assignment(&mut stream)?;
+    let Some(handoff) = read_message(&mut stream)? else {
+        return Err(SaError::Disconnected("coordinator hung up mid-handoff"));
+    };
+    let Message::Reassign {
         worker,
-        wants_results,
-        cursor: PaneCursor::new(pane_interval_ms, window),
-        sampler,
-        proj,
-        watermark: None,
-        lag: Arc::new(AtomicU64::new(0)),
-        started: Instant::now(),
-        alive: true,
-        last_checkpoint_pane: None,
-        items_at_checkpoint: 0,
-        snapshot_bytes: 0,
-    })
+        respawns,
+        snapshot,
+    } = handoff
+    else {
+        return Err(SaError::Wire(
+            "coordinator did not follow the rejoin assignment with a handoff".to_string(),
+        ));
+    };
+    if worker != assignment.worker {
+        return Err(SaError::Wire(format!(
+            "handoff names worker {worker} but the assignment named {}",
+            assignment.worker
+        )));
+    }
+    let resumed = if snapshot.is_empty() {
+        None
+    } else {
+        Some(open_session_snapshot(&snapshot)?)
+    };
+    let engine = assemble_engine(stream, assignment, respawns, wants_results, Arc::new(proj))?
+        .checkpointable(RecordCodec::new());
+    Ok((engine, resumed))
 }
 
 impl<R> DigestEngine<R> {
+    /// Attaches a record codec, enabling [`Engine::snapshot`] /
+    /// [`Engine::restore`] — and with them session checkpoints, whose
+    /// sealed bytes are also published to the coordinator for dead-shard
+    /// handoff.
+    #[must_use]
+    pub fn checkpointable(mut self, codec: RecordCodec<R>) -> Self {
+        self.codec = Some(codec);
+        self
+    }
+
+    /// The shard id this engine owns.
+    pub fn worker(&self) -> u32 {
+        self.worker
+    }
+
+    /// How many times this shard had been re-adopted when this engine
+    /// joined (0 for a first-generation worker).
+    pub fn respawns(&self) -> u32 {
+        self.respawns
+    }
+
     /// A handle for reporting this worker's source lag (outstanding items
     /// in its replay log); the engine stamps the latest value onto every
     /// digest and heartbeat. The handle stays valid after the engine is
     /// boxed into an [`crate::ApproxSession`].
     pub fn lag_handle(&self) -> Arc<AtomicU64> {
-        Arc::clone(&self.lag)
+        Arc::clone(&self.shared.lag)
     }
 
-    /// Sends a liveness heartbeat: running ingest counters, watermark and
-    /// lag, without closing a pane. Useful while a source is quiet.
+    /// Sends one liveness heartbeat immediately.
+    ///
+    /// Heartbeats are automatic since the coordinator started assigning
+    /// a cadence: a background thread sends one every assigned interval
+    /// for as long as the engine lives, so there is nothing to call —
+    /// though the coordinator tolerates extra heartbeats in any phase of
+    /// the run.
     ///
     /// # Errors
     ///
     /// [`SaError::Wire`] when the coordinator connection is gone.
+    #[deprecated(note = "heartbeats are sent automatically by a background thread; \
+                         this manual nudge is only useful with a coordinator that \
+                         assigned no cadence")]
     pub fn heartbeat(&mut self) -> Result<(), SaError> {
-        let (ingested, _) = self.sampler.counters();
-        write_message(
-            &mut self.stream,
-            &Message::Heartbeat {
-                worker: self.worker,
-                ingest: IngestCounters {
-                    ingested,
-                    dropped_late: 0,
-                },
-                watermark: self.watermark,
-                lag: self.lag.load(Ordering::Relaxed),
-                last_checkpoint_pane: self.last_checkpoint_pane,
-                items_since_checkpoint: ingested.saturating_sub(self.items_at_checkpoint),
-                snapshot_bytes: self.snapshot_bytes,
-            },
-        )
+        self.shared.send(&self.shared.heartbeat_message())
     }
 
     fn close_pane(&mut self) -> Result<(), SaError> {
@@ -904,6 +1738,7 @@ impl<R> DigestEngine<R> {
             WorkerPane::Exact(stats) => DigestPayload::Exact(stats),
         };
         let (ingested, _) = self.sampler.counters();
+        self.panes += 1;
         let digest = Digest {
             worker: self.worker,
             pane: Window::new(EventTime::from_millis(start), EventTime::from_millis(end)),
@@ -912,23 +1747,29 @@ impl<R> DigestEngine<R> {
                 dropped_late: 0,
             },
             watermark: self.watermark,
-            lag: self.lag.load(Ordering::Relaxed),
+            lag: self.shared.lag.load(Ordering::Relaxed),
             last_checkpoint_pane: self.last_checkpoint_pane,
             items_since_checkpoint: ingested.saturating_sub(self.items_at_checkpoint),
             snapshot_bytes: self.snapshot_bytes,
             payload,
         };
-        let sent = write_message(&mut self.stream, &Message::PaneDigest(digest));
-        if sent.is_err() {
-            self.alive = false;
-        }
-        sent
+        self.shared.send(&Message::PaneDigest(digest))
+    }
+
+    fn require_codec(&self) -> Result<RecordCodec<R>, SaError> {
+        self.codec.ok_or_else(|| {
+            SaError::Checkpoint(
+                "the digest engine checkpoints only when built with a record codec \
+                 (DigestEngine::checkpointable)"
+                    .into(),
+            )
+        })
     }
 }
 
 impl<R> Engine<R> for DigestEngine<R> {
     fn push(&mut self, item: StreamItem<R>) -> Result<(), SaError> {
-        if !self.alive {
+        if !self.shared.alive.load(Ordering::Acquire) {
             return Err(SaError::Disconnected("digest worker lost its coordinator"));
         }
         let t = item.time.as_millis();
@@ -937,7 +1778,11 @@ impl<R> Engine<R> for DigestEngine<R> {
             self.cursor.next(t);
         }
         self.watermark = Some(item.time);
+        self.shared.watermark.store(t, Ordering::Relaxed);
         self.sampler.observe(item.stratum, item.value);
+        self.shared
+            .ingested
+            .store(self.sampler.counters().0, Ordering::Relaxed);
         Ok(())
     }
 
@@ -945,32 +1790,102 @@ impl<R> Engine<R> for DigestEngine<R> {
         Vec::new()
     }
 
+    fn panes_closed(&self) -> u64 {
+        self.panes
+    }
+
     fn note_checkpoint(&mut self, pane: Option<i64>, snapshot_bytes: u64) {
         let (ingested, _) = self.sampler.counters();
         self.last_checkpoint_pane = pane;
         self.items_at_checkpoint = ingested;
         self.snapshot_bytes = snapshot_bytes;
+        self.shared
+            .last_checkpoint_pane
+            .store(pane.unwrap_or(NO_TIME), Ordering::Relaxed);
+        self.shared
+            .items_at_checkpoint
+            .store(ingested, Ordering::Relaxed);
+        self.shared
+            .snapshot_bytes
+            .store(snapshot_bytes, Ordering::Relaxed);
+    }
+
+    fn publish_checkpoint(&mut self, sealed: &[u8]) {
+        if !self.shared.alive.load(Ordering::Acquire) {
+            return;
+        }
+        // Best-effort by contract: a slice too large for one frame, or a
+        // coordinator mid-failure, costs only handoff freshness — the
+        // checkpoint itself already succeeded locally.
+        let _ = self.shared.send(&Message::SnapshotSlice {
+            worker: self.worker,
+            pane: self.last_checkpoint_pane,
+            sealed: sealed.to_vec(),
+        });
+    }
+
+    fn snapshot(&mut self) -> Result<EngineSnapshot, SaError> {
+        let codec = self.require_codec()?;
+        let mut state = Vec::new();
+        self.cursor.start().encode(&mut state);
+        self.watermark.encode(&mut state);
+        sa_types::wire::put_varint(&mut state, self.panes);
+        self.sampler.encode_state(codec, &mut state);
+        Ok(EngineSnapshot {
+            engine: "digest".into(),
+            pane: self.cursor.start(),
+            state,
+        })
+    }
+
+    fn restore(&mut self, snapshot: &EngineSnapshot) -> Result<(), SaError> {
+        let codec = self.require_codec()?;
+        if snapshot.engine != "digest" {
+            return Err(SaError::Checkpoint(format!(
+                "cannot restore a '{}' snapshot into the digest engine",
+                snapshot.engine
+            )));
+        }
+        let mut r = WireReader::new(&snapshot.state);
+        let start = Option::<i64>::decode(&mut r)?;
+        let watermark = Option::<EventTime>::decode(&mut r)?;
+        let panes = r.read_varint()?;
+        let sampler = IntervalWorker::decode_state(&mut r, codec, Arc::clone(&self.proj))?;
+        r.finish()?;
+        self.cursor.restore_start(start);
+        self.watermark = watermark;
+        self.panes = panes;
+        let (ingested, _) = sampler.counters();
+        self.sampler = sampler;
+        self.shared.ingested.store(ingested, Ordering::Relaxed);
+        self.shared.watermark.store(
+            watermark.map_or(NO_TIME, |t| t.as_millis()),
+            Ordering::Relaxed,
+        );
+        Ok(())
     }
 
     fn finish(self: Box<Self>) -> RunOutput {
         let mut this = *self;
         let mut windows = Vec::new();
-        if this.alive {
+        if this.shared.alive.load(Ordering::Acquire) {
             let flushed = this.cursor.pane().is_none() || this.close_pane().is_ok();
             let goodbye = flushed
-                && write_message(
-                    &mut this.stream,
-                    &Message::Shutdown {
+                && this
+                    .shared
+                    .send(&Message::Shutdown {
                         worker: this.worker,
-                    },
-                )
-                .is_ok();
+                    })
+                    .is_ok();
             if goodbye && this.wants_results {
                 // The coordinator streams results as windows finalize and
                 // closes the connection once the run is over; bound the
                 // drain so a stuck coordinator cannot hang the worker.
-                let _ = this.stream.set_read_timeout(Some(Duration::from_secs(30)));
-                while let Ok(Some(msg)) = read_message(&mut this.stream) {
+                // Reads go through the second socket handle, so the
+                // heartbeat thread keeps the coordinator's liveness view
+                // green while the drain waits.
+                let _ = this.reader.set_read_timeout(Some(Duration::from_secs(30)));
+                while let Ok(Some(msg)) = read_message(&mut this.reader) {
                     if let Message::WindowResult(result) = msg {
                         windows.push(result_from_wire(result));
                     }
@@ -984,6 +1899,22 @@ impl<R> Engine<R> for DigestEngine<R> {
             items_aggregated: sampled,
             elapsed: this.started.elapsed(),
         }
+        // Dropping `this` stops the heartbeat thread and severs the
+        // socket.
+    }
+}
+
+impl<R> Drop for DigestEngine<R> {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        // Severing the socket first also unblocks a heartbeat write
+        // wedged against a stalled coordinator. After a clean finish this
+        // is a no-op close; without one, the coordinator sees exactly a
+        // crash.
+        let _ = self.reader.shutdown(Shutdown::Both);
+        if let Some(handle) = self.heartbeat.take() {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -991,9 +1922,10 @@ impl<R> std::fmt::Debug for DigestEngine<R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DigestEngine")
             .field("worker", &self.worker)
+            .field("respawns", &self.respawns)
             .field("wants_results", &self.wants_results)
             .field("watermark", &self.watermark)
-            .field("alive", &self.alive)
+            .field("alive", &self.shared.alive.load(Ordering::Acquire))
             .finish()
     }
 }
@@ -1015,6 +1947,18 @@ mod tests {
         let mut policy = FixedPerStratum(8);
         let err = StreamApprox::new(query(), &mut policy)
             .distributed(DistributedConfig::new(0))
+            .unwrap_err();
+        assert!(matches!(err, SaError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn degenerate_fault_policy_rejected() {
+        let mut policy = FixedPerStratum(8);
+        let err = StreamApprox::new(query(), &mut policy)
+            .distributed(
+                DistributedConfig::new(1)
+                    .with_fault_policy(FaultPolicy::default().with_miss_budget(0)),
+            )
             .unwrap_err();
         assert!(matches!(err, SaError::InvalidConfig(_)));
     }
@@ -1070,11 +2014,13 @@ mod tests {
         for w in &out.windows {
             let (lo, hi) = w.mean.interval();
             assert!(lo <= w.mean.value && w.mean.value <= hi);
+            assert!(!w.degraded, "a healthy run never degrades");
+            assert_eq!(w.lost_items, 0);
         }
     }
 
     #[test]
-    fn status_reports_per_worker_progress() {
+    fn status_reports_per_worker_progress_and_health() {
         let mut policy = FixedPerStratum(8);
         let mut coordinator = StreamApprox::new(query(), &mut policy)
             .distributed(DistributedConfig::new(1).with_timeout(Duration::from_secs(10)))
@@ -1103,8 +2049,41 @@ mod tests {
         assert_eq!(status.workers.len(), 1);
         assert_eq!(status.workers[0].worker, 0);
         assert_eq!(status.workers[0].lag, 42);
+        assert_eq!(status.workers[0].respawns, 0);
         assert!(status.workers[0].ingest.ingested > 0);
+        assert_eq!(status.degraded_panes, 0);
+        assert_eq!(status.lost_items, 0);
         let out = coordinator.finish().expect("clean run");
         assert_eq!(out.items_ingested, 2_500);
+    }
+
+    #[test]
+    fn manual_heartbeats_are_tolerated_in_every_phase() {
+        let mut policy = FixedPerStratum(8);
+        let coordinator = StreamApprox::new(query(), &mut policy)
+            .distributed(DistributedConfig::new(1).with_timeout(Duration::from_secs(10)))
+            .expect("bind loopback");
+        let addr = coordinator.addr();
+        let handle = thread::spawn(move || {
+            let mut engine = connect_worker(addr, 0, false, |v: &f64| *v).expect("join");
+            // Before the first item, mid-pane, and right before shutdown:
+            // all legal.
+            #[allow(deprecated)]
+            engine.heartbeat().expect("pre-ingest heartbeat");
+            let mut session = crate::session::ApproxSession::from_engine(Box::new(engine));
+            for i in 0..1_200i64 {
+                session
+                    .push(StreamItem::new(
+                        StratumId(0),
+                        EventTime::from_millis(i),
+                        1.0,
+                    ))
+                    .expect("in order");
+            }
+            session.finish()
+        });
+        let _ = handle.join().expect("worker thread");
+        let out = coordinator.finish().expect("heartbeats never poison a run");
+        assert_eq!(out.items_ingested, 1_200);
     }
 }

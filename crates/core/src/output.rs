@@ -22,6 +22,17 @@ pub struct WindowResult {
     pub sum_by_stratum: Vec<(StratumId, ApproxResult)>,
     /// Per-sub-stream means — the taxi query (§6.3).
     pub mean_by_stratum: Vec<(StratumId, ApproxResult)>,
+    /// `true` if any pane of this window merged without a dead or
+    /// straggling shard's digest. The estimates above already account for
+    /// the loss: populations were inflated by the estimated shortfall, so
+    /// the error bounds are *wider* than a healthy window's, never
+    /// silently narrower.
+    #[serde(default)]
+    pub degraded: bool,
+    /// Estimated items lost to missing shards across this window's panes
+    /// (0 for healthy windows).
+    #[serde(default)]
+    pub lost_items: u64,
 }
 
 impl WindowResult {
@@ -105,6 +116,8 @@ mod tests {
             mean: result(5.0),
             sum_by_stratum: vec![(StratumId(0), result(4.0)), (StratumId(1), result(6.0))],
             mean_by_stratum: vec![(StratumId(0), result(2.0))],
+            degraded: false,
+            lost_items: 0,
         }
     }
 

@@ -622,6 +622,11 @@ pub struct WindowFinalizer {
     windower: PaneWindower<PanePayload>,
     confidence: Confidence,
     completed: Vec<WindowResult>,
+    /// Degraded-merge ledger: pane start (ms) → estimated items lost to
+    /// missing shards in that pane. Windows touching these panes finalize
+    /// with `degraded: true` and the summed loss; entries are pruned once
+    /// no future window can cover them.
+    degraded_panes: BTreeMap<i64, u64>,
 }
 
 impl WindowFinalizer {
@@ -631,7 +636,16 @@ impl WindowFinalizer {
             windower: PaneWindower::new(spec),
             confidence,
             completed: Vec::new(),
+            degraded_panes: BTreeMap::new(),
         }
+    }
+
+    /// Records that the pane starting at `pane_start` merged without every
+    /// live shard's digest, with an estimated `lost` items missing. Every
+    /// window covering this pane finalizes with `degraded: true` and the
+    /// loss folded into its `lost_items`.
+    pub fn note_degraded_pane(&mut self, pane_start: i64, lost: u64) {
+        *self.degraded_panes.entry(pane_start).or_insert(0) += lost;
     }
 
     /// The confidence level estimates are reported at.
@@ -663,8 +677,16 @@ impl WindowFinalizer {
 
     fn finalize(&mut self, done: Vec<(Window, Vec<PanePayload>)>) {
         for (window, panes) in done {
-            self.completed
-                .push(combine_window(window, panes, self.confidence));
+            let mut result = combine_window(window, panes, self.confidence);
+            let (start, end) = (window.start.as_millis(), window.end.as_millis());
+            for (_, &lost) in self.degraded_panes.range(start..end) {
+                result.degraded = true;
+                result.lost_items += lost;
+            }
+            // Windows finalize in ascending start order, so ledger entries
+            // before this window's start can never be covered again.
+            self.degraded_panes = self.degraded_panes.split_off(&start);
+            self.completed.push(result);
         }
     }
 
@@ -685,6 +707,11 @@ impl WindowFinalizer {
         put_varint(out, self.completed.len() as u64);
         for w in &self.completed {
             encode_window_result(w, out);
+        }
+        put_varint(out, self.degraded_panes.len() as u64);
+        for (&start, &lost) in &self.degraded_panes {
+            start.encode(out);
+            put_varint(out, lost);
         }
     }
 
@@ -714,6 +741,18 @@ impl WindowFinalizer {
             completed.push(decode_window_result(r)?);
         }
         self.completed = completed;
+        let count = r.read_len()?;
+        let mut degraded = BTreeMap::new();
+        for _ in 0..count {
+            let start = i64::decode(r)?;
+            let lost = r.read_varint()?;
+            if degraded.insert(start, lost).is_some() {
+                return Err(SaError::Wire(format!(
+                    "duplicate degraded pane {start} in finalizer state"
+                )));
+            }
+        }
+        self.degraded_panes = degraded;
         Ok(())
     }
 }

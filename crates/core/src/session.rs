@@ -313,24 +313,10 @@ impl<'p, R: 'p> StreamApprox<'p, R> {
             codec,
             checkpoint_policy,
         } = self;
-        let mut engine = (factory.build)(query, policy, codec);
-        engine.restore(&snapshot.engine)?;
-        let snapshot_bytes = seal_session_snapshot(snapshot)?.len() as u64;
-        engine.note_checkpoint(snapshot.engine.pane, snapshot_bytes);
-        let panes_at_checkpoint = engine.panes_closed();
-        Ok(ApproxSession {
-            engine,
-            watermark: snapshot.watermark,
-            ingest: snapshot.ingest,
-            completed: snapshot.windows_completed,
-            checkpoint_policy,
-            last_checkpoint_pane: snapshot.engine.pane,
-            panes_at_checkpoint,
-            items_since_checkpoint: 0,
-            snapshot_bytes,
-            replay: snapshot.replay.clone(),
-            needs_seek: !snapshot.replay.is_empty(),
-        })
+        let engine = (factory.build)(query, policy, codec);
+        let mut session = ApproxSession::resume_from_engine(engine, snapshot)?;
+        session.checkpoint_policy = checkpoint_policy;
+        Ok(session)
     }
 }
 
@@ -394,6 +380,44 @@ impl<'p, R> ApproxSession<'p, R> {
             replay: Vec::new(),
             needs_seek: false,
         }
+    }
+
+    /// Restores a custom engine from a [`SessionSnapshot`] and wraps it in
+    /// a resumed session — [`from_engine`](ApproxSession::from_engine)'s
+    /// counterpart to [`StreamApprox::resume`], for engines built outside
+    /// the builder (a rejoining distributed worker adopting a dead shard's
+    /// snapshot via [`crate::rejoin_worker`], a remote runner). The engine
+    /// must be freshly built with the same configuration that produced the
+    /// snapshot; session bookkeeping — watermark, counters, consumer
+    /// replay offsets — resumes from the snapshot, and the next
+    /// [`ingest_consumer`](ApproxSession::ingest_consumer) seeks the
+    /// replay offsets so the counted log prefix is never double-counted.
+    ///
+    /// # Errors
+    ///
+    /// [`SaError::Checkpoint`] when the snapshot names a different engine
+    /// or the engine cannot restore; [`SaError::Wire`] on corrupt state.
+    pub fn resume_from_engine(
+        mut engine: Box<dyn Engine<R> + 'p>,
+        snapshot: &SessionSnapshot,
+    ) -> Result<Self, SaError> {
+        engine.restore(&snapshot.engine)?;
+        let sealed = seal_session_snapshot(snapshot)?;
+        engine.note_checkpoint(snapshot.engine.pane, sealed.len() as u64);
+        let panes_at_checkpoint = engine.panes_closed();
+        Ok(ApproxSession {
+            engine,
+            watermark: snapshot.watermark,
+            ingest: snapshot.ingest,
+            completed: snapshot.windows_completed,
+            checkpoint_policy: CheckpointPolicy::default(),
+            last_checkpoint_pane: snapshot.engine.pane,
+            panes_at_checkpoint,
+            items_since_checkpoint: 0,
+            snapshot_bytes: sealed.len() as u64,
+            replay: snapshot.replay.clone(),
+            needs_seek: !snapshot.replay.is_empty(),
+        })
     }
 
     /// Ingests one item.
@@ -563,6 +587,8 @@ impl<'p, R> ApproxSession<'p, R> {
             last_checkpoint_pane: self.last_checkpoint_pane,
             items_since_checkpoint: self.items_since_checkpoint,
             snapshot_bytes: self.snapshot_bytes,
+            degraded_panes: 0,
+            lost_items: 0,
         }
     }
 
@@ -609,12 +635,16 @@ impl<'p, R> ApproxSession<'p, R> {
             windows_completed: self.completed,
             replay: self.replay.clone(),
         };
-        self.snapshot_bytes = seal_session_snapshot(&snapshot)?.len() as u64;
+        let sealed = seal_session_snapshot(&snapshot)?;
+        self.snapshot_bytes = sealed.len() as u64;
         self.last_checkpoint_pane = snapshot.engine.pane;
         self.panes_at_checkpoint = self.engine.panes_closed();
         self.items_since_checkpoint = 0;
         self.engine
             .note_checkpoint(snapshot.engine.pane, self.snapshot_bytes);
+        // Substrates with a remote coordinator ship the sealed slice
+        // upstream so a replacement worker can adopt this shard's state.
+        self.engine.publish_checkpoint(&sealed);
         Ok(snapshot)
     }
 
@@ -701,6 +731,8 @@ mod tests {
                 last_checkpoint_pane: None,
                 items_since_checkpoint: 0,
                 snapshot_bytes: 0,
+                degraded_panes: 0,
+                lost_items: 0,
             }
         );
         for ms in [0, 400, 1_200, 2_600] {

@@ -1,0 +1,267 @@
+//! Fault recovery over loopback: kill one of two workers at pane
+//! fraction p and measure what the failure costs under each recovery
+//! mode.
+//!
+//! Three modes per kill point:
+//!
+//! * `healthy` — nobody dies; the baseline the others are charged
+//!   against.
+//! * `kill` — the worker dies for good; the dead shard retires after
+//!   the fault policy's backoff and every later pane merges degraded
+//!   with widened intervals. The interesting outputs are the degraded
+//!   window fraction, the accounted lost mass, and how much wall-clock
+//!   the retirement windows add.
+//! * `rejoin` — the worker checkpoints mid-stream, dies, and a
+//!   replacement adopts the shard via the coordinator handoff and
+//!   replays from the checkpoint; accuracy should match `healthy`
+//!   exactly, the cost being only the replay and detection latency.
+//!
+//! Besides the usual table + CSV, emits `results/distributed_faults.json`
+//! with every series for charting.
+
+use sa_batched::Cluster;
+use sa_bench::{emit_json, fmt_kps, fmt_loss, mean_accuracy, Metric, Table};
+use sa_types::{FaultPolicy, StreamItem, WindowSpec};
+use sa_workloads::Mix;
+use std::thread;
+use std::time::Duration;
+use streamapprox::{
+    connect_worker, rejoin_worker, run_batched, ApproxSession, BatchedConfig, BatchedSystem,
+    DistributedConfig, FixedFraction, Query, RecordCodec, RunOutput, StreamApprox,
+};
+
+const WORKERS: usize = 2;
+const FRACTION: f64 = 0.2;
+const KILL_POINTS: [f64; 3] = [0.25, 0.5, 0.75];
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Healthy,
+    Kill,
+    Rejoin,
+}
+
+impl Mode {
+    fn label(self) -> &'static str {
+        match self {
+            Mode::Healthy => "healthy",
+            Mode::Kill => "kill",
+            Mode::Rejoin => "rejoin",
+        }
+    }
+}
+
+fn first_pane(items: &[StreamItem<f64>], query: &Query<f64>) -> usize {
+    items
+        .iter()
+        .take_while(|i| i.time.as_millis() < query.window().slide_millis())
+        .count()
+}
+
+/// Short detection windows so `kill` settles in bench time; `rejoin`
+/// gets patient pane/backoff clocks so the replacement refills the dead
+/// shard's panes instead of losing them to a force-merge.
+fn fault_for(mode: Mode) -> FaultPolicy {
+    let fast = FaultPolicy::default()
+        .with_heartbeat_interval(Duration::from_millis(30))
+        .with_miss_budget(4)
+        .with_pane_timeout(Duration::from_millis(500))
+        .with_backoff(Duration::from_millis(200));
+    match mode {
+        Mode::Rejoin => fast
+            .with_pane_timeout(Duration::from_secs(10))
+            .with_backoff(Duration::from_secs(10)),
+        _ => fast,
+    }
+}
+
+fn run_faulted(
+    mode: Mode,
+    kill_at: f64,
+    items: &[StreamItem<f64>],
+    query: &Query<f64>,
+) -> RunOutput {
+    // Round-robin partitioning preserves event-time order per worker.
+    let mut shards: Vec<Vec<StreamItem<f64>>> = vec![Vec::new(); WORKERS];
+    for (i, item) in items.iter().enumerate() {
+        shards[i % WORKERS].push(*item);
+    }
+    let mut policy = FixedFraction(FRACTION);
+    let coordinator = StreamApprox::new(query.clone(), &mut policy)
+        .distributed(
+            DistributedConfig::new(WORKERS as u32)
+                .with_seed(0xFA17_u64.into())
+                .with_expected_pane_items(first_pane(items, query))
+                .with_timeout(Duration::from_secs(60))
+                .with_fault_policy(fault_for(mode)),
+        )
+        .expect("bind a loopback coordinator");
+    let addr = coordinator.addr();
+
+    let victim_shard = shards.pop().expect("two shards");
+    let good_shard = shards.pop().expect("two shards");
+    let good = thread::spawn(move || {
+        let engine = connect_worker(addr, 0, false, |v: &f64| *v).expect("worker joins");
+        let mut session = ApproxSession::from_engine(Box::new(engine));
+        session.push_batch(good_shard).expect("in order");
+        session.finish()
+    });
+    // One pane's worth of one shard's items: the checkpoint exposure the
+    // rejoin mode replays.
+    let pane_exposure = (first_pane(items, query) / WORKERS).max(1);
+    let victim = thread::spawn(move || {
+        let kill_idx = (victim_shard.len() as f64 * kill_at) as usize;
+        match mode {
+            Mode::Healthy => {
+                let engine = connect_worker(addr, 1, false, |v: &f64| *v).expect("worker joins");
+                let mut session = ApproxSession::from_engine(Box::new(engine));
+                session.push_batch(victim_shard).expect("in order");
+                let _ = session.finish();
+            }
+            Mode::Kill => {
+                let engine = connect_worker(addr, 1, false, |v: &f64| *v).expect("worker joins");
+                let mut session = ApproxSession::from_engine(Box::new(engine));
+                session
+                    .push_batch(victim_shard[..kill_idx].to_vec())
+                    .expect("in order");
+                drop(session); // crash: no shutdown, shard never replaced
+            }
+            Mode::Rejoin => {
+                // Checkpoint one pane's worth of items before the kill:
+                // the exposure the replacement replays.
+                let ckpt_idx = kill_idx.saturating_sub(pane_exposure).max(1);
+                let engine = connect_worker(addr, 1, false, |v: &f64| *v)
+                    .expect("worker joins")
+                    .checkpointable(RecordCodec::new());
+                let mut session = ApproxSession::from_engine(Box::new(engine));
+                session
+                    .push_batch(victim_shard[..ckpt_idx].to_vec())
+                    .expect("in order");
+                let _ = session.checkpoint().expect("checkpointable worker");
+                session
+                    .push_batch(victim_shard[ckpt_idx..kill_idx].to_vec())
+                    .expect("in order");
+                drop(session); // crash after the checkpoint
+
+                let (engine, handoff) =
+                    rejoin_worker(addr, false, |v: &f64| *v).expect("a dead shard to adopt");
+                let handoff = handoff.expect("the victim published its checkpoint");
+                let mut session = ApproxSession::resume_from_engine(Box::new(engine), &handoff)
+                    .expect("restores");
+                session
+                    .push_batch(victim_shard[ckpt_idx..].to_vec())
+                    .expect("replay from the checkpoint boundary");
+                let _ = session.finish();
+            }
+        }
+    });
+
+    let out = coordinator.finish().expect("fault runs settle, not error");
+    victim.join().expect("victim thread");
+    good.join().expect("good worker thread");
+    out
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // `SA_BENCH_SMOKE=1`: CI-smoke size, and no JSON so scheduled runs
+    // cannot clobber recorded results.
+    let smoke = std::env::var_os("SA_BENCH_SMOKE").is_some();
+    let event_ms = if smoke { 3_000 } else { 10_000 };
+    let items = Mix::gaussian([48_000.0, 12_000.0, 1_200.0]).generate(event_ms, 43);
+    let query = Query::new(|v: &f64| *v).with_window(WindowSpec::sliding_secs(2, 1));
+    let kill_points: &[f64] = if smoke {
+        &KILL_POINTS[1..2]
+    } else {
+        &KILL_POINTS
+    };
+    println!(
+        "distributed_faults: {} items, fraction {FRACTION}, {cores} host core(s)",
+        items.len()
+    );
+    let exact = run_batched(
+        &BatchedConfig::new(Cluster::new(2)),
+        BatchedSystem::Native,
+        &query,
+        &mut FixedFraction(1.0),
+        items.clone(),
+    );
+
+    let mut table = Table::new(
+        "Fault recovery: kill one of two workers at pane fraction p",
+        &[
+            "mode",
+            "kill at",
+            "it/s",
+            "degraded",
+            "lost items",
+            "loss %",
+        ],
+    );
+    let mut series = Vec::new();
+    let mut measure = |mode: Mode, p: f64| {
+        let out = run_faulted(mode, p, &items, &query);
+        let degraded = out.windows.iter().filter(|w| w.degraded).count();
+        let lost: u64 = out.windows.iter().map(|w| w.lost_items).sum();
+        match mode {
+            Mode::Healthy | Mode::Rejoin => assert_eq!(
+                degraded,
+                0,
+                "{} at p={p}: no window may degrade",
+                mode.label()
+            ),
+            Mode::Kill => assert!(
+                degraded > 0,
+                "kill at p={p}: the lost shard must stamp windows"
+            ),
+        }
+        assert_eq!(
+            out.windows.len(),
+            exact.windows.len(),
+            "{} at p={p}: the watermark must finalize every window",
+            mode.label()
+        );
+        let loss = mean_accuracy(&exact, &out, Metric::Mean);
+        table.row(vec![
+            mode.label().to_string(),
+            if mode == Mode::Healthy {
+                "-".to_string()
+            } else {
+                format!("{p:.2}")
+            },
+            fmt_kps(out.throughput()),
+            format!("{degraded}/{}", out.windows.len()),
+            lost.to_string(),
+            fmt_loss(loss),
+        ]);
+        series.push(format!(
+            "    {{\"mode\": \"{}\", \"kill_at\": {p}, \"items_per_s\": {:.0}, \
+             \"degraded_windows\": {degraded}, \"windows\": {}, \"lost_items\": {lost}, \
+             \"mean_accuracy_loss\": {loss:.6}}}",
+            mode.label(),
+            out.throughput(),
+            out.windows.len()
+        ));
+    };
+    // Healthy is kill-point independent; measure it once as the baseline.
+    measure(Mode::Healthy, 1.0);
+    for &p in kill_points {
+        measure(Mode::Kill, p);
+        measure(Mode::Rejoin, p);
+    }
+    table.emit("distributed_faults");
+    if smoke {
+        println!("distributed_faults: smoke mode, skipping results/distributed_faults.json");
+        return;
+    }
+    emit_json(
+        "distributed_faults",
+        &format!(
+            "{{\n  \"bench\": \"distributed_faults\",\n  \"host_cores\": {cores},\n  \
+             \"items\": {},\n  \"fraction\": {FRACTION},\n  \"workers\": {WORKERS},\n  \
+             \"series\": [\n{}\n  ]\n}}\n",
+            items.len(),
+            series.join(",\n")
+        ),
+    );
+}

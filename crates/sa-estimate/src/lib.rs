@@ -48,6 +48,7 @@
 
 mod accuracy;
 mod linear;
+mod shortfall;
 mod srs;
 mod stats;
 mod tdist;
@@ -58,6 +59,7 @@ pub use linear::{
     estimate_count, estimate_histogram, estimate_mean, estimate_mean_by_stratum, estimate_sum,
     estimate_sum_by_stratum,
 };
+pub use shortfall::widen_for_shortfall;
 pub use srs::{srs_mean, srs_mean_by_stratum, srs_sum, srs_sum_by_stratum, SrsSample};
 pub use stats::{stats_of, StratumStats};
 pub use tdist::{stratified_t_multiplier, t_multiplier};

@@ -1,0 +1,134 @@
+//! Shortfall-aware interval widening for degraded distributed merges.
+//!
+//! When a distributed pane merges without a dead shard's digest, the
+//! coordinator knows roughly how much mass went missing (estimated from
+//! the live shards, which are exchangeable under hash routing) but has no
+//! sampled values for it. Folding that shortfall into the per-stratum
+//! populations makes the existing estimators do the honest thing on both
+//! axes at once: the Horvitz–Thompson weight `C_i / Y_i` extrapolates the
+//! point estimate over the unseen mass, and the finite-population variance
+//! `C_i (C_i − Y_i) s_i² / Y_i` (Equation 6) grows with the now-larger
+//! `C_i`, so confidence intervals *widen* instead of silently narrowing
+//! around a shard-sized hole.
+
+use crate::stats::StratumStats;
+
+/// Folds `lost` unseen items into `stats` by inflating each stratum's
+/// population `C_i` in proportion to its observed share, so downstream
+/// sum/mean estimates extrapolate over the lost mass and their error
+/// bounds widen accordingly.
+///
+/// The apportioning is deterministic largest-remainder: every item of
+/// `lost` lands in exactly one stratum, with the leftover after the
+/// proportional floor going to the most populous stratum (ties to the
+/// lowest id, which is first in the canonically ordered slice). When
+/// `stats` is empty or records no population there is nothing to attribute
+/// the loss to, and the statistics are left untouched — the caller still
+/// marks the window degraded.
+///
+/// # Example
+///
+/// ```
+/// use sa_estimate::{estimate_sum, widen_for_shortfall, StratumStats, Welford};
+/// use sa_types::{Confidence, StratumId};
+///
+/// let mut acc = Welford::new();
+/// for v in [1.0, 2.0, 3.0, 4.0] {
+///     acc.push(v);
+/// }
+/// let mut stats = vec![StratumStats::from_parts(StratumId(0), 8, acc)];
+/// let healthy = estimate_sum(&stats, Confidence::P95);
+/// widen_for_shortfall(&mut stats, 8); // a same-sized shard went missing
+/// let degraded = estimate_sum(&stats, Confidence::P95);
+/// assert!(degraded.value > healthy.value); // extrapolated over the loss
+/// assert!(degraded.bound.margin() > healthy.bound.margin()); // and wider
+/// ```
+pub fn widen_for_shortfall(stats: &mut [StratumStats], lost: u64) {
+    if lost == 0 {
+        return;
+    }
+    let total: u64 = stats.iter().map(|s| s.population).sum();
+    if total == 0 {
+        return;
+    }
+    let mut assigned = 0u64;
+    for s in stats.iter_mut() {
+        // `population × lost` stays within u128; the quotient is ≤ lost.
+        let extra = ((s.population as u128 * lost as u128) / total as u128) as u64;
+        s.population += extra;
+        assigned += extra;
+    }
+    if let Some(widest) = stats.iter_mut().max_by_key(|s| s.population) {
+        widest.population += lost - assigned;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::estimate_sum;
+    use crate::welford::Welford;
+    use sa_types::{Confidence, StratumId};
+
+    fn stratum(id: u32, population: u64, values: &[f64]) -> StratumStats {
+        let mut acc = Welford::new();
+        for &v in values {
+            acc.push(v);
+        }
+        StratumStats::from_parts(StratumId(id), population, acc)
+    }
+
+    #[test]
+    fn shortfall_is_conserved_and_proportional() {
+        let mut stats = vec![
+            stratum(0, 300, &[1.0, 2.0]),
+            stratum(1, 100, &[5.0]),
+            stratum(2, 0, &[]),
+        ];
+        widen_for_shortfall(&mut stats, 101);
+        let total: u64 = stats.iter().map(|s| s.population).sum();
+        assert_eq!(total, 300 + 100 + 101);
+        // Proportional floor: 300/400 of 101 is 75, 100/400 is 25; the
+        // leftover item lands on the most populous stratum.
+        assert_eq!(stats[0].population, 300 + 75 + 1);
+        assert_eq!(stats[1].population, 100 + 25);
+        assert_eq!(stats[2].population, 0);
+    }
+
+    #[test]
+    fn widening_scales_estimate_and_margin() {
+        let mut stats = vec![stratum(0, 100, &[9.0, 10.0, 11.0, 10.0])];
+        let healthy = estimate_sum(&stats, Confidence::P95);
+        widen_for_shortfall(&mut stats, 100);
+        let degraded = estimate_sum(&stats, Confidence::P95);
+        // Point estimate roughly doubles (HT extrapolation over lost mass)
+        // and the interval widens rather than narrowing.
+        assert!((degraded.value / healthy.value - 2.0).abs() < 1e-9);
+        assert!(degraded.bound.margin() > healthy.bound.margin());
+    }
+
+    #[test]
+    fn widening_makes_an_exact_stratum_uncertain() {
+        // A fully-sampled stratum (C == Y) has zero variance; inflating C
+        // past Y must reopen the interval.
+        let mut stats = vec![stratum(0, 4, &[1.0, 2.0, 3.0, 4.0])];
+        assert_eq!(estimate_sum(&stats, Confidence::P95).bound.margin(), 0.0);
+        widen_for_shortfall(&mut stats, 4);
+        assert!(estimate_sum(&stats, Confidence::P95).bound.margin() > 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_untouched() {
+        let mut empty: Vec<StratumStats> = Vec::new();
+        widen_for_shortfall(&mut empty, 50);
+        assert!(empty.is_empty());
+
+        let mut zeroed = vec![stratum(0, 0, &[])];
+        widen_for_shortfall(&mut zeroed, 50);
+        assert_eq!(zeroed[0].population, 0);
+
+        let mut stats = vec![stratum(0, 10, &[1.0])];
+        widen_for_shortfall(&mut stats, 0);
+        assert_eq!(stats[0].population, 10);
+    }
+}

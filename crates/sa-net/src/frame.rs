@@ -33,7 +33,11 @@ use std::io::{ErrorKind, Read, Write};
 pub const MAGIC: [u8; 2] = *b"SA";
 
 /// The protocol version this build speaks.
-pub const WIRE_VERSION: u8 = 1;
+///
+/// Version 2: `HelloAssign` carries the heartbeat cadence, window results
+/// carry degraded-merge accounting, and the rejoin/handoff messages
+/// (`HelloRejoin`, `Reassign`, `SnapshotSlice`) exist.
+pub const WIRE_VERSION: u8 = 2;
 
 /// Upper bound on a frame's payload length, checked before allocation.
 ///

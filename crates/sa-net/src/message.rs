@@ -180,6 +180,11 @@ pub struct WindowResultMsg {
     pub sum_by_stratum: Vec<(StratumId, ApproxResult)>,
     /// Per-stratum mean estimates, in stratum order.
     pub mean_by_stratum: Vec<(StratumId, ApproxResult)>,
+    /// `true` if any pane of this window merged without a dead shard's
+    /// digest; its error bounds are already widened by the lost mass.
+    pub degraded: bool,
+    /// Estimated items lost to missing shards across this window's panes.
+    pub lost_items: u64,
 }
 
 impl WireEncode for WindowResultMsg {
@@ -189,6 +194,8 @@ impl WireEncode for WindowResultMsg {
         self.mean.encode(out);
         self.sum_by_stratum.encode(out);
         self.mean_by_stratum.encode(out);
+        self.degraded.encode(out);
+        put_varint(out, self.lost_items);
     }
 }
 
@@ -200,6 +207,8 @@ impl WireDecode for WindowResultMsg {
             mean: ApproxResult::decode(r)?,
             sum_by_stratum: Vec::decode(r)?,
             mean_by_stratum: Vec::decode(r)?,
+            degraded: bool::decode(r)?,
+            lost_items: r.read_varint()?,
         })
     }
 }
@@ -212,10 +221,22 @@ impl WireDecode for WindowResultMsg {
 /// sampling directive, pane interval, window specification and confidence
 /// level — so worker binaries need no configuration beyond an address and
 /// a worker id. After that, the worker ships one [`Message::PaneDigest`]
-/// per closed pane, interleaves [`Message::Heartbeat`]s while idle, and
-/// says [`Message::Shutdown`] before closing its end. A socket that closes
-/// without `Shutdown` is a worker failure and surfaces as a typed error on
-/// the coordinator.
+/// per closed pane, interleaves [`Message::Heartbeat`]s while idle (an
+/// automatic heartbeat thread on the worker when the assignment carries a
+/// non-zero `heartbeat_interval_ms`), and says [`Message::Shutdown`]
+/// before closing its end. A socket that closes without `Shutdown` is a
+/// worker failure: the coordinator declares the worker dead, holds its
+/// shard open for a replacement, and degrades the affected panes if none
+/// arrives in time.
+///
+/// Recovery extends the handshake: a replacement sends
+/// [`Message::HelloRejoin`] instead of `HelloJoin`, and the coordinator
+/// answers with `HelloAssign` (naming the adopted dead shard) followed by
+/// [`Message::Reassign`], which carries the dead worker's last sealed
+/// session-snapshot slice — the same frames checkpointing uses — so the
+/// replacement resumes within the checkpoint exposure budget. Workers ship
+/// those slices upstream with [`Message::SnapshotSlice`] at every
+/// checkpoint.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
     /// A worker announces itself and whether it wants results streamed back.
@@ -244,6 +265,9 @@ pub enum Message {
         window: WindowSpec,
         /// The confidence level of the emitted error bounds.
         confidence: Confidence,
+        /// Cadence (ms) at which the worker's automatic heartbeat thread
+        /// reports liveness; 0 disables automatic heartbeats.
+        heartbeat_interval_ms: u64,
     },
     /// One worker's mergeable digest of one closed pane.
     PaneDigest(Digest),
@@ -271,6 +295,38 @@ pub enum Message {
         /// The departing worker's id.
         worker: u32,
     },
+    /// A replacement worker volunteers to adopt any dead shard; the
+    /// coordinator answers with [`Message::HelloAssign`] naming the shard,
+    /// then [`Message::Reassign`] with the handoff state.
+    HelloRejoin {
+        /// When set, the coordinator streams [`Message::WindowResult`]s
+        /// back on this connection as windows finalize.
+        wants_results: bool,
+    },
+    /// The handoff that follows a rejoin assignment: the adopted shard's
+    /// last sealed session snapshot (empty if the dead worker never
+    /// checkpointed), from which the replacement resumes within the
+    /// checkpoint exposure budget.
+    Reassign {
+        /// The shard id the replacement now owns.
+        worker: u32,
+        /// How many times this shard has been re-adopted, counting this one.
+        respawns: u32,
+        /// The dead worker's last sealed `SessionSnapshot` (the
+        /// `snapshot`-framed bytes), empty if none was ever shipped.
+        snapshot: Vec<u8>,
+    },
+    /// A worker ships its freshly sealed session snapshot to the
+    /// coordinator at each checkpoint, so a future replacement can resume
+    /// from it (worker → coordinator).
+    SnapshotSlice {
+        /// The checkpointing worker's id.
+        worker: u32,
+        /// The pane start (ms) the snapshot covers through, if any.
+        pane: Option<i64>,
+        /// The sealed `SessionSnapshot` bytes.
+        sealed: Vec<u8>,
+    },
 }
 
 impl WireEncode for Message {
@@ -293,6 +349,7 @@ impl WireEncode for Message {
                 expected_pane_items,
                 window,
                 confidence,
+                heartbeat_interval_ms,
             } => {
                 out.push(1);
                 worker.encode(out);
@@ -303,6 +360,7 @@ impl WireEncode for Message {
                 expected_pane_items.encode(out);
                 window.encode(out);
                 confidence.encode(out);
+                put_varint(out, *heartbeat_interval_ms);
             }
             Message::PaneDigest(digest) => {
                 out.push(2);
@@ -334,6 +392,32 @@ impl WireEncode for Message {
                 out.push(5);
                 worker.encode(out);
             }
+            Message::HelloRejoin { wants_results } => {
+                out.push(6);
+                wants_results.encode(out);
+            }
+            Message::Reassign {
+                worker,
+                respawns,
+                snapshot,
+            } => {
+                out.push(7);
+                worker.encode(out);
+                respawns.encode(out);
+                put_varint(out, snapshot.len() as u64);
+                out.extend_from_slice(snapshot);
+            }
+            Message::SnapshotSlice {
+                worker,
+                pane,
+                sealed,
+            } => {
+                out.push(8);
+                worker.encode(out);
+                pane.encode(out);
+                put_varint(out, sealed.len() as u64);
+                out.extend_from_slice(sealed);
+            }
         }
     }
 }
@@ -354,6 +438,7 @@ impl WireDecode for Message {
                 let expected_pane_items = u64::decode(r)?;
                 let window = WindowSpec::decode(r)?;
                 let confidence = Confidence::decode(r)?;
+                let heartbeat_interval_ms = r.read_varint()?;
                 if num_workers == 0 {
                     return Err(SaError::Wire("assignment with zero workers".to_string()));
                 }
@@ -376,6 +461,7 @@ impl WireDecode for Message {
                     expected_pane_items,
                     window,
                     confidence,
+                    heartbeat_interval_ms,
                 })
             }
             2 => Ok(Message::PaneDigest(Digest::decode(r)?)),
@@ -392,6 +478,31 @@ impl WireDecode for Message {
             5 => Ok(Message::Shutdown {
                 worker: u32::decode(r)?,
             }),
+            6 => Ok(Message::HelloRejoin {
+                wants_results: bool::decode(r)?,
+            }),
+            7 => {
+                let worker = u32::decode(r)?;
+                let respawns = u32::decode(r)?;
+                let len = r.read_len()?;
+                let snapshot = r.read_bytes(len)?.to_vec();
+                Ok(Message::Reassign {
+                    worker,
+                    respawns,
+                    snapshot,
+                })
+            }
+            8 => {
+                let worker = u32::decode(r)?;
+                let pane = Option::<i64>::decode(r)?;
+                let len = r.read_len()?;
+                let sealed = r.read_bytes(len)?.to_vec();
+                Ok(Message::SnapshotSlice {
+                    worker,
+                    pane,
+                    sealed,
+                })
+            }
             t => Err(SaError::Wire(format!("unknown message tag {t}"))),
         }
     }
@@ -441,6 +552,7 @@ mod tests {
                 expected_pane_items: 10_000,
                 window: WindowSpec::sliding_millis(1_000, 500),
                 confidence: Confidence::P95,
+                heartbeat_interval_ms: 500,
             },
             Message::PaneDigest(sample_digest()),
             Message::Heartbeat {
@@ -461,8 +573,28 @@ mod tests {
                 mean: result,
                 sum_by_stratum: vec![(StratumId(0), result)],
                 mean_by_stratum: vec![(StratumId(0), result)],
+                degraded: true,
+                lost_items: 321,
             }),
             Message::Shutdown { worker: 1 },
+            Message::HelloRejoin {
+                wants_results: false,
+            },
+            Message::Reassign {
+                worker: 1,
+                respawns: 2,
+                snapshot: vec![0xAB, 0x00, 0x17],
+            },
+            Message::Reassign {
+                worker: 0,
+                respawns: 1,
+                snapshot: Vec::new(),
+            },
+            Message::SnapshotSlice {
+                worker: 2,
+                pane: Some(-1_500),
+                sealed: vec![1, 2, 3, 4],
+            },
         ]
     }
 
@@ -504,6 +636,10 @@ mod tests {
             Err(SaError::Wire(_))
         ));
         assert!(matches!(
+            Message::from_wire_bytes(&[250]),
+            Err(SaError::Wire(_))
+        ));
+        assert!(matches!(
             Directive::decode(&mut WireReader::new(&[7])),
             Err(SaError::Wire(_))
         ));
@@ -525,6 +661,7 @@ mod tests {
             100u64.encode(&mut out);
             WindowSpec::sliding_millis(1_000, 500).encode(&mut out);
             Confidence::P95.encode(&mut out);
+            put_varint(&mut out, 500);
             out
         };
         assert!(Message::from_wire_bytes(&encode_assign(0, 0, 500)).is_err());
@@ -541,6 +678,75 @@ mod tests {
         }
         let bytes = Directive::PerStratum(0).to_wire_bytes();
         assert!(Directive::from_wire_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn hostile_reassign_snapshot_length_rejected() {
+        // A Reassign whose snapshot length prefix promises more bytes than
+        // the frame carries must be a typed error, not an allocation or a
+        // panic.
+        let mut out = vec![7u8];
+        1u32.encode(&mut out);
+        1u32.encode(&mut out);
+        put_varint(&mut out, u64::MAX - 3);
+        assert!(matches!(
+            Message::from_wire_bytes(&out),
+            Err(SaError::Wire(_))
+        ));
+        // Same discipline for the worker → coordinator snapshot slice.
+        let mut out = vec![8u8];
+        0u32.encode(&mut out);
+        Option::<i64>::Some(0).encode(&mut out);
+        put_varint(&mut out, 1 << 40);
+        out.extend_from_slice(&[0; 16]);
+        assert!(matches!(
+            Message::from_wire_bytes(&out),
+            Err(SaError::Wire(_))
+        ));
+    }
+
+    #[test]
+    fn reassign_with_trailing_garbage_rejected() {
+        let mut bytes = Message::Reassign {
+            worker: 0,
+            respawns: 1,
+            snapshot: vec![9, 9],
+        }
+        .to_wire_bytes();
+        bytes.extend_from_slice(&[0xFF, 0x01]);
+        assert!(matches!(
+            Message::from_wire_bytes(&bytes),
+            Err(SaError::Wire(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_and_late_heartbeats_decode_independently() {
+        // Liveness handling is the receiver's job; at the codec layer a
+        // duplicated, reordered, or post-shutdown heartbeat is just another
+        // well-formed frame and must decode cleanly every time.
+        let hb = Message::Heartbeat {
+            worker: 1,
+            ingest: IngestCounters {
+                ingested: 10,
+                dropped_late: 0,
+            },
+            watermark: Some(EventTime::from_millis(750)),
+            lag: 3,
+            last_checkpoint_pane: Some(500),
+            items_since_checkpoint: 4,
+            snapshot_bytes: 128,
+        };
+        let bytes = hb.to_wire_bytes();
+        for _ in 0..3 {
+            assert_eq!(Message::from_wire_bytes(&bytes).unwrap(), hb);
+        }
+        // A heartbeat corrupted anywhere inside the varint tail errors
+        // rather than misattributing fields.
+        let mut corrupt = bytes.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] = 0x80; // dangling varint continuation bit
+        assert!(Message::from_wire_bytes(&corrupt).is_err());
     }
 
     #[test]

@@ -41,7 +41,11 @@ use sa_types::SaError;
 pub const SNAPSHOT_MAGIC: [u8; 2] = *b"SK";
 
 /// The snapshot format version this build writes and accepts.
-pub const SNAPSHOT_VERSION: u8 = 1;
+///
+/// Version 2: serialized `WindowResult`s inside finalizer state carry
+/// degraded-merge accounting (`degraded`, `lost_items`), and the window
+/// finalizer persists its degraded-pane ledger.
+pub const SNAPSHOT_VERSION: u8 = 2;
 
 /// Bytes in the fixed snapshot header.
 pub const SNAPSHOT_HEADER_LEN: usize = 7;

@@ -28,6 +28,7 @@
 mod budget;
 mod checkpoint;
 mod error;
+mod fault;
 mod item;
 mod result;
 mod sample;
@@ -39,6 +40,7 @@ pub mod wire;
 pub use budget::{Confidence, QueryBudget};
 pub use checkpoint::{CheckpointPolicy, EngineSnapshot, SessionSnapshot};
 pub use error::SaError;
+pub use fault::{FaultPolicy, WorkerHealth};
 pub use item::{EventTime, StratumId, StreamItem};
 pub use result::{ApproxResult, ErrorBound};
 pub use sample::{StratifiedSample, StratumSample};

@@ -1,5 +1,6 @@
 //! Session status reporting.
 
+use crate::fault::WorkerHealth;
 use crate::item::EventTime;
 
 /// Unified ingest accounting: what happened to the items a session (or one
@@ -91,6 +92,11 @@ pub struct WorkerStatus {
     /// Encoded size of the worker's last snapshot in bytes (0 before the
     /// first checkpoint).
     pub snapshot_bytes: u64,
+    /// The worker's liveness as the coordinator sees it.
+    pub health: WorkerHealth,
+    /// How many times this worker's shard has been re-adopted by a
+    /// replacement after a failure (0 for the original worker).
+    pub respawns: u32,
 }
 
 /// A point-in-time snapshot of an incremental session's progress,
@@ -120,6 +126,8 @@ pub struct WorkerStatus {
 ///     last_checkpoint_pane: None,
 ///     items_since_checkpoint: 1_000,
 ///     snapshot_bytes: 0,
+///     degraded_panes: 0,
+///     lost_items: 0,
 /// };
 /// assert_eq!(status.ingest.offered(), 1_007);
 /// ```
@@ -155,6 +163,12 @@ pub struct SessionStatus {
     /// Encoded size of the last session snapshot in bytes (0 before the
     /// first checkpoint).
     pub snapshot_bytes: u64,
+    /// Panes a distributed coordinator merged without every live shard's
+    /// digest (0 on local engines and on healthy runs).
+    pub degraded_panes: u64,
+    /// Estimated items lost to dead shards across all degraded panes; the
+    /// same shortfall the estimator folds into widened error bounds.
+    pub lost_items: u64,
 }
 
 #[cfg(test)]
@@ -189,10 +203,14 @@ mod tests {
                 last_checkpoint_pane: Some(0),
                 items_since_checkpoint: 3,
                 snapshot_bytes: 64,
+                health: WorkerHealth::Healthy,
+                respawns: 0,
             }],
             last_checkpoint_pane: None,
             items_since_checkpoint: 7,
             snapshot_bytes: 0,
+            degraded_panes: 0,
+            lost_items: 0,
         };
         let b = a.clone();
         assert_eq!(a, b);

@@ -28,6 +28,7 @@
 
 use crate::budget::Confidence;
 use crate::error::SaError;
+use crate::fault::WorkerHealth;
 use crate::item::{EventTime, StratumId};
 use crate::result::{ApproxResult, ErrorBound};
 use crate::sample::{StratifiedSample, StratumSample};
@@ -603,6 +604,8 @@ impl WireEncode for WorkerStatus {
         self.last_checkpoint_pane.encode(out);
         put_varint(out, self.items_since_checkpoint);
         put_varint(out, self.snapshot_bytes);
+        self.health.encode(out);
+        self.respawns.encode(out);
     }
 }
 
@@ -616,6 +619,8 @@ impl WireDecode for WorkerStatus {
             last_checkpoint_pane: Option::<i64>::decode(r)?,
             items_since_checkpoint: r.read_varint()?,
             snapshot_bytes: r.read_varint()?,
+            health: WorkerHealth::decode(r)?,
+            respawns: u32::decode(r)?,
         })
     }
 }
@@ -761,6 +766,8 @@ mod tests {
             last_checkpoint_pane: Some(-1_000),
             items_since_checkpoint: 17,
             snapshot_bytes: 2_048,
+            health: WorkerHealth::Suspect,
+            respawns: 1,
         });
         roundtrip(&String::from("aggregated"));
         roundtrip(&String::new());

@@ -100,14 +100,22 @@ fn main() {
         thread::sleep(Duration::from_millis(2));
     }
 
+    // The coordinator's health ledger: liveness (driven by the automatic
+    // heartbeats), respawn counts, and the degraded-merge totals — all
+    // zero-impact here, since every worker survives the run.
     let status = coordinator.status();
-    println!("\nworker  ingested  lag  watermark");
+    println!("\nworker  ingested  lag  health   respawns  watermark");
     for w in &status.workers {
         println!(
-            "{:>6}  {:>8}  {:>3}  {:?}",
-            w.worker, w.ingest.ingested, w.lag, w.watermark
+            "{:>6}  {:>8}  {:>3}  {:<8} {:>8}  {:?}",
+            w.worker, w.ingest.ingested, w.lag, w.health, w.respawns, w.watermark
         );
     }
+    println!(
+        "degraded panes: {}, lost items: {}",
+        status.degraded_panes, status.lost_items
+    );
+    assert_eq!(status.degraded_panes, 0, "a healthy run never degrades");
 
     let out = coordinator.finish().expect("all workers shut down cleanly");
     let mut handles = handles.into_iter();

@@ -15,7 +15,7 @@ use rand::SeedableRng;
 use sa_net::frame::{read_message, write_message, MAGIC};
 use sa_net::{Message, WIRE_VERSION};
 use sa_types::{
-    EventTime, RunSeed, SaError, StratifiedSample, StratumId, StreamItem, Window, WindowSpec,
+    EventTime, FaultPolicy, RunSeed, StratifiedSample, StratumId, StreamItem, Window, WindowSpec,
 };
 use std::collections::BTreeMap;
 use std::io::Write as _;
@@ -302,17 +302,28 @@ fn exact_directive_ships_statistics_and_matches_the_oracle() {
 }
 
 #[test]
-fn worker_disconnect_mid_pane_is_a_typed_error_not_a_hang() {
+fn worker_disconnect_mid_pane_degrades_instead_of_hanging() {
     let mut policy = FixedPerStratum(8);
+    // Short fault windows so the run settles promptly: dead after 100ms
+    // of silence, retired 200ms later, stragglers force-merged at 500ms.
+    let fault = FaultPolicy::default()
+        .with_heartbeat_interval(Duration::from_millis(50))
+        .with_miss_budget(2)
+        .with_backoff(Duration::from_millis(200))
+        .with_pane_timeout(Duration::from_millis(500));
     let coordinator = StreamApprox::new(
         query().with_window(WindowSpec::tumbling_millis(1_000)),
         &mut policy,
     )
-    .distributed(DistributedConfig::new(2).with_timeout(Duration::from_secs(5)))
+    .distributed(
+        DistributedConfig::new(2)
+            .with_timeout(Duration::from_secs(10))
+            .with_fault_policy(fault),
+    )
     .expect("bind loopback");
     let addr = coordinator.addr();
 
-    // Worker 0 behaves; its clean shutdown must not mask the failure.
+    // Worker 0 behaves; its windows must survive worker 1's death.
     let good = thread::spawn(move || {
         let engine = connect_worker(addr, 0, false, |v: &f64| *v).expect("worker joins");
         let mut session = ApproxSession::from_engine(Box::new(engine));
@@ -353,15 +364,29 @@ fn worker_disconnect_mid_pane_is_a_typed_error_not_a_hang() {
     });
     bad.join().expect("bad worker thread");
 
+    // With no replacement inside the backoff, the dead shard retires and
+    // the run completes degraded instead of erroring or hanging.
     let started = Instant::now();
-    let err = coordinator.finish().expect_err("a lost worker is an error");
+    let out = coordinator
+        .finish()
+        .expect("a lost worker degrades the run, it does not kill it");
     assert!(
-        matches!(err, SaError::Disconnected(_)),
-        "typed disconnect, got {err:?}"
-    );
-    assert!(
-        started.elapsed() < Duration::from_secs(10),
-        "the failure must surface promptly, not by timeout"
+        started.elapsed() < Duration::from_secs(8),
+        "retirement must settle well inside the run timeout"
     );
     let _ = good.join().expect("good worker thread");
+
+    // Worker 0's stream alone spans [0, 1500): two windows, both missing
+    // worker 1's (never delivered) shard.
+    assert_eq!(out.windows.len(), 2, "the watermark must keep advancing");
+    for w in &out.windows {
+        assert!(w.degraded, "{}: window must be stamped degraded", w.window);
+        assert!(
+            w.lost_items > 0,
+            "{}: the dead shard's mass must be accounted as lost",
+            w.window
+        );
+        let (lo, hi) = w.mean.interval();
+        assert!(lo <= w.mean.value && w.mean.value <= hi);
+    }
 }

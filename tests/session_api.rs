@@ -432,6 +432,8 @@ fn status_reflects_session_progress() {
             last_checkpoint_pane: None,
             items_since_checkpoint: 0,
             snapshot_bytes: 0,
+            degraded_panes: 0,
+            lost_items: 0,
         }
     );
     for ms in [0i64, 600, 1_200, 2_400] {
